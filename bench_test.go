@@ -1,0 +1,214 @@
+package deepstore
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark regenerates its experiment through the same code paths as
+// cmd/deepstore-bench; -benchtime=1x reproduces the full set quickly, and
+// the reported ns/op measures the cost of regenerating the artifact.
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/exp"
+)
+
+// benchWindow trades a little extrapolation precision for benchmark speed;
+// the shape checks in internal/exp use the same window.
+const benchWindow = 1000
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Table1()
+		if len(rows) != 5 {
+			b.Fatal("table 1 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Figure2()
+		if len(rows) != 40 {
+			b.Fatal("figure 2 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points := exp.Figure6()
+		if len(points) != 9 {
+			b.Fatal("figure 6 incomplete")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Table3()
+		if len(rows) != 3 {
+			b.Fatal("table 3 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure8(benchWindow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("figure 8 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure9(benchWindow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("figure 9 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := exp.Figure10a(benchWindow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bb, err := exp.Figure10b(benchWindow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(a) == 0 || len(bb) == 0 {
+			b.Fatal("figure 10 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure8(benchWindow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(exp.Figure11(rows)) == 0 {
+			b.Fatal("figure 11 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure12(benchWindow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("figure 12 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	cfg := exp.DefaultQCStudy()
+	cfg.TraceLen = 6000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.Figure13(benchWindow, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("figure 13 incomplete")
+		}
+	}
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	cfg := exp.DefaultQCStudy()
+	cfg.TraceLen = 6000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(exp.Figure14(cfg)) == 0 {
+			b.Fatal("figure 14 incomplete")
+		}
+	}
+}
+
+// Extension-study benchmarks: interference (§4.5 claim), query-cache recall
+// (§4.6 premise), feature reorganization (§7 pointer), and the sustained-
+// throughput envelope.
+
+func BenchmarkInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Interference("MIR", accel.LevelChannel, 32_000, 8_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQCRecall(b *testing.B) {
+	cfg := exp.DefaultRecall()
+	cfg.Features = 1000
+	cfg.Queries = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.QCRecall(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReorgStudy(b *testing.B) {
+	cfg := exp.DefaultReorg()
+	cfg.Features = 1500
+	cfg.Queries = 30
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.ReorgStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Throughput(benchWindow, 0.4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the §4.5
+// dataflow assignment and the §7 precision extension.
+
+func BenchmarkAblationDataflow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationDataflow(benchWindow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}
+
+func BenchmarkAblationPrecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.AblationPrecision(benchWindow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("ablation incomplete")
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Command deepstore-bench regenerates the paper's tables and figures from
+// the simulator. Run with -exp all (default) or a comma-separated subset,
+// and pick an output format for downstream plotting:
+//
+//	deepstore-bench -exp table1,fig8
+//	deepstore-bench -exp fig8 -window 5000
+//	deepstore-bench -exp fig13 -format csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/exp"
+	"repro/internal/report"
+	"repro/internal/viz"
+)
+
+// experiment couples an id with the code that produces its tables, and an
+// optional terminal-chart rendering for the sweep/comparison figures.
+type experiment struct {
+	name  string
+	run   func(window int64) (tables []report.Table, text string, err error)
+	chart func(window int64) (string, error)
+}
+
+func experiments() []experiment {
+	return []experiment{
+		{name: "table1", run: func(int64) ([]report.Table, string, error) {
+			rows := exp.Table1()
+			h, c := exp.CellsTable1(rows)
+			return []report.Table{{Name: "table1", Header: h, Rows: c}}, exp.FormatTable1(rows), nil
+		}},
+		{name: "fig2", run: func(int64) ([]report.Table, string, error) {
+			rows := exp.Figure2()
+			h, c := exp.CellsFigure2(rows)
+			return []report.Table{{Name: "fig2", Header: h, Rows: c}}, exp.FormatFigure2(rows), nil
+		}},
+		{name: "fig6", run: func(int64) ([]report.Table, string, error) {
+			points := exp.Figure6()
+			h, c := exp.CellsFigure6(points)
+			return []report.Table{{Name: "fig6", Header: h, Rows: c}}, exp.FormatFigure6(points), nil
+		}, chart: func(int64) (string, error) {
+			points := exp.Figure6()
+			fc := viz.Series{Name: "Fully Connected"}
+			cv := viz.Series{Name: "Convolution"}
+			for _, p := range points {
+				x := math.Log2(float64(p.PEs))
+				fc.Points = append(fc.Points, viz.Point{X: x, Y: p.FCSpeedup})
+				cv.Points = append(cv.Points, viz.Point{X: x, Y: p.ConvSpeedup})
+			}
+			return viz.LineChart("Fig 6: speedup vs log2(PEs), best aspect per point",
+				[]viz.Series{fc, cv}, 64, 16), nil
+		}},
+		{name: "table3", run: func(int64) ([]report.Table, string, error) {
+			rows := exp.Table3()
+			h, c := exp.CellsTable3(rows)
+			return []report.Table{{Name: "table3", Header: h, Rows: c}}, exp.FormatTable3(rows), nil
+		}},
+		{name: "fig8", run: func(w int64) ([]report.Table, string, error) {
+			rows, err := exp.Figure8(w)
+			if err != nil {
+				return nil, "", err
+			}
+			h, c := exp.CellsFigure8(rows)
+			return []report.Table{{Name: "fig8", Header: h, Rows: c}}, exp.FormatFigure8(rows), nil
+		}, chart: func(w int64) (string, error) {
+			rows, err := exp.Figure8(w)
+			if err != nil {
+				return "", err
+			}
+			var bars []viz.Bar
+			for _, r := range rows {
+				for _, lv := range accel.Levels() {
+					bars = append(bars, viz.Bar{
+						Label: fmt.Sprintf("%s/%s", r.App, lv),
+						Value: r.Speedup[lv],
+					})
+				}
+			}
+			return viz.BarChart("Fig 8: speedup over GPU+SSD", bars, 48), nil
+		}},
+		{name: "fig9", run: func(w int64) ([]report.Table, string, error) {
+			rows, err := exp.Figure9(w)
+			if err != nil {
+				return nil, "", err
+			}
+			h, c := exp.CellsFigure9(rows)
+			return []report.Table{{Name: "fig9", Header: h, Rows: c}}, exp.FormatFigure9(rows), nil
+		}},
+		{name: "fig10", run: func(w int64) ([]report.Table, string, error) {
+			a, err := exp.Figure10a(w)
+			if err != nil {
+				return nil, "", err
+			}
+			b, err := exp.Figure10b(w)
+			if err != nil {
+				return nil, "", err
+			}
+			ha, ca := exp.CellsFigure10a(a)
+			hb, cb := exp.CellsFigure10b(b)
+			return []report.Table{
+				{Name: "fig10a", Header: ha, Rows: ca},
+				{Name: "fig10b", Header: hb, Rows: cb},
+			}, exp.FormatFigure10(a, b), nil
+		}},
+		{name: "fig11", run: func(w int64) ([]report.Table, string, error) {
+			rows8, err := exp.Figure8(w)
+			if err != nil {
+				return nil, "", err
+			}
+			rows := exp.Figure11(rows8)
+			h, c := exp.CellsFigure11(rows)
+			return []report.Table{{Name: "fig11", Header: h, Rows: c}}, exp.FormatFigure11(rows), nil
+		}, chart: func(w int64) (string, error) {
+			rows8, err := exp.Figure8(w)
+			if err != nil {
+				return "", err
+			}
+			var bars []viz.Bar
+			for _, r := range exp.Figure11(rows8) {
+				bars = append(bars, viz.Bar{
+					Label: fmt.Sprintf("%s/%s", r.App, r.Level),
+					Value: r.PerfPerWatt,
+				})
+			}
+			return viz.BarChart("Fig 11: perf/W vs Volta GPU", bars, 48), nil
+		}},
+		{name: "fig12", run: func(w int64) ([]report.Table, string, error) {
+			rows, err := exp.Figure12(w)
+			if err != nil {
+				return nil, "", err
+			}
+			h, c := exp.CellsFigure12(rows)
+			return []report.Table{{Name: "fig12", Header: h, Rows: c}}, exp.FormatFigure12(rows), nil
+		}},
+		{name: "fig13", run: func(w int64) ([]report.Table, string, error) {
+			rows, err := exp.Figure13(w, exp.DefaultQCStudy())
+			if err != nil {
+				return nil, "", err
+			}
+			h, c := exp.CellsFigure13(rows)
+			return []report.Table{{Name: "fig13", Header: h, Rows: c}}, exp.FormatFigure13(rows), nil
+		}, chart: func(w int64) (string, error) {
+			rows, err := exp.Figure13(w, exp.DefaultQCStudy())
+			if err != nil {
+				return "", err
+			}
+			byDist := map[string]*viz.Series{}
+			var order []string
+			for _, r := range rows {
+				s, ok := byDist[r.Dist]
+				if !ok {
+					s = &viz.Series{Name: "DeepStore+QC " + r.Dist}
+					byDist[r.Dist] = s
+					order = append(order, r.Dist)
+				}
+				s.Points = append(s.Points, viz.Point{X: float64(r.ThresholdPct), Y: r.DeepStoreQC})
+			}
+			var series []viz.Series
+			for _, d := range order {
+				series = append(series, *byDist[d])
+			}
+			return viz.LineChart("Fig 13: DeepStore+QC speedup vs error threshold (%)",
+				series, 64, 14), nil
+		}},
+		{name: "fig14", run: func(int64) ([]report.Table, string, error) {
+			rows := exp.Figure14(exp.DefaultQCStudy())
+			h, c := exp.CellsFigure14(rows)
+			return []report.Table{{Name: "fig14", Header: h, Rows: c}}, exp.FormatFigure14(rows), nil
+		}, chart: func(int64) (string, error) {
+			rows := exp.Figure14(exp.DefaultQCStudy())
+			byDist := map[string]*viz.Series{}
+			var order []string
+			for _, r := range rows {
+				s, ok := byDist[r.Dist]
+				if !ok {
+					s = &viz.Series{Name: r.Dist}
+					byDist[r.Dist] = s
+					order = append(order, r.Dist)
+				}
+				s.Points = append(s.Points, viz.Point{X: float64(r.Entries), Y: r.MissRate * 100})
+			}
+			var series []viz.Series
+			for _, d := range order {
+				series = append(series, *byDist[d])
+			}
+			return viz.LineChart("Fig 14: miss rate (%) vs cache entries", series, 64, 14), nil
+		}},
+		{name: "interference", run: func(int64) ([]report.Table, string, error) {
+			var rows []exp.InterferenceResult
+			for _, app := range []string{"MIR", "TIR", "TextQA"} {
+				r, err := exp.Interference(app, accel.LevelChannel, 64_000, 16_000)
+				if err != nil {
+					return nil, "", err
+				}
+				rows = append(rows, r)
+			}
+			h, c := exp.CellsInterference(rows)
+			return []report.Table{{Name: "interference", Header: h, Rows: c}},
+				exp.FormatInterference(rows), nil
+		}},
+		{name: "reorg", run: func(int64) ([]report.Table, string, error) {
+			rows, err := exp.ReorgStudy(exp.DefaultReorg())
+			if err != nil {
+				return nil, "", err
+			}
+			h, c := exp.CellsReorg(rows)
+			return []report.Table{{Name: "reorg", Header: h, Rows: c}},
+				exp.FormatReorg(rows), nil
+		}},
+		{name: "throughput", run: func(w int64) ([]report.Table, string, error) {
+			rows, err := exp.Throughput(w, 0.4)
+			if err != nil {
+				return nil, "", err
+			}
+			h, c := exp.CellsThroughput(rows)
+			return []report.Table{{Name: "throughput", Header: h, Rows: c}},
+				exp.FormatThroughput(rows), nil
+		}},
+		{name: "recall", run: func(int64) ([]report.Table, string, error) {
+			rows, err := exp.QCRecall(exp.DefaultRecall())
+			if err != nil {
+				return nil, "", err
+			}
+			h, c := exp.CellsRecall(rows)
+			return []report.Table{{Name: "recall", Header: h, Rows: c}},
+				exp.FormatRecall(rows), nil
+		}},
+		{name: "ablations", run: func(w int64) ([]report.Table, string, error) {
+			df, err := exp.AblationDataflow(w)
+			if err != nil {
+				return nil, "", err
+			}
+			pr, err := exp.AblationPrecision(w)
+			if err != nil {
+				return nil, "", err
+			}
+			l2, err := exp.AblationL2(w)
+			if err != nil {
+				return nil, "", err
+			}
+			hd, cd := exp.CellsAblationDataflow(df)
+			hp, cp := exp.CellsAblationPrecision(pr)
+			hl, cl := exp.CellsAblationL2(l2)
+			return []report.Table{
+					{Name: "ablation-dataflow", Header: hd, Rows: cd},
+					{Name: "ablation-precision", Header: hp, Rows: cp},
+					{Name: "ablation-l2", Header: hl, Rows: cl},
+				}, exp.FormatAblations(df, pr) + "\n" + exp.FormatAblationL2(l2),
+				nil
+		}},
+	}
+}
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,recall,ablations")
+	window := flag.Int64("window", exp.DefaultWindow, "features per accelerator simulated before extrapolation (0 = exact)")
+	formatFlag := flag.String("format", "text", "output format: text, csv, markdown, chart")
+	flag.Parse()
+
+	chartMode := *formatFlag == "chart"
+	var format report.Format
+	if !chartMode {
+		var err error
+		format, err = report.ParseFormat(*formatFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepstore-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	want := map[string]bool{}
+	if *expFlag == "all" {
+		for _, e := range experiments() {
+			want[e.name] = true
+		}
+	} else {
+		for _, n := range strings.Split(*expFlag, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+
+	ran := 0
+	for _, e := range experiments() {
+		if !want[e.name] {
+			continue
+		}
+		if chartMode {
+			if e.chart == nil {
+				continue // only the sweep/comparison figures have charts
+			}
+			out, err := e.chart(*window)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "deepstore-bench: %s: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("=== %s ===\n%s\n", e.name, out)
+			ran++
+			continue
+		}
+		tables, text, err := e.run(*window)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepstore-bench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		switch format {
+		case report.FormatText:
+			fmt.Printf("=== %s ===\n%s\n", e.name, text)
+		default:
+			for _, t := range tables {
+				out, err := report.Render(t, format, func() string { return text })
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "deepstore-bench: %s: %v\n", t.Name, err)
+					os.Exit(1)
+				}
+				fmt.Printf("=== %s ===\n%s\n", t.Name, out)
+			}
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "deepstore-bench: no runnable experiments in %q\n", *expFlag)
+		os.Exit(1)
+	}
+}

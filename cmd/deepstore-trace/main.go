@@ -1,0 +1,162 @@
+// Command deepstore-trace generates, inspects, and replays query traces
+// through the simulated query engine — the §5 methodology where traces
+// collected from applications drive the simulator.
+//
+//	deepstore-trace gen -out trace.jsonl -dist zipfian -alpha 0.7 -queries 500
+//	deepstore-trace info -in trace.jsonl
+//	deepstore-trace replay -in trace.jsonl -app TIR -features 2000 -entries 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: deepstore-trace {gen|info|replay} [flags]")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "trace.jsonl", "output trace file")
+	distName := fs.String("dist", "zipfian", "uniform or zipfian")
+	alpha := fs.Float64("alpha", 0.7, "zipfian skew")
+	queries := fs.Int("queries", 1000, "trace length")
+	universe := fs.Int64("universe", 100, "distinct query intents")
+	jitter := fs.Float64("jitter", 0.05, "max per-occurrence drift")
+	seed := fs.Int64("seed", 1, "generation seed")
+	fs.Parse(args)
+
+	dist := workload.Uniform
+	if *distName == "zipfian" || *distName == "zipf" {
+		dist = workload.Zipfian
+	}
+	tr := workload.GenerateTrace(workload.TraceConfig{
+		Universe: *universe, Length: *queries, Dist: dist,
+		Alpha: *alpha, MaxJitter: *jitter, Seed: *seed,
+	})
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := tr.Save(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d queries (%d distinct intents) to %s\n",
+		len(tr.Queries), tr.DistinctQueries(), *out)
+}
+
+func load(path string) *workload.Trace {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := workload.LoadTrace(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return tr
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "trace.jsonl", "trace file")
+	fs.Parse(args)
+	tr := load(*in)
+	fmt.Printf("trace: %d queries, %d distinct intents\n", len(tr.Queries), tr.DistinctQueries())
+	fmt.Printf("config: dist=%s alpha=%.2f universe=%d jitter<=%.2f seed=%d\n",
+		tr.Config.Dist, tr.Config.Alpha, tr.Config.Universe, tr.Config.MaxJitter, tr.Config.Seed)
+	p := tr.Popularity()
+	fmt.Printf("locality: hottest intent %.1f%% of queries; hottest 10%% of intents %.1f%%\n",
+		p.Top1*100, p.Top10Pct*100)
+	for _, entries := range []int{10, 100, 1000} {
+		fmt.Printf("  cache of %4d entries covers at most %.1f%% of the trace\n",
+			entries, p.CacheCoverage(entries)*100)
+	}
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "trace.jsonl", "trace file")
+	appName := fs.String("app", "TIR", "application model")
+	features := fs.Int("features", 2000, "database size (materialized)")
+	k := fs.Int("k", 5, "top-K")
+	entries := fs.Int("entries", 0, "query cache entries (0 = no cache)")
+	threshold := fs.Float64("threshold", 0.2, "query cache error threshold")
+	fs.Parse(args)
+
+	tr := load(*in)
+	app, err := workload.ByName(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app.SCN.InitRandom(1)
+
+	ds, err := core.New(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	db := workload.NewFeatureDB(app, *features, 2)
+	dbID, err := ds.WriteDB(db.Vectors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := ds.LoadModelNetwork(app.SCN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *entries > 0 {
+		// A deterministic dot-product QCN (all-equal positive weights over
+		// a Hadamard front end): identical intents score near 1,
+		// unrelated intents near 0.5, so hits depend on the threshold.
+		fe := app.SCN.FeatureElems()
+		qcn, err := nn.NewNetwork("trace-qcn", tensor.Shape{fe}, nn.CombineHadamard,
+			nn.NewFC("sum", fe, 1, nn.ActSigmoid))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fc := qcn.Layers[0].(*nn.FC)
+		for i := range fc.W {
+			fc.W[i] = 0.5
+		}
+		if err := ds.SetQC(qcn, 0.95, *entries, *threshold); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	report, err := ds.ReplayTrace(tr, model, dbID, *k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d queries against %s (%d features)\n", report.Queries, app.Name, *features)
+	fmt.Printf("  cache hits    %d (miss rate %.1f%%)\n", report.CacheHits, report.MissRate*100)
+	fmt.Printf("  mean latency  %v\n", report.MeanLatency)
+	fmt.Printf("  p99 latency   %v\n", report.P99Latency)
+	fmt.Printf("  total energy  %.2f mJ\n", report.EnergyJ*1e3)
+}

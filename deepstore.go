@@ -1,0 +1,176 @@
+// Package deepstore is a from-scratch reproduction of "DeepStore: In-Storage
+// Acceleration for Intelligent Queries" (MICRO-52, 2019): an SSD with
+// neural-network accelerators at the SSD, channel, and chip levels, a
+// similarity-based in-storage query cache, and a lightweight query engine
+// exposing the paper's programming API.
+//
+// The package is a facade over the internal implementation:
+//
+//   - System is the in-storage query engine (the paper's contribution),
+//     offering WriteDB/ReadDB/AppendDB/LoadModel/Query/GetResults/SetQC;
+//   - the nn sub-package types (re-exported here) build similarity
+//     comparison networks from FC, conv, and element-wise layers;
+//   - Apps returns the five Table 1 applications as ready-made workloads;
+//   - the experiment entry points regenerate every table and figure of the
+//     paper's evaluation (see EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	sys, _ := deepstore.New(deepstore.DefaultOptions())
+//	app, _ := deepstore.AppByName("TIR")
+//	app.SCN.InitRandom(1)
+//	db, _ := sys.WriteDB(vectors)
+//	model, _ := sys.LoadModelNetwork(app.SCN)
+//	qid, _ := sys.Query(deepstore.QuerySpec{QFV: q, K: 10, Model: model, DB: db})
+//	res, _ := sys.GetResults(qid)
+package deepstore
+
+import (
+	"repro/internal/accel"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ftl"
+	"repro/internal/nn"
+	"repro/internal/ssd"
+	"repro/internal/topk"
+	"repro/internal/workload"
+)
+
+// System is a DeepStore engine instance over a simulated SSD.
+type System = core.DeepStore
+
+// Options configures a System.
+type Options = core.Options
+
+// QuerySpec is the argument block of the query API (Table 2).
+type QuerySpec = core.QuerySpec
+
+// QueryResult carries a query's top-K results and simulated cost.
+type QueryResult = core.QueryResult
+
+// ModelID identifies a loaded similarity comparison network.
+type ModelID = core.ModelID
+
+// QueryID identifies a submitted query.
+type QueryID = core.QueryID
+
+// DBID identifies a feature database.
+type DBID = ftl.DBID
+
+// Result is one top-K entry: feature identity, similarity score, ObjectID.
+type Result = topk.Entry
+
+// New creates a DeepStore engine on a fresh simulated device.
+func New(opts Options) (*System, error) { return core.New(opts) }
+
+// DefaultOptions returns the paper's evaluation configuration
+// (32-channel 1 TB SSD, channel-level accelerators).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Level selects where the accelerators attach (Fig. 3).
+type Level = accel.Level
+
+// Accelerator placements.
+const (
+	LevelSSD     = accel.LevelSSD
+	LevelChannel = accel.LevelChannel
+	LevelChip    = accel.LevelChip
+)
+
+// DeviceConfig describes the simulated SSD.
+type DeviceConfig = ssd.Config
+
+// DefaultDeviceConfig returns the §6.1 evaluation SSD.
+func DefaultDeviceConfig() DeviceConfig { return ssd.DefaultConfig() }
+
+// Network is a two-branch similarity comparison network (SCN/QCN).
+type Network = nn.Network
+
+// Layer types, for callers that set or inspect parameters directly.
+type (
+	FC          = nn.FC
+	Conv        = nn.Conv
+	Elementwise = nn.Elementwise
+)
+
+// Quantization utilities for the §7 precision extension.
+type QuantizedVector = nn.QuantizedVector
+
+// Quantization helpers: int8 feature conversion and its accuracy cost.
+var (
+	QuantizeVector    = nn.QuantizeVector
+	QuantizeDB        = nn.QuantizeDB
+	QuantizationError = nn.QuantizationError
+	ScoreDrift        = nn.ScoreDrift
+)
+
+// Layer constructors and combine ops for building networks.
+var (
+	NewFC          = nn.NewFC
+	NewConv        = nn.NewConv
+	NewElementwise = nn.NewElementwise
+	NewNetwork     = nn.NewNetwork
+	MarshalModel   = nn.Marshal
+	UnmarshalModel = nn.Unmarshal
+)
+
+// Combine ops for the two-branch front end.
+const (
+	CombineHadamard = nn.CombineHadamard
+	CombineSubtract = nn.CombineSubtract
+	CombineConcat   = nn.CombineConcat
+)
+
+// Activations.
+const (
+	ActNone    = nn.ActNone
+	ActReLU    = nn.ActReLU
+	ActSigmoid = nn.ActSigmoid
+)
+
+// App is one of the five studied intelligent-query applications (Table 1).
+type App = workload.App
+
+// Apps returns the Table 1 model zoo (fresh, zero-weight networks).
+func Apps() []*App { return workload.Apps() }
+
+// AppByName returns one application by its Table 1 name.
+func AppByName(name string) (*App, error) { return workload.ByName(name) }
+
+// NewFeatureDB materializes a deterministic synthetic feature database for
+// an application.
+func NewFeatureDB(app *App, n int, seed int64) *workload.FeatureDB {
+	return workload.NewFeatureDB(app, n, seed)
+}
+
+// Trace is a query stream with temporal locality and semantic similarity
+// (§6.5). Generate with GenerateTrace, persist with Trace.Save / LoadTrace,
+// and drive through an engine with System.ReplayTrace.
+type Trace = workload.Trace
+
+// TraceConfig parameterizes trace generation.
+type TraceConfig = workload.TraceConfig
+
+// Query distributions for traces.
+const (
+	Uniform = workload.Uniform
+	Zipfian = workload.Zipfian
+)
+
+// GenerateTrace builds a deterministic query trace.
+func GenerateTrace(cfg TraceConfig) *Trace { return workload.GenerateTrace(cfg) }
+
+// LoadTrace reads a trace written by Trace.Save.
+var LoadTrace = workload.LoadTrace
+
+// TraceReport summarizes a replayed query stream (System.ReplayTrace).
+type TraceReport = core.TraceReport
+
+// ShardedScan shards a database across n simulated SSDs and scans every
+// shard in parallel — the Fig. 10b scale-out deployment.
+func ShardedScan(n int, app *App, level Level, devCfg DeviceConfig, features, window int64) (cluster.Result, error) {
+	return cluster.ShardedScan(n, app, level, devCfg, features, window)
+}
+
+// ClusterResult aggregates a sharded scan.
+type ClusterResult = cluster.Result

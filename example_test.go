@@ -1,0 +1,79 @@
+package deepstore_test
+
+import (
+	"fmt"
+
+	deepstore "repro"
+)
+
+// Example demonstrates the end-to-end query flow: write a feature database,
+// load the application's similarity comparison network, and run an
+// intelligent query against the simulated in-storage accelerators.
+func Example() {
+	sys, err := deepstore.New(deepstore.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	app, err := deepstore.AppByName("TIR")
+	if err != nil {
+		panic(err)
+	}
+	app.SCN.InitRandom(1)
+
+	db := deepstore.NewFeatureDB(app, 1000, 2)
+	dbID, err := sys.WriteDB(db.Vectors)
+	if err != nil {
+		panic(err)
+	}
+	model, err := sys.LoadModelNetwork(app.SCN)
+	if err != nil {
+		panic(err)
+	}
+	// Query with one of the stored vectors: it must rank first.
+	qid, err := sys.Query(deepstore.QuerySpec{
+		QFV: db.Vectors[42], K: 1, Model: model, DB: dbID,
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := sys.GetResults(qid)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("features scanned:", res.FeaturesScanned)
+	fmt.Println("results:", len(res.TopK))
+	// Output:
+	// features scanned: 1000
+	// results: 1
+}
+
+// ExampleNewNetwork builds a custom two-branch similarity comparison network
+// through the facade's layer constructors and inspects its Table 1 style
+// characteristics.
+func ExampleNewNetwork() {
+	net, err := deepstore.NewNetwork("custom", []int{256}, deepstore.CombineHadamard,
+		deepstore.NewFC("fc1", 256, 128, deepstore.ActReLU),
+		deepstore.NewFC("fc2", 128, 2, deepstore.ActNone),
+	)
+	if err != nil {
+		panic(err)
+	}
+	conv, fc, ew := net.CountKinds()
+	fmt.Printf("layers: %d conv, %d fc, %d ew\n", conv, fc, ew)
+	fmt.Printf("FLOPs per comparison: %d\n", net.FLOPsPerComparison())
+	// Output:
+	// layers: 0 conv, 2 fc, 1 ew
+	// FLOPs per comparison: 66304
+}
+
+// ExampleGenerateTrace shows deterministic query-trace generation.
+func ExampleGenerateTrace() {
+	tr := deepstore.GenerateTrace(deepstore.TraceConfig{
+		Universe: 100, Length: 1000, Dist: deepstore.Zipfian, Alpha: 0.7, Seed: 1,
+	})
+	fmt.Println("queries:", len(tr.Queries))
+	fmt.Println("distinct intents <= universe:", tr.DistinctQueries() <= 100)
+	// Output:
+	// queries: 1000
+	// distinct intents <= universe: true
+}

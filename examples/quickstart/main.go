@@ -1,0 +1,67 @@
+// Quickstart: build a small text-based image retrieval (TIR) feature
+// database, load its similarity comparison network into the simulated SSD,
+// and run an intelligent query end to end through the DeepStore API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A DeepStore system over the paper's 32-channel, 1 TB evaluation SSD
+	// with channel-level accelerators (the best design, §6.2).
+	sys, err := deepstore.New(deepstore.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// TIR: sentence-to-image retrieval, 2 KB feature vectors, an SCN of a
+	// vector dot product and three FC layers (Table 1).
+	app, err := deepstore.AppByName("TIR")
+	if err != nil {
+		log.Fatal(err)
+	}
+	app.SCN.InitRandom(1)
+
+	// writeDB: 10,000 synthetic image feature vectors, striped across the
+	// SSD's channels and chips (§4.4).
+	db := deepstore.NewFeatureDB(app, 10_000, 2)
+	dbID, err := sys.WriteDB(db.Vectors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote database %d: %d features x %d B\n", dbID, db.Len(), app.FeatureBytes())
+
+	// loadModel: ship the SCN in the binary model format (ONNX stand-in).
+	blob, err := deepstore.MarshalModel(app.SCN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := sys.LoadModel(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded model %d: %s (%.2f MB of weights)\n",
+		model, app.SCN, float64(app.SCN.WeightBytes())/1e6)
+
+	// query + getResults: top-5 most similar images for a fresh query.
+	query := deepstore.NewFeatureDB(app, 1, 99).Vectors[0]
+	qid, err := sys.Query(deepstore.QuerySpec{QFV: query, K: 5, Model: model, DB: dbID})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.GetResults(qid)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ntop-%d results (in-storage latency %v, %.2f mJ):\n",
+		len(res.TopK), res.Latency, res.Energy.Total()*1e3)
+	for rank, r := range res.TopK {
+		fmt.Printf("  #%d  feature %5d  score %+.4f  flash page %d\n",
+			rank+1, r.FeatureID, r.Score, r.ObjectID)
+	}
+}

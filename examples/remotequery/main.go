@@ -1,0 +1,82 @@
+// Remote query: drives DeepStore through its NVMe-style command protocol —
+// the Table 2 API "internally uses new NVMe commands to interact with the
+// query engine" (§4.7.2). The host-side client and the device-side engine
+// run on the two ends of a duplex byte stream; every operation crosses the
+// wire in its command/completion encoding, exactly as a driver would submit
+// it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/workload"
+)
+
+func main() {
+	// Device side: the query engine on the SSD's embedded cores, behind a
+	// command dispatcher.
+	engine, err := core.New(core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	hostSide, devSide := net.Pipe()
+	go func() {
+		defer devSide.Close()
+		if err := proto.Serve(devSide, &proto.Handler{DS: engine}); err != nil {
+			log.Printf("device: %v", err)
+		}
+	}()
+	defer hostSide.Close()
+
+	// Host side: the typed client over the stream transport.
+	client := proto.NewClient(proto.NewStream(hostSide))
+
+	app, err := workload.ByName("ESTP")
+	if err != nil {
+		log.Fatal(err)
+	}
+	app.SCN.InitRandom(13)
+	catalog := workload.NewFeatureDB(app, 4000, 31)
+
+	dbID, err := client.WriteDB(catalog.Vectors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("writeDB     -> db_id %d (%d garment features over the wire)\n", dbID, catalog.Len())
+
+	model, err := client.LoadModelNetwork(app.SCN)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loadModel   -> model_id %d (%.1f MB model blob)\n",
+		model, float64(app.SCN.WeightBytes())/1e6)
+
+	// A shopper's photo: find the three closest catalog items.
+	photo := workload.NewFeatureDB(app, 1, 8).Vectors[0]
+	qid, err := client.Query(photo, 3, model, dbID, 0, 0, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query       -> query_id %d\n", qid)
+
+	res, err := client.GetResults(qid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("getResults  -> %d rows, in-storage latency %v\n\n", len(res.IDs), res.Latency)
+	for rank := range res.IDs {
+		fmt.Printf("  #%d  item %4d  score %+.4f  (flash page %d)\n",
+			rank+1, res.IDs[rank], res.Scores[rank], res.Objects[rank])
+	}
+
+	// Read the winning item's feature vector back over readDB.
+	item, err := client.ReadDB(dbID, res.IDs[0], 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreadDB      -> fetched item %d's %d-dim feature vector\n", res.IDs[0], len(item[0]))
+}

@@ -1,0 +1,110 @@
+// Question answering with the similarity-based query cache (§4.6): a QA
+// service sees repeated and re-phrased questions, so DeepStore's in-storage
+// query cache answers semantically similar queries without scanning the
+// whole answer corpus. This example issues a stream of questions where
+// rephrasings recur, and reports the hit rate and the latency gap between
+// cache hits and full scans.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	app, err := deepstore.AppByName("TextQA")
+	if err != nil {
+		log.Fatal(err)
+	}
+	app.SCN.InitRandom(1)
+
+	sys, err := deepstore.New(deepstore.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Corpus: 20,000 candidate answers (0.8 KB feature vectors).
+	corpus := deepstore.NewFeatureDB(app, 20_000, 5)
+	dbID, err := sys.WriteDB(corpus.Vectors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := sys.LoadModelNetwork(app.SCN)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A QCN that scores two questions' similarity: dot-product front end
+	// and a sigmoid head, with every weight positive so identical unit
+	// queries score near 1.
+	dims := app.SCN.FeatureElems()
+	qcn, err := deepstore.NewNetwork("qa-qcn", []int{dims}, deepstore.CombineHadamard,
+		deepstore.NewFC("sum", dims, 1, deepstore.ActSigmoid))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Hand-set weights: the QCN's similarity is a scaled dot product.
+	setUniformWeights(qcn, 0.5)
+
+	// setQC: 64 cache entries, QCN accuracy 0.95, 15% error threshold.
+	if err := sys.SetQC(qcn, 0.95, 64, 0.15); err != nil {
+		log.Fatal(err)
+	}
+
+	// Question stream: 30 distinct questions, Zipf-like recurrence with
+	// small per-occurrence paraphrase noise.
+	distinct := make([][]float32, 30)
+	for i := range distinct {
+		distinct[i] = deepstore.NewFeatureDB(app, 1, int64(100+i)).Vectors[0]
+	}
+	rng := rand.New(rand.NewSource(9))
+
+	var hitLatency, missLatency float64
+	var hits, misses int
+	for i := 0; i < 120; i++ {
+		base := distinct[rng.Intn(10)] // hot subset
+		q := make([]float32, dims)
+		for j := range q {
+			q[j] = base[j] + 0.01*(rng.Float32()*2-1) // paraphrase noise
+		}
+		qid, err := sys.Query(deepstore.QuerySpec{QFV: q, K: 5, Model: model, DB: dbID})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.GetResults(qid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.CacheHit {
+			hits++
+			hitLatency += res.Latency.Seconds()
+		} else {
+			misses++
+			missLatency += res.Latency.Seconds()
+		}
+	}
+
+	fmt.Printf("question stream: %d queries, %d cache hits, %d misses (%.0f%% hit rate)\n",
+		hits+misses, hits, misses, 100*float64(hits)/float64(hits+misses))
+	if hits > 0 && misses > 0 {
+		avgHit := hitLatency / float64(hits)
+		avgMiss := missLatency / float64(misses)
+		fmt.Printf("average hit latency:  %.3f ms\n", avgHit*1e3)
+		fmt.Printf("average miss latency: %.3f ms (full corpus scan)\n", avgMiss*1e3)
+		fmt.Printf("cache hits are %.0fx faster — the Fig. 13 effect\n", avgMiss/avgHit)
+	}
+}
+
+// setUniformWeights fills every FC weight of the network with v.
+func setUniformWeights(net *deepstore.Network, v float32) {
+	for _, l := range net.Layers {
+		if fc, ok := l.(*deepstore.FC); ok {
+			for i := range fc.W {
+				fc.W[i] = v
+			}
+		}
+	}
+}

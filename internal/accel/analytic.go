@@ -1,0 +1,70 @@
+package accel
+
+import (
+	"math"
+
+	"repro/internal/ftl"
+	"repro/internal/nn"
+	"repro/internal/ssd"
+)
+
+// AnalyticScanSeconds is the closed-form counterpart of Scan: the scan time
+// as the maximum of its three steady-state rates — flash delivery, SCN
+// compute, and lockstep weight streaming. It exists to cross-check the
+// event-driven model (the two must agree for homogeneous scans) and to give
+// callers an instant estimate without running the simulator.
+func AnalyticScanSeconds(spec Spec, net *nn.Network, layout ftl.DBLayout, cfg ssd.Config) (float64, error) {
+	if err := spec.CheckSupport(net, cfg); err != nil {
+		return 0, err
+	}
+	geom := layout.Geom
+	features := float64(layout.Features)
+
+	// Flash delivery: total pages over the available bandwidth at this
+	// level. Channel/chip levels stream all channels in parallel; the
+	// SSD level is additionally capped by controller DRAM.
+	pages := float64(layout.TotalPages())
+	flashBW := float64(geom.Channels) * cfg.Timing.ChannelBandwidth
+	if spec.Level == LevelSSD && cfg.DRAMBandwidth < flashBW {
+		flashBW = cfg.DRAMBandwidth
+	}
+	ioSec := pages * float64(geom.PageBytes) / flashBW
+
+	// Compute: per-feature cycles across the instances.
+	cost := spec.Array.NetworkCost(net.LayerPlan())
+	perFeat := float64(cost.Cycles + InputStageCycles(net.FeatureElems()))
+	computeSec := features * perFeat / spec.Array.FreqHz / float64(spec.Count)
+
+	// Weight streaming: lockstep rounds of batch features per instance.
+	weightBytes := float64(net.WeightCount() * spec.Array.Precision.ElementBytes())
+	src := spec.weightSource(net.WeightCount()*spec.Array.Precision.ElementBytes(), cfg)
+	streamSec := 0.0
+	if src != SourceL1 {
+		batch := float64(spec.BatchFeatures(layout.FeatureBytes))
+		var bw float64
+		var groupSize float64
+		switch {
+		case spec.Level == LevelChip:
+			// Broadcast per channel bus to its chips.
+			bw = cfg.Timing.ChannelBandwidth
+			groupSize = float64(geom.ChipsPerChannel)
+		case src == SourceL2:
+			bw = cfg.SharedScratchpadBandwidth
+			groupSize = float64(spec.Count)
+		default:
+			bw = cfg.DRAMBandwidth
+			groupSize = float64(spec.Count)
+		}
+		featuresPerGroup := features / (float64(spec.Count) / groupSize)
+		rounds := math.Ceil(featuresPerGroup / (batch * groupSize))
+		transfer := weightBytes / bw
+		// Rounds serialize the broadcast with the group's compute.
+		perRoundCompute := batch * perFeat / spec.Array.FreqHz
+		streamSec = rounds * (transfer + perRoundCompute)
+		if streamSec > computeSec {
+			computeSec = streamSec
+		}
+	}
+
+	return math.Max(ioSec, computeSec), nil
+}

@@ -1,0 +1,64 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/ftl"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// TestAnalyticAgreesWithDES is the model cross-check: for every application
+// and level, the closed-form scan time must agree with the event-driven
+// simulation within 35% — the same physics derived two ways.
+func TestAnalyticAgreesWithDES(t *testing.T) {
+	cfg := ssd.DefaultConfig()
+	for _, appName := range workload.AppNames() {
+		app, _ := workload.ByName(appName)
+		for _, level := range Levels() {
+			spec := SpecForLevel(level, cfg)
+			e := sim.NewEngine()
+			dev, err := ssd.New(e, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			features := workload.PaperSpec(app).Features
+			meta, err := dev.CreateDB(appName, app.FeatureBytes(), features)
+			if err != nil {
+				t.Fatal(err)
+			}
+			analytic, err := AnalyticScanSeconds(spec, app.SCN, meta.Layout, cfg)
+			if err != nil {
+				continue // unsupported (chip-level ReId)
+			}
+			res, err := Scan(ScanRequest{
+				Device: dev, Spec: spec, Net: app.SCN, Layout: meta.Layout,
+				WindowFeaturesPerAccel: 2000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			des := res.Elapsed.Seconds()
+			ratio := des / analytic
+			if ratio < 0.65 || ratio > 1.55 {
+				t.Errorf("%s/%v: DES %.3fs vs analytic %.3fs (ratio %.2f)",
+					appName, level, des, analytic, ratio)
+			}
+		}
+	}
+}
+
+func TestAnalyticRejectsUnsupported(t *testing.T) {
+	cfg := ssd.DefaultConfig()
+	reid, _ := workload.ByName("ReId")
+	layout := ftl.DBLayout{
+		Geom:         cfg.Geometry,
+		FeatureBytes: reid.FeatureBytes(),
+		Features:     10_000,
+		StartBlock:   1,
+	}
+	if _, err := AnalyticScanSeconds(SpecForLevel(LevelChip, cfg), reid.SCN, layout, cfg); err == nil {
+		t.Error("chip-level ReId accepted analytically")
+	}
+}

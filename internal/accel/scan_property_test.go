@@ -1,0 +1,155 @@
+package accel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/flash"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/systolic"
+	"repro/internal/workload"
+)
+
+// TestScanNoDeadlockAcrossGeometries: the event-driven scan must terminate
+// and account every feature for arbitrary (small) geometries, apps, and
+// levels — the failure-injection net for the prefetcher/barrier plumbing.
+func TestScanNoDeadlockAcrossGeometries(t *testing.T) {
+	apps := workload.Apps()
+	f := func(chSel, chipSel, appSel, levelSel uint8, window uint8) bool {
+		channels := []int{1, 2, 4, 8}[chSel%4]
+		chips := []int{1, 2, 4}[chipSel%3]
+		app := apps[int(appSel)%len(apps)]
+		level := Levels()[int(levelSel)%3]
+
+		cfg := ssd.DefaultConfig()
+		cfg.Geometry = flash.Geometry{
+			Channels: channels, ChipsPerChannel: chips, PlanesPerChip: 2,
+			BlocksPerPlane: 64, PagesPerBlock: 32, PageBytes: 16 << 10,
+		}
+		e := sim.NewEngine()
+		dev, err := ssd.New(e, cfg)
+		if err != nil {
+			return false
+		}
+		features := int64(channels*chips) * 40
+		meta, err := dev.CreateDB("p", app.FeatureBytes(), features)
+		if err != nil {
+			// Tiny geometries may not fit ReId; acceptable.
+			return true
+		}
+		res, err := Scan(ScanRequest{
+			Device: dev, Spec: SpecForLevel(level, cfg),
+			Net: app.SCN, Layout: meta.Layout,
+			WindowFeaturesPerAccel: int64(window%32) * 8, // 0..248, incl. exact mode
+		})
+		if err != nil {
+			_, unsupported := err.(*ErrUnsupported)
+			return unsupported
+		}
+		return res.Features == features && res.Elapsed > 0 && res.SimulatedFeatures > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScanPageAccounting: an exact scan reads exactly the database's page
+// footprint from flash.
+func TestScanPageAccounting(t *testing.T) {
+	app, _ := workload.ByName("MIR")
+	e := sim.NewEngine()
+	dev, _ := ssd.New(e, ssd.DefaultConfig())
+	meta, err := dev.CreateDB("m", app.FeatureBytes(), 32_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Scan(ScanRequest{
+		Device: dev, Spec: SpecForLevel(LevelChannel, dev.Config),
+		Net: app.SCN, Layout: meta.Layout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPages := uint64(meta.Layout.TotalPages())
+	if got := dev.Flash.Stats().PageReads; got != wantPages {
+		t.Errorf("flash reads = %d, want %d", got, wantPages)
+	}
+}
+
+// TestScanEnergyScalesWithDB: doubling the database doubles activity
+// (within extrapolation noise).
+func TestScanEnergyScalesWithDB(t *testing.T) {
+	run := func(features int64) ScanResult {
+		app, _ := workload.ByName("TIR")
+		e := sim.NewEngine()
+		dev, _ := ssd.New(e, ssd.DefaultConfig())
+		meta, _ := dev.CreateDB("t", app.FeatureBytes(), features)
+		res, err := Scan(ScanRequest{
+			Device: dev, Spec: SpecForLevel(LevelChannel, dev.Config),
+			Net: app.SCN, Layout: meta.Layout,
+			WindowFeaturesPerAccel: 1000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(256_000)
+	b := run(512_000)
+	ratio := float64(b.Activity.FlashBytes) / float64(a.Activity.FlashBytes)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("flash bytes scaled %.2fx for 2x database", ratio)
+	}
+	tratio := float64(b.Elapsed) / float64(a.Elapsed)
+	if tratio < 1.8 || tratio > 2.2 {
+		t.Errorf("elapsed scaled %.2fx for 2x database", tratio)
+	}
+}
+
+// TestScanPrecisionShrinksFlashTraffic: INT8 features occupy a quarter of
+// the pages, the in-storage win of the §7 quantization extension.
+func TestScanPrecisionShrinksFlashTraffic(t *testing.T) {
+	app, _ := workload.ByName("MIR")
+	run := func(p systolic.Precision) ScanResult {
+		cfg := ssd.DefaultConfig()
+		e := sim.NewEngine()
+		dev, _ := ssd.New(e, cfg)
+		spec := SpecForLevel(LevelChannel, cfg)
+		spec.Array.Precision = p
+		fb := int64(app.SCN.FeatureElems()) * p.ElementBytes()
+		meta, _ := dev.CreateDB("m", fb, 64_000)
+		res, err := Scan(ScanRequest{Device: dev, Spec: spec, Net: app.SCN, Layout: meta.Layout})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	f32 := run(systolic.FP32)
+	i8 := run(systolic.INT8)
+	ratio := float64(f32.Activity.FlashBytes) / float64(i8.Activity.FlashBytes)
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("INT8 flash traffic ratio = %.2f, want ~4", ratio)
+	}
+	if i8.Elapsed >= f32.Elapsed {
+		t.Error("INT8 scan not faster")
+	}
+}
+
+// TestScanWeightSourceConsistency: the reported weight source matches the
+// spec's decision for each app at the channel level.
+func TestScanWeightSourceConsistency(t *testing.T) {
+	want := map[string]WeightSource{
+		"TextQA": SourceL1, "TIR": SourceL2, "MIR": SourceL2,
+		"ESTP": SourceDRAM, "ReId": SourceDRAM,
+	}
+	for name, src := range want {
+		res := scanApp(t, name, LevelChannel, 64_000, 500)
+		if res.WeightSource != src {
+			t.Errorf("%s: weight source %v, want %v", name, res.WeightSource, src)
+		}
+		if src != SourceL1 && res.WeightRounds == 0 {
+			t.Errorf("%s: streaming source with zero rounds", name)
+		}
+	}
+}

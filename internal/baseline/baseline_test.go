@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/workload"
+)
+
+// TestIOFractionBand reproduces the §3 headline: across all applications and
+// Figure 2 batch sizes, storage I/O is 56–90% of query execution time.
+func TestIOFractionBand(t *testing.T) {
+	for _, g := range []gpu.Model{gpu.Pascal(), gpu.Volta()} {
+		cfg := DefaultConfig()
+		cfg.GPU = g
+		for _, a := range workload.Apps() {
+			for _, b := range a.BatchSizes {
+				bd := cfg.Batch(a, b)
+				f := bd.IOFraction()
+				if f < 0.50 || f > 0.95 {
+					t.Errorf("%s/%s batch %d: I/O fraction = %.2f, outside the 56-90%% band",
+						g.Name, a.Name, b, f)
+				}
+			}
+		}
+	}
+}
+
+// TestVoltaTotalBarelyChanges reproduces §3: moving Pascal → Volta speeds the
+// compute phase but leaves total time nearly unchanged (I/O bound).
+func TestVoltaTotalBarelyChanges(t *testing.T) {
+	for _, a := range workload.Apps() {
+		p, v := DefaultConfig(), DefaultConfig()
+		p.GPU = gpu.Pascal()
+		v.GPU = gpu.Volta()
+		tp := p.Batch(a, a.DefaultBatch).TotalSec()
+		tv := v.Batch(a, a.DefaultBatch).TotalSec()
+		if gain := tp / tv; gain > 1.20 {
+			t.Errorf("%s: total improved %.2fx across GPU generations, want ~1x", a.Name, gain)
+		}
+	}
+}
+
+func TestScanTimeScalesWithDB(t *testing.T) {
+	cfg := DefaultConfig()
+	a, _ := workload.ByName("MIR")
+	t1, _ := cfg.ScanTime(a, 1<<20, a.DefaultBatch)
+	t2, _ := cfg.ScanTime(a, 2<<20, a.DefaultBatch)
+	if t2 < 1.9*t1 || t2 > 2.1*t1 {
+		t.Errorf("scan time not linear in DB size: %v -> %v", t1, t2)
+	}
+}
+
+// TestMultiSSDSubLinear reproduces Fig. 10b: adding SSDs improves the
+// baseline but sub-linearly, because compute and memcpy stay constant.
+func TestMultiSSDSubLinear(t *testing.T) {
+	a, _ := workload.ByName("MIR")
+	timeWith := func(n int) float64 {
+		cfg := DefaultConfig()
+		cfg.NumSSDs = n
+		tt, _ := cfg.ScanTime(a, 1<<22, a.DefaultBatch)
+		return tt
+	}
+	t1, t8 := timeWith(1), timeWith(8)
+	speedup := t1 / t8
+	if speedup <= 2 {
+		t.Errorf("8 SSDs speedup = %.2f, want > 2", speedup)
+	}
+	if speedup >= 7.5 {
+		t.Errorf("8 SSDs speedup = %.2f, want sub-linear (< 7.5)", speedup)
+	}
+}
+
+func TestHostIOEfficiencyBounds(t *testing.T) {
+	for _, name := range append(workload.AppNames(), "unknown") {
+		eff := HostIOEfficiency(name)
+		if eff <= 0 || eff > 1 {
+			t.Errorf("%s efficiency = %v", name, eff)
+		}
+	}
+}
+
+func TestEnergyPositive(t *testing.T) {
+	cfg := DefaultConfig()
+	if j := cfg.EnergyJ(10); j <= 10*cfg.GPU.AvgPowerW() {
+		t.Errorf("energy %v J does not include SSD power", j)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.SSDBandwidth = 0 },
+		func(c *Config) { c.NumSSDs = 0 },
+		func(c *Config) { c.HostIOEff = 1.5 },
+		func(c *Config) { c.GPU.PeakFLOPs = 0 },
+	}
+	for i, mod := range bad {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mod %d accepted", i)
+		}
+	}
+}
+
+// TestWimpySlowerThanGPU reproduces §6.2: wimpy cores run the workloads
+// 4.5–22.8x slower than the GPU+SSD baseline.
+func TestWimpySlowerThanGPU(t *testing.T) {
+	w := DefaultWimpy()
+	cfg := DefaultConfig()
+	for _, a := range workload.Apps() {
+		features := workload.PaperSpec(a).Features
+		gpuT, _ := cfg.ScanTime(a, features, a.DefaultBatch)
+		wimpyT := w.ScanTime(a, features)
+		slowdown := wimpyT / gpuT
+		if slowdown < 2 || slowdown > 60 {
+			t.Errorf("%s: wimpy slowdown = %.1fx, outside plausible band (paper: 4.5-22.8x)",
+				a.Name, slowdown)
+		}
+	}
+}
+
+func TestWimpyIOFloor(t *testing.T) {
+	// A hypothetical zero-FLOP workload is still bounded by internal BW.
+	w := DefaultWimpy()
+	w.Efficiency = 1
+	w.FLOPsPerCyc = 1e18 // effectively infinite compute
+	a, _ := workload.ByName("MIR")
+	got := w.ScanTime(a, 1<<20)
+	want := float64(int64(1<<20)*a.FeatureBytes()) / w.InternalBW
+	if got != want {
+		t.Errorf("I/O floor = %v, want %v", got, want)
+	}
+}

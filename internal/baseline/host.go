@@ -1,0 +1,47 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/topk"
+)
+
+// HostScan is the functional half of the GPU+SSD baseline: the similarity
+// comparison executed host-side, batch by batch, exactly as the §3 setup
+// does on the GPU. It exists so the baseline and DeepStore can be checked
+// against each other — both must produce identical top-K results for the
+// same model and feature data (the accelerators use the same 32-bit floats
+// "to maintain the same accuracy as the original application", §5).
+type HostScan struct {
+	Net   *nn.Network
+	Batch int
+}
+
+// TopK scans the feature set in batches and returns the K best matches.
+func (h HostScan) TopK(qfv []float32, features [][]float32, k int) ([]topk.Entry, error) {
+	if h.Net == nil {
+		return nil, fmt.Errorf("baseline: no network")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("baseline: k = %d", k)
+	}
+	batch := h.Batch
+	if batch <= 0 {
+		batch = 1024
+	}
+	q := topk.New(k)
+	for start := 0; start < len(features); start += batch {
+		end := start + batch
+		if end > len(features) {
+			end = len(features)
+		}
+		for i := start; i < end; i++ {
+			q.Offer(topk.Entry{
+				FeatureID: int64(i),
+				Score:     h.Net.Score(qfv, features[i]),
+			})
+		}
+	}
+	return q.Results(), nil
+}

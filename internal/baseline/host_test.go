@@ -1,0 +1,94 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestHostMatchesDeepStore is the cross-system correctness check: the
+// host-side baseline scan and the in-storage engine must return identical
+// top-K results for the same model and features.
+func TestHostMatchesDeepStore(t *testing.T) {
+	app, err := workload.ByName("TIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(17)
+	db := workload.NewFeatureDB(app, 400, 23)
+	q := workload.NewFeatureDB(app, 1, 77).Vectors[0]
+
+	host := HostScan{Net: app.SCN, Batch: 64}
+	hostTop, err := host.TopK(q, db.Vectors, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ds, err := core.New(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbID, err := ds.WriteDB(db.Vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ds.LoadModelNetwork(app.SCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qid, err := ds.Query(core.QuerySpec{QFV: q, K: 10, Model: model, DB: dbID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsRes, err := ds.GetResults(qid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hostTop) != len(dsRes.TopK) {
+		t.Fatalf("host %d results vs deepstore %d", len(hostTop), len(dsRes.TopK))
+	}
+	for i := range hostTop {
+		if hostTop[i].FeatureID != dsRes.TopK[i].FeatureID || hostTop[i].Score != dsRes.TopK[i].Score {
+			t.Errorf("rank %d: host (%d, %v) vs deepstore (%d, %v)",
+				i, hostTop[i].FeatureID, hostTop[i].Score,
+				dsRes.TopK[i].FeatureID, dsRes.TopK[i].Score)
+		}
+	}
+}
+
+func TestHostScanBatchInvariance(t *testing.T) {
+	app, _ := workload.ByName("TextQA")
+	app.SCN.InitRandom(3)
+	db := workload.NewFeatureDB(app, 130, 4)
+	q := workload.NewFeatureDB(app, 1, 5).Vectors[0]
+	var prev []int64
+	for _, batch := range []int{1, 7, 64, 1000} {
+		top, err := HostScan{Net: app.SCN, Batch: batch}.TopK(q, db.Vectors, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []int64
+		for _, e := range top {
+			ids = append(ids, e.FeatureID)
+		}
+		if prev != nil {
+			for i := range ids {
+				if ids[i] != prev[i] {
+					t.Fatalf("batch %d changed results", batch)
+				}
+			}
+		}
+		prev = ids
+	}
+}
+
+func TestHostScanValidation(t *testing.T) {
+	if _, err := (HostScan{}).TopK(nil, nil, 1); err == nil {
+		t.Error("nil network accepted")
+	}
+	app, _ := workload.ByName("TIR")
+	if _, err := (HostScan{Net: app.SCN}).TopK(nil, nil, 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// TestWimpyDESAgreesWithAnalytic: the event-driven wimpy scan must agree
+// with the analytic model within 25% — the same flash subsystem, the same
+// compute throughput, different derivations.
+func TestWimpyDESAgreesWithAnalytic(t *testing.T) {
+	w := DefaultWimpy()
+	for _, name := range []string{"MIR", "TextQA"} {
+		app, _ := workload.ByName(name)
+		const features = 128_000
+		analytic := w.ScanTime(app, features)
+		des, err := w.WimpyScanDES(app, ssd.DefaultConfig(), features, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := des.Seconds() / analytic
+		if ratio < 0.75 || ratio > 1.25 {
+			t.Errorf("%s: DES/analytic = %.2f (des %.3fs, analytic %.3fs)",
+				name, ratio, des.Seconds(), analytic)
+		}
+	}
+}
+
+func TestWimpyDESComputeBound(t *testing.T) {
+	// Wimpy cores are the bottleneck: shrinking compute throughput 4x must
+	// slow the scan ~4x.
+	app, _ := workload.ByName("MIR")
+	fast := DefaultWimpy()
+	slow := DefaultWimpy()
+	slow.FreqHz /= 4
+	fd, err := fast.WimpyScanDES(app, ssd.DefaultConfig(), 64_000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := slow.WimpyScanDES(app, ssd.DefaultConfig(), 64_000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(sd) / float64(fd)
+	if ratio < 3 || ratio > 5 {
+		t.Errorf("4x slower cores changed scan by %.2fx, want ~4x", ratio)
+	}
+}
+
+func TestWimpyDESValidation(t *testing.T) {
+	app, _ := workload.ByName("MIR")
+	bad := Wimpy{}
+	if _, err := bad.WimpyScanDES(app, ssd.DefaultConfig(), 1000, 0); err == nil {
+		t.Error("zero wimpy config accepted")
+	}
+}

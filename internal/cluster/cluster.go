@@ -1,0 +1,99 @@
+// Package cluster models multi-SSD DeepStore deployments (§6.3, Fig. 10b):
+// a feature database sharded across several simulated devices, each scanning
+// its shard with its own in-storage accelerators. The paper's observation —
+// "the compute capability of all DeepStore designs scales linearly with the
+// number of SSDs" — follows because shards execute independently; the
+// cluster's query latency is the slowest shard (the map-reduce barrier
+// before the final top-K merge).
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// Result aggregates a sharded scan.
+type Result struct {
+	// Makespan is the slowest shard's scan time — the query latency.
+	Makespan sim.Duration
+	// PerDevice holds each shard's scan result.
+	PerDevice []accel.ScanResult
+	// Activity sums all shards' energy-model activity.
+	Activity energy.Activity
+	// Features is the total comparisons across shards.
+	Features int64
+}
+
+// Seconds returns the makespan in seconds.
+func (r Result) Seconds() float64 { return r.Makespan.Seconds() }
+
+// ShardedScan shards `features` of the application's database across n
+// devices of the given configuration and scans every shard at the given
+// accelerator level. Shards are balanced to within one feature.
+func ShardedScan(n int, app *workload.App, level accel.Level, devCfg ssd.Config, features, window int64) (Result, error) {
+	if n < 1 {
+		return Result{}, fmt.Errorf("cluster: %d devices invalid", n)
+	}
+	if features < int64(n) {
+		return Result{}, fmt.Errorf("cluster: %d features cannot shard across %d devices", features, n)
+	}
+	var res Result
+	for dev := 0; dev < n; dev++ {
+		share := features / int64(n)
+		if int64(dev) < features%int64(n) {
+			share++
+		}
+		e := sim.NewEngine()
+		device, err := ssd.New(e, devCfg)
+		if err != nil {
+			return Result{}, err
+		}
+		meta, err := device.CreateDB(fmt.Sprintf("%s-shard%d", app.Name, dev), app.FeatureBytes(), share)
+		if err != nil {
+			return Result{}, err
+		}
+		out, err := accel.Scan(accel.ScanRequest{
+			Device:                 device,
+			Spec:                   accel.SpecForLevel(level, devCfg),
+			Net:                    app.SCN,
+			Layout:                 meta.Layout,
+			WindowFeaturesPerAccel: window,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		res.PerDevice = append(res.PerDevice, out)
+		res.Activity.Add(out.Activity)
+		res.Features += out.Features
+		if out.Elapsed > res.Makespan {
+			res.Makespan = out.Elapsed
+		}
+	}
+	return res, nil
+}
+
+// Imbalance reports the relative gap between the slowest and fastest shard
+// (0 for a perfectly balanced cluster).
+func (r Result) Imbalance() float64 {
+	if len(r.PerDevice) == 0 {
+		return 0
+	}
+	min, max := r.PerDevice[0].Elapsed, r.PerDevice[0].Elapsed
+	for _, d := range r.PerDevice[1:] {
+		if d.Elapsed < min {
+			min = d.Elapsed
+		}
+		if d.Elapsed > max {
+			max = d.Elapsed
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(max-min) / float64(max)
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ftl"
+)
+
+// Administrative operations beyond the Table 2 query API: database deletion
+// and garbage collection. Intelligent-query databases are written once and
+// queried many times (§4.7.2), but datasets do get retired; deletion returns
+// block columns to the FTL and compaction coalesces the resulting holes.
+
+// DeleteDB removes a database: its flash block columns are erased and freed
+// (wear accounted), its materialized vectors released, and subsequent
+// queries against the id fail.
+func (ds *DeepStore) DeleteDB(id ftl.DBID) error {
+	if _, err := ds.db(id); err != nil {
+		return err
+	}
+	if err := ds.dev.FTL.DeleteDB(id); err != nil {
+		return err
+	}
+	delete(ds.dbs, id)
+	return nil
+}
+
+// CompactFlash runs the FTL's garbage collection, relocating databases to
+// coalesce free block columns. Returns the number of columns moved.
+func (ds *DeepStore) CompactFlash() int {
+	moved := ds.dev.FTL.Compact()
+	// Relocation changed physical addresses; refresh cached metadata.
+	for id, st := range ds.dbs {
+		if meta, ok := ds.dev.FTL.Lookup(id); ok {
+			st.meta = meta
+		}
+	}
+	return moved
+}
+
+// Checkpoint persists the FTL metadata to the reserved flash block (§4.4)
+// and returns the image a power-cycled device would restore from.
+func (ds *DeepStore) Checkpoint() ([]byte, error) {
+	img, err := ds.dev.PersistMetadata()
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	return img, nil
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestDeleteDB(t *testing.T) {
+	ds, app, model, dbID := newEngine(t, 50)
+	free0 := ds.dev.FTL.FreeBlocks()
+	if err := ds.DeleteDB(ftlID(dbID)); err != nil {
+		t.Fatal(err)
+	}
+	if ds.dev.FTL.FreeBlocks() <= free0 {
+		t.Error("delete did not free flash")
+	}
+	q := workload.NewFeatureDB(app, 1, 5).Vectors[0]
+	if _, err := ds.Query(QuerySpec{QFV: q, K: 1, Model: model, DB: ftlID(dbID)}); err == nil {
+		t.Error("query against deleted DB accepted")
+	}
+	if err := ds.DeleteDB(ftlID(dbID)); err == nil {
+		t.Error("double delete accepted")
+	}
+}
+
+func TestCompactFlashKeepsQueriesWorking(t *testing.T) {
+	ds, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := workload.ByName("TIR")
+	app.SCN.InitRandom(1)
+	model, err := ds.LoadModelNetwork(app.SCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Create several databases, delete some to fragment, compact, then
+	// query a survivor.
+	var ids []uint64
+	for i := 0; i < 4; i++ {
+		db := workload.NewFeatureDB(app, 40, int64(i))
+		id, err := ds.WriteDB(db.Vectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, uint64(id))
+	}
+	if err := ds.DeleteDB(ftlID(ids[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.DeleteDB(ftlID(ids[2])); err != nil {
+		t.Fatal(err)
+	}
+	ds.CompactFlash()
+	q := workload.NewFeatureDB(app, 1, 99).Vectors[0]
+	qid, err := ds.Query(QuerySpec{QFV: q, K: 3, Model: model, DB: ftlID(ids[1])})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ds.GetResults(qid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.TopK) != 3 {
+		t.Errorf("post-compaction query returned %d results", len(res.TopK))
+	}
+}
+
+func TestCheckpoint(t *testing.T) {
+	ds, _, _, _ := newEngine(t, 30)
+	img, err := ds.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) == 0 {
+		t.Error("empty checkpoint image")
+	}
+}

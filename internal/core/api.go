@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ftl"
+	"repro/internal/nn"
+	"repro/internal/qcache"
+)
+
+// The Table 2 programming API. The host-side argument conventions (raw
+// buffers, byte sizes, db_ids) are mapped to Go types: feature vectors are
+// [][]float32 and models are the nn binary codec (the ONNX stand-in).
+
+// WriteDB creates a new feature-vector database and writes num features of
+// identical dimensionality (writeDB). The database is laid out striped
+// across channels and chips per §4.4 and its metadata registered with the
+// FTL; the page programs are executed in the device model so write time and
+// wear are accounted. Returns the new database's db_id.
+func (ds *DeepStore) WriteDB(features [][]float32) (ftl.DBID, error) {
+	if len(features) == 0 {
+		return 0, fmt.Errorf("core: writeDB with no features")
+	}
+	dims := len(features[0])
+	if dims == 0 {
+		return 0, fmt.Errorf("core: writeDB with empty feature vectors")
+	}
+	for i, f := range features {
+		if len(f) != dims {
+			return 0, fmt.Errorf("core: feature %d has %d dims, want %d", i, len(f), dims)
+		}
+	}
+	meta, err := ds.dev.CreateDB(fmt.Sprintf("db-%d", len(ds.dbs)+1), int64(dims)*4, int64(len(features)))
+	if err != nil {
+		return 0, err
+	}
+	ds.programDB(meta)
+	stored := make([][]float32, len(features))
+	for i, f := range features {
+		v := make([]float32, dims)
+		copy(v, f)
+		stored[i] = v
+	}
+	ds.dbs[meta.ID] = &dbState{meta: meta, vectors: stored}
+	return meta.ID, nil
+}
+
+// DeclareDB registers a database by size only (no materialized vectors), for
+// paper-scale timing studies where 25 GiB of synthetic features would not
+// fit in host memory. Queries against a declared database return timing and
+// energy but no meaningful scores.
+func (ds *DeepStore) DeclareDB(featureBytes, features int64) (ftl.DBID, error) {
+	meta, err := ds.dev.CreateDB(fmt.Sprintf("db-%d", len(ds.dbs)+1), featureBytes, features)
+	if err != nil {
+		return 0, err
+	}
+	ds.dbs[meta.ID] = &dbState{meta: meta}
+	return meta.ID, nil
+}
+
+// programDB executes the page programs of a freshly written database in the
+// device model (writes stream over the external link and program the striped
+// pages; intelligent-query workloads do this once, §4.7.2).
+func (ds *DeepStore) programDB(meta *ftl.DBMeta) {
+	layout := meta.Layout
+	for ch := 0; ch < layout.Geom.Channels; ch++ {
+		pages := layout.ChannelPages(ch)
+		for j := int64(0); j < pages; j++ {
+			addr := layout.ChannelPageAddr(ch, j)
+			ds.dev.External.Transfer(layout.Geom.PageBytes, nil)
+			ds.dev.Flash.ProgramPage(addr, nil)
+		}
+	}
+	ds.engine.Run()
+}
+
+// AppendDB appends features to an existing database (appendDB). Appended
+// features must match the database dimensionality.
+func (ds *DeepStore) AppendDB(id ftl.DBID, features [][]float32) error {
+	st, err := ds.db(id)
+	if err != nil {
+		return err
+	}
+	if st.vectors == nil {
+		return fmt.Errorf("core: appendDB to a declared (spec-only) database")
+	}
+	dims := int(st.meta.Layout.FeatureBytes / 4)
+	for i, f := range features {
+		if len(f) != dims {
+			return fmt.Errorf("core: appended feature %d has %d dims, want %d", i, len(f), dims)
+		}
+	}
+	meta, err := ds.dev.FTL.AppendDB(id, int64(len(features)))
+	if err != nil {
+		return err
+	}
+	st.meta = meta
+	for _, f := range features {
+		v := make([]float32, dims)
+		copy(v, f)
+		st.vectors = append(st.vectors, v)
+	}
+	return nil
+}
+
+// ReadDB reads num features starting at start (readDB). Data crosses the
+// external interface in the device model.
+func (ds *DeepStore) ReadDB(id ftl.DBID, start, num int64) ([][]float32, error) {
+	st, err := ds.db(id)
+	if err != nil {
+		return nil, err
+	}
+	if st.vectors == nil {
+		return nil, fmt.Errorf("core: readDB of a declared (spec-only) database")
+	}
+	if start < 0 || num < 0 || start+num > int64(len(st.vectors)) {
+		return nil, fmt.Errorf("core: readDB range [%d, %d) outside database of %d features",
+			start, start+num, len(st.vectors))
+	}
+	ds.dev.External.Transfer(num*st.meta.Layout.FeatureBytes, nil)
+	ds.engine.Run()
+	out := make([][]float32, num)
+	for i := int64(0); i < num; i++ {
+		v := make([]float32, len(st.vectors[start+i]))
+		copy(v, st.vectors[start+i])
+		out[i] = v
+	}
+	return out, nil
+}
+
+// LoadModel registers an SCN computation graph serialized in the binary
+// model format (loadModel; the paper ships ONNX). The model weights are
+// staged into SSD DRAM. Returns the model_id.
+func (ds *DeepStore) LoadModel(data []byte) (ModelID, error) {
+	net, err := nn.Unmarshal(data)
+	if err != nil {
+		return 0, err
+	}
+	return ds.LoadModelNetwork(net)
+}
+
+// LoadModelNetwork registers an in-memory network directly (the zero-copy
+// path used by tests and examples that build models programmatically).
+func (ds *DeepStore) LoadModelNetwork(net *nn.Network) (ModelID, error) {
+	if net == nil {
+		return 0, fmt.Errorf("core: nil model")
+	}
+	// Stage the weights into SSD DRAM over the external link.
+	ds.dev.External.Transfer(net.WeightBytes(), nil)
+	ds.dev.DRAM.Transfer(net.WeightBytes(), nil)
+	ds.engine.Run()
+	id := ds.nextModelID
+	ds.nextModelID++
+	ds.models[id] = net
+	return id, nil
+}
+
+// SetQC configures the similarity-based query cache (setQC): the QCN model,
+// its accuracy, the entry capacity, and the error threshold (§4.6). A second
+// call reconfigures (and clears) the cache.
+func (ds *DeepStore) SetQC(qcn *nn.Network, qcnAccuracy float64, entries int, threshold float64) error {
+	if qcn == nil {
+		return fmt.Errorf("core: nil QCN")
+	}
+	if entries < 1 {
+		return fmt.Errorf("core: query cache needs at least one entry")
+	}
+	if threshold < 0 || threshold > 1 {
+		return fmt.Errorf("core: threshold %v outside [0,1]", threshold)
+	}
+	if qcnAccuracy <= 0 || qcnAccuracy > 1 {
+		return fmt.Errorf("core: QCN accuracy %v outside (0,1]", qcnAccuracy)
+	}
+	scorer := func(a, b []float32) float64 {
+		s := float64(qcn.Score(a, b))
+		if s < 0 {
+			s = 0
+		}
+		if s > 1 {
+			s = 1
+		}
+		return s
+	}
+	ds.qc = qcache.New[[]float32](entries, qcnAccuracy, scorer)
+	ds.qcn = qcn
+	ds.qcThreshold = threshold
+	// QCN executions are offloaded to the channel-level accelerators
+	// (§4.6); pre-compute their per-comparison cost.
+	spec := specFor(ds, ds.opts.DefaultLevel)
+	ds.qcnCycles = spec.Array.NetworkCost(qcn.LayerPlan()).Cycles
+	return nil
+}

@@ -1,0 +1,162 @@
+// Package core implements DeepStore itself (§4): the in-storage query engine
+// that runs on the SSD's embedded cores, the Table 2 programming API
+// (writeDB/readDB/appendDB/loadModel/query/getResults/setQC), map-reduce
+// scheduling of similarity scans across the in-storage accelerators, the
+// similarity-based query cache, and top-K result merging.
+//
+// The runtime is dual-natured, like the paper's artifact: queries are
+// executed functionally (real float32 similarity scores over materialized
+// feature vectors, so examples return meaningful top-K results) while their
+// latency and energy come from the event-driven device model.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/energy"
+	"repro/internal/ftl"
+	"repro/internal/nn"
+	"repro/internal/qcache"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/topk"
+)
+
+// ModelID identifies a loaded SCN computation graph (loadModel, Table 2).
+type ModelID uint64
+
+// QueryID identifies a submitted query (query/getResults, Table 2).
+type QueryID uint64
+
+// Options configures a DeepStore instance.
+type Options struct {
+	// Device is the simulated SSD configuration; zero value means
+	// ssd.DefaultConfig.
+	Device ssd.Config
+	// DefaultLevel selects the accelerator level used when a query does
+	// not specify one. The §6 recommendation is channel level.
+	DefaultLevel accel.Level
+	// TimingWindow bounds the per-accelerator features simulated in the
+	// event-driven model per query (0 = exact simulation).
+	TimingWindow int64
+}
+
+// DefaultOptions returns the evaluation configuration: channel-level
+// accelerators on the §6.1 device.
+func DefaultOptions() Options {
+	return Options{
+		Device:       ssd.DefaultConfig(),
+		DefaultLevel: accel.LevelChannel,
+		TimingWindow: 512,
+	}
+}
+
+type dbState struct {
+	meta *ftl.DBMeta
+	// vectors are the materialized features (examples scale). nil for
+	// spec-only databases created through DeclareDB.
+	vectors [][]float32
+}
+
+type queryState struct {
+	result *QueryResult
+}
+
+// QueryResult is what getResults returns, plus the simulated cost.
+type QueryResult struct {
+	TopK []topk.Entry
+	// CacheHit reports whether the query cache served the query.
+	CacheHit bool
+	// Latency is the simulated in-storage execution time.
+	Latency sim.Duration
+	// Energy is the modeled energy of the execution.
+	Energy energy.Breakdown
+	// FeaturesScanned is how many database features the SCN compared
+	// (the full range on a miss, the cached top-K on a hit).
+	FeaturesScanned int64
+}
+
+// Stats aggregates engine activity.
+type Stats struct {
+	Queries   uint64
+	CacheHits uint64
+	SimTime   sim.Duration
+	TotalJ    float64
+}
+
+// DeepStore is one in-storage intelligent-query engine instance.
+type DeepStore struct {
+	opts   Options
+	engine *sim.Engine
+	dev    *ssd.Device
+
+	models      map[ModelID]*nn.Network
+	nextModelID ModelID
+
+	dbs map[ftl.DBID]*dbState
+
+	queries     map[QueryID]*queryState
+	nextQueryID QueryID
+
+	// Query cache (§4.6); nil until SetQC.
+	qc          *qcache.Cache[[]float32]
+	qcn         *nn.Network
+	qcThreshold float64
+	qcnCycles   int64
+
+	emodel energy.Model
+	stats  Stats
+
+	// lastServiceTimes holds the in-order per-query service times of the
+	// most recent ReplayTrace, for open-loop queueing analysis.
+	lastServiceTimes []sim.Duration
+}
+
+// New creates a DeepStore engine on a fresh simulated device.
+func New(opts Options) (*DeepStore, error) {
+	if opts.Device.Geometry.Channels == 0 {
+		opts.Device = ssd.DefaultConfig()
+	}
+	e := sim.NewEngine()
+	dev, err := ssd.New(e, opts.Device)
+	if err != nil {
+		return nil, err
+	}
+	return &DeepStore{
+		opts:        opts,
+		engine:      e,
+		dev:         dev,
+		models:      make(map[ModelID]*nn.Network),
+		nextModelID: 1,
+		dbs:         make(map[ftl.DBID]*dbState),
+		queries:     make(map[QueryID]*queryState),
+		nextQueryID: 1,
+		emodel:      energy.DefaultModel(),
+	}, nil
+}
+
+// Device exposes the underlying simulated SSD (for inspection and tests).
+func (ds *DeepStore) Device() *ssd.Device { return ds.dev }
+
+// Stats returns engine counters.
+func (ds *DeepStore) Stats() Stats { return ds.stats }
+
+// Now returns the engine's virtual time.
+func (ds *DeepStore) Now() sim.Time { return ds.engine.Now() }
+
+func (ds *DeepStore) db(id ftl.DBID) (*dbState, error) {
+	st, ok := ds.dbs[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown database %d", id)
+	}
+	return st, nil
+}
+
+func (ds *DeepStore) model(id ModelID) (*nn.Network, error) {
+	m, ok := ds.models[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown model %d", id)
+	}
+	return m, nil
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/ftl"
+	"repro/internal/nn"
+	"repro/internal/sim"
+	"repro/internal/topk"
+)
+
+// QuerySpec is the query API's argument block (Table 2): the query feature
+// vector, how many results to retrieve, the SCN model, the database
+// sub-range to search, and which accelerator level to use.
+type QuerySpec struct {
+	QFV     []float32
+	K       int
+	Model   ModelID
+	DB      ftl.DBID
+	DBStart int64 // first feature index (inclusive)
+	DBEnd   int64 // last feature index (exclusive); 0 means the whole DB
+	// Level overrides the engine default when non-nil.
+	Level *accel.Level
+}
+
+func specFor(ds *DeepStore, level accel.Level) accel.Spec {
+	return accel.SpecForLevel(level, ds.dev.Config)
+}
+
+// Query submits an intelligent query (query). The engine checks the query
+// cache, and on a miss maps the SCN scan across the selected accelerators
+// and reduces their per-accelerator top-K queues into the final result
+// (§4.2, §4.7.1). Returns the query_id for getResults.
+func (ds *DeepStore) Query(spec QuerySpec) (QueryID, error) {
+	st, err := ds.db(spec.DB)
+	if err != nil {
+		return 0, err
+	}
+	net, err := ds.model(spec.Model)
+	if err != nil {
+		return 0, err
+	}
+	if spec.K < 1 {
+		return 0, fmt.Errorf("core: top-K %d < 1", spec.K)
+	}
+	layout := st.meta.Layout
+	if int64(len(spec.QFV))*4 != layout.FeatureBytes {
+		return 0, fmt.Errorf("core: query feature has %d dims, database stores %d-byte features",
+			len(spec.QFV), layout.FeatureBytes)
+	}
+	if net.FeatureBytes() != layout.FeatureBytes {
+		return 0, fmt.Errorf("core: model %q expects %d-byte features, database stores %d",
+			net.Name, net.FeatureBytes(), layout.FeatureBytes)
+	}
+	start, end := spec.DBStart, spec.DBEnd
+	if end == 0 {
+		end = layout.Features
+	}
+	if start < 0 || end > layout.Features || start >= end {
+		return 0, fmt.Errorf("core: query range [%d, %d) invalid for %d features", start, end, layout.Features)
+	}
+	level := ds.opts.DefaultLevel
+	if spec.Level != nil {
+		level = *spec.Level
+	}
+
+	result := &QueryResult{}
+
+	// Query-cache lookup (Algorithm 1). The QCN comparisons execute on the
+	// channel-level accelerators; their latency is charged per entry.
+	var lookupLatency sim.Duration
+	if ds.qc != nil {
+		entries := ds.qc.Len()
+		cached, hit := ds.qc.Lookup(spec.QFV, ds.qcThreshold)
+		lookupLatency = ds.qcLookupLatency(entries)
+		if hit {
+			// Line 13: re-rank the cached entry's features against the
+			// new query with the SCN.
+			result.CacheHit = true
+			result.TopK = ds.rerank(net, st, spec.QFV, cached.Results, spec.K)
+			result.FeaturesScanned = int64(len(cached.Results))
+			result.Latency = lookupLatency + ds.rerankLatency(net, level, int64(len(cached.Results)))
+			ds.finishQuery(result)
+			return ds.record(result), nil
+		}
+	}
+
+	// Miss: full scan of the requested range, mapped across accelerators.
+	scanOut, err := ds.simulateScan(net, st, level, start, end)
+	if err != nil {
+		return 0, err
+	}
+	result.FeaturesScanned = end - start
+	result.Latency = lookupLatency + scanOut.Elapsed
+	result.Energy = ds.emodel.Energy(scanOut.Activity)
+	result.TopK = ds.scoreRange(net, st, spec.QFV, start, end, spec.K)
+
+	if ds.qc != nil {
+		ds.qc.Insert(cloneVec(spec.QFV), result.TopK)
+	}
+	ds.finishQuery(result)
+	return ds.record(result), nil
+}
+
+func cloneVec(v []float32) []float32 {
+	c := make([]float32, len(v))
+	copy(c, v)
+	return c
+}
+
+// qcLookupLatency models scanning the query cache with the QCN on the
+// channel-level accelerators (§6.5: ~0.3 ms for 1000 entries).
+func (ds *DeepStore) qcLookupLatency(entries int) sim.Duration {
+	if entries == 0 {
+		return 0
+	}
+	spec := specFor(ds, accel.LevelChannel)
+	perAccel := (int64(entries) + int64(spec.Count) - 1) / int64(spec.Count)
+	secs := float64(perAccel*ds.qcnCycles) / spec.Array.FreqHz
+	return sim.FromSeconds(secs)
+}
+
+// rerankLatency models re-scoring the K cached features with the SCN.
+func (ds *DeepStore) rerankLatency(net *nn.Network, level accel.Level, k int64) sim.Duration {
+	spec := specFor(ds, level)
+	cost := spec.Array.NetworkCost(net.LayerPlan())
+	secs := float64(k*cost.Cycles) / spec.Array.FreqHz
+	return sim.FromSeconds(secs)
+}
+
+// simulateScan runs the event-driven scan for the query's range.
+func (ds *DeepStore) simulateScan(net *nn.Network, st *dbState, level accel.Level, start, end int64) (accel.ScanResult, error) {
+	// A sub-range scan is striped identically to a full scan (§4.4), so a
+	// layout with the range's feature count models it.
+	layout := st.meta.Layout
+	layout.Features = end - start
+	return accel.Scan(accel.ScanRequest{
+		Device:                 ds.dev,
+		Spec:                   specFor(ds, level),
+		Net:                    net,
+		Layout:                 layout,
+		WindowFeaturesPerAccel: ds.opts.TimingWindow,
+	})
+}
+
+// scoreRange computes real SCN scores over the materialized vectors,
+// sharded per channel with per-shard top-K queues merged by the engine —
+// the functional map-reduce of §4.7.1. Declared (spec-only) databases
+// return an empty top-K.
+func (ds *DeepStore) scoreRange(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) []topk.Entry {
+	if st.vectors == nil {
+		return nil
+	}
+	layout := st.meta.Layout
+	shards := make([]*topk.Queue, layout.Geom.Channels)
+	for i := range shards {
+		shards[i] = topk.New(k)
+	}
+	for i := start; i < end; i++ {
+		ch := layout.FeatureChannel(i)
+		score := net.Score(qfv, st.vectors[i])
+		shards[ch].Offer(topk.Entry{
+			FeatureID: i,
+			Score:     score,
+			ObjectID:  uint64(layout.Geom.Linear(layout.FeaturePages(i)[0])),
+		})
+	}
+	return topk.Merge(k, shards...).Results()
+}
+
+// rerank re-scores cached top-K features against the new query.
+func (ds *DeepStore) rerank(net *nn.Network, st *dbState, qfv []float32, cached []topk.Entry, k int) []topk.Entry {
+	if st.vectors == nil {
+		return cached
+	}
+	q := topk.New(k)
+	for _, e := range cached {
+		if e.FeatureID < 0 || e.FeatureID >= int64(len(st.vectors)) {
+			continue
+		}
+		q.Offer(topk.Entry{
+			FeatureID: e.FeatureID,
+			Score:     net.Score(qfv, st.vectors[e.FeatureID]),
+			ObjectID:  e.ObjectID,
+		})
+	}
+	return q.Results()
+}
+
+func (ds *DeepStore) finishQuery(r *QueryResult) {
+	ds.stats.Queries++
+	if r.CacheHit {
+		ds.stats.CacheHits++
+	}
+	ds.stats.SimTime += r.Latency
+	ds.stats.TotalJ += r.Energy.Total()
+}
+
+func (ds *DeepStore) record(r *QueryResult) QueryID {
+	id := ds.nextQueryID
+	ds.nextQueryID++
+	ds.queries[id] = &queryState{result: r}
+	return id
+}
+
+// GetResults retrieves a query's top-K results (getResults), charging the
+// DMA of the results to host memory on the external link.
+func (ds *DeepStore) GetResults(id QueryID) (*QueryResult, error) {
+	st, ok := ds.queries[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown query %d", id)
+	}
+	// Each result row carries the feature vector address and score.
+	ds.dev.External.Transfer(int64(len(st.result.TopK))*16, nil)
+	ds.engine.Run()
+	return st.result, nil
+}
+
+// CacheStats exposes the query cache counters (zero stats when unset).
+func (ds *DeepStore) CacheStats() (hits, misses uint64) {
+	if ds.qc == nil {
+		return 0, 0
+	}
+	s := ds.qc.Stats()
+	return s.Hits, s.Misses
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ftl"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// OpenLoopReport summarizes an open-loop replay: queries arrive at a fixed
+// rate regardless of completions, so sojourn time includes queueing delay
+// behind earlier queries — the latency a deployed service would observe.
+type OpenLoopReport struct {
+	TraceReport
+	// ArrivalQPS is the offered load.
+	ArrivalQPS float64
+	// MeanSojourn and P99Sojourn include queueing delay; Utilization is
+	// busy time over the arrival horizon.
+	MeanSojourn sim.Duration
+	P99Sojourn  sim.Duration
+	Utilization float64
+}
+
+// ReplayTraceOpenLoop replays the trace with deterministic arrivals at
+// qps queries per second. The engine serves queries one at a time (the
+// §4.7.1 query engine is a single dispatcher on the embedded cores), so a
+// query's sojourn is its wait behind the previous completion plus its own
+// in-storage service time.
+func (ds *DeepStore) ReplayTraceOpenLoop(tr *workload.Trace, model ModelID, db ftl.DBID, k int, qps float64) (OpenLoopReport, error) {
+	if qps <= 0 {
+		return OpenLoopReport{}, fmt.Errorf("core: arrival rate %v invalid", qps)
+	}
+	base, err := ds.ReplayTrace(tr, model, db, k)
+	if err != nil {
+		return OpenLoopReport{}, err
+	}
+	// Recompute sojourns from the recorded per-query service times: the
+	// replay above recorded latencies in trace order.
+	interval := 1.0 / qps
+	report := OpenLoopReport{TraceReport: base, ArrivalQPS: qps}
+	// Re-run the service times through a single-server queue.
+	services := ds.lastServiceTimes
+	if len(services) != base.Queries {
+		return OpenLoopReport{}, fmt.Errorf("core: service times not recorded")
+	}
+	sojourns := make([]float64, len(services))
+	var busy, clock float64
+	for i, s := range services {
+		arrive := float64(i) * interval
+		if clock < arrive {
+			clock = arrive
+		}
+		svc := s.Seconds()
+		clock += svc
+		busy += svc
+		sojourns[i] = clock - arrive
+	}
+	horizon := float64(len(services)-1)*interval + services[len(services)-1].Seconds()
+	if horizon > 0 {
+		report.Utilization = busy / horizon
+	}
+	var sum float64
+	for _, s := range sojourns {
+		sum += s
+	}
+	report.MeanSojourn = sim.FromSeconds(sum / float64(len(sojourns)))
+	sort.Float64s(sojourns)
+	report.P99Sojourn = sim.FromSeconds(sojourns[len(sojourns)*99/100])
+	return report, nil
+}
+
+// TraceReport summarizes a replayed query stream.
+type TraceReport struct {
+	Queries   int
+	CacheHits int
+	// MissRate is 1 − hits/queries (1.0 with no cache configured).
+	MissRate float64
+	// TotalLatency, MeanLatency, and P99Latency aggregate the simulated
+	// per-query in-storage latencies.
+	TotalLatency sim.Duration
+	MeanLatency  sim.Duration
+	P99Latency   sim.Duration
+	// EnergyJ is the summed modeled energy.
+	EnergyJ float64
+}
+
+// ReplayTrace drives a recorded query trace through the engine against the
+// given model and database: each trace entry's feature vector is
+// materialized deterministically (same intent ⇒ nearby vectors), submitted
+// through the normal query path — including the query cache, when configured
+// via SetQC — and its results retrieved. This is the §5 methodology: traces
+// collected from applications are fed to the simulated query engine.
+func (ds *DeepStore) ReplayTrace(tr *workload.Trace, model ModelID, db ftl.DBID, k int) (TraceReport, error) {
+	if tr == nil || len(tr.Queries) == 0 {
+		return TraceReport{}, fmt.Errorf("core: empty trace")
+	}
+	st, err := ds.db(db)
+	if err != nil {
+		return TraceReport{}, err
+	}
+	dims := int(st.meta.Layout.FeatureBytes / 4)
+	var report TraceReport
+	latencies := make([]sim.Duration, 0, len(tr.Queries))
+	for _, q := range tr.Queries {
+		qfv := workload.QueryVector(q, dims, tr.Config.Seed)
+		qid, err := ds.Query(QuerySpec{QFV: qfv, K: k, Model: model, DB: db})
+		if err != nil {
+			return TraceReport{}, fmt.Errorf("core: trace query %d: %w", q.ID, err)
+		}
+		res, err := ds.GetResults(qid)
+		if err != nil {
+			return TraceReport{}, err
+		}
+		report.Queries++
+		if res.CacheHit {
+			report.CacheHits++
+		}
+		report.TotalLatency += res.Latency
+		report.EnergyJ += res.Energy.Total()
+		latencies = append(latencies, res.Latency)
+	}
+	// Keep the in-order service times for open-loop queueing analysis.
+	ds.lastServiceTimes = append(ds.lastServiceTimes[:0], latencies...)
+	report.MissRate = 1 - float64(report.CacheHits)/float64(report.Queries)
+	report.MeanLatency = report.TotalLatency / sim.Duration(report.Queries)
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	report.P99Latency = latencies[len(latencies)*99/100]
+	return report, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestReplayTraceWithCache(t *testing.T) {
+	ds, app, model, dbID := newEngine(t, 100)
+	// Perfect QCN (all-0.5 weights over a Hadamard front end) so repeated
+	// intents hit deterministically.
+	fe := app.SCN.FeatureElems()
+	qcn := perfectQCN(fe)
+	if err := ds.SetQC(qcn, 1.0, 32, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	tr := workload.GenerateTrace(workload.TraceConfig{
+		Universe: 8, Length: 60, Dist: workload.Zipfian, Alpha: 0.7, Seed: 5,
+	})
+	report, err := ds.ReplayTrace(tr, model, ftlID(uint64(dbID)), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Queries != 60 {
+		t.Errorf("queries = %d", report.Queries)
+	}
+	// With 8 intents, zero jitter, and 32 entries, nearly everything after
+	// the first occurrences must hit.
+	if report.CacheHits < 40 {
+		t.Errorf("cache hits = %d, want > 40", report.CacheHits)
+	}
+	if report.MissRate <= 0 || report.MissRate >= 0.5 {
+		t.Errorf("miss rate = %v", report.MissRate)
+	}
+	if report.MeanLatency <= 0 || report.P99Latency < report.MeanLatency {
+		t.Errorf("latency stats inconsistent: mean %v, p99 %v", report.MeanLatency, report.P99Latency)
+	}
+	if report.EnergyJ <= 0 {
+		t.Error("no energy accumulated")
+	}
+}
+
+func TestReplayTraceWithoutCache(t *testing.T) {
+	ds, _, model, dbID := newEngine(t, 50)
+	tr := workload.GenerateTrace(workload.TraceConfig{
+		Universe: 5, Length: 10, Dist: workload.Uniform, Seed: 2,
+	})
+	report, err := ds.ReplayTrace(tr, model, ftlID(uint64(dbID)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CacheHits != 0 || report.MissRate != 1 {
+		t.Errorf("cacheless replay reported hits: %+v", report)
+	}
+}
+
+func TestReplayTraceOpenLoop(t *testing.T) {
+	ds, _, model, dbID := newEngine(t, 80)
+	tr := workload.GenerateTrace(workload.TraceConfig{
+		Universe: 6, Length: 40, Dist: workload.Uniform, Seed: 3,
+	})
+	// First establish the mean service time, then offer load at 50% and
+	// 95% of saturation: sojourn must grow with load.
+	base, err := ds.ReplayTrace(tr, model, ftlID(uint64(dbID)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	satQPS := 1 / base.MeanLatency.Seconds()
+	low, err := ds.ReplayTraceOpenLoop(tr, model, ftlID(uint64(dbID)), 2, 0.5*satQPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := ds.ReplayTraceOpenLoop(tr, model, ftlID(uint64(dbID)), 2, 1.5*satQPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below saturation with near-deterministic service, arrivals never
+	// queue (the D/D/1 property): sojourn ≈ service time.
+	if low.MeanSojourn < base.MeanLatency {
+		t.Errorf("open-loop sojourn %v below service time %v", low.MeanSojourn, base.MeanLatency)
+	}
+	if float64(low.MeanSojourn) > 1.3*float64(base.MeanLatency) {
+		t.Errorf("sub-saturation sojourn %v far above service %v", low.MeanSojourn, base.MeanLatency)
+	}
+	// Above saturation the queue builds: sojourn must grow well past the
+	// service time.
+	if float64(over.MeanSojourn) < 2*float64(base.MeanLatency) {
+		t.Errorf("overload sojourn %v did not build a queue (service %v)",
+			over.MeanSojourn, base.MeanLatency)
+	}
+	if low.Utilization <= 0.3 || low.Utilization > 1.0 {
+		t.Errorf("utilization at half load = %v", low.Utilization)
+	}
+	if over.P99Sojourn < over.MeanSojourn {
+		t.Error("p99 below mean")
+	}
+}
+
+func TestReplayTraceOpenLoopValidation(t *testing.T) {
+	ds, _, model, dbID := newEngine(t, 20)
+	tr := workload.GenerateTrace(workload.TraceConfig{Universe: 2, Length: 3, Seed: 1})
+	if _, err := ds.ReplayTraceOpenLoop(tr, model, ftlID(uint64(dbID)), 1, 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestReplayTraceValidation(t *testing.T) {
+	ds, _, model, dbID := newEngine(t, 20)
+	if _, err := ds.ReplayTrace(nil, model, ftlID(uint64(dbID)), 1); err == nil {
+		t.Error("nil trace accepted")
+	}
+	tr := workload.GenerateTrace(workload.TraceConfig{Universe: 2, Length: 2, Seed: 1})
+	if _, err := ds.ReplayTrace(tr, 999, ftlID(uint64(dbID)), 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := ds.ReplayTrace(tr, model, 999, 1); err == nil {
+		t.Error("unknown db accepted")
+	}
+}

@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"math"
+
+	"repro/internal/accel"
+	"repro/internal/ssd"
+	"repro/internal/systolic"
+	"repro/internal/workload"
+)
+
+// Ablations for the design choices DESIGN.md calls out: the dataflow
+// assignment per level (§4.5 picks OS for SSD/channel and WS for chip), the
+// lockstep weight streaming, and the precision extension (§7).
+
+// AblationDataflowRow compares a level's chosen dataflow against the
+// alternative on one application.
+type AblationDataflowRow struct {
+	App      string
+	Level    accel.Level
+	Chosen   systolic.Dataflow
+	ChosenS  float64 // scan seconds with the Table 3 dataflow
+	SwappedS float64 // scan seconds with the dataflow swapped
+	// Penalty is SwappedS/ChosenS: > 1 means the paper's choice wins.
+	Penalty float64
+}
+
+// AblationDataflow swaps OS→WS at the channel level and measures the
+// scan-time penalty, validating the §4.5 dataflow assignment. The chip
+// level is excluded: its WS choice is dictated by channel-bus weight
+// bandwidth ("maximizing the reuse of the weights and minimizing the
+// bandwidth requirement across the channel bus", §4.5), a constraint the
+// lockstep round model already enforces for either dataflow, so a pure
+// compute-model swap there would not exercise the quantity that decided
+// the design.
+func AblationDataflow(window int64) ([]AblationDataflowRow, error) {
+	devCfg := ssd.DefaultConfig()
+	var rows []AblationDataflowRow
+	for _, app := range workload.Apps() {
+		for _, level := range []accel.Level{accel.LevelChannel} {
+			spec := accel.SpecForLevel(level, devCfg)
+			chosen, err := runScanSpec(app, spec, devCfg, window)
+			if err != nil {
+				return nil, err
+			}
+			swappedSpec := spec
+			if spec.Array.Dataflow == systolic.OutputStationary {
+				swappedSpec.Array.Dataflow = systolic.WeightStationary
+			} else {
+				swappedSpec.Array.Dataflow = systolic.OutputStationary
+			}
+			swapped, err := runScanSpec(app, swappedSpec, devCfg, window)
+			if err != nil {
+				return nil, err
+			}
+			row := AblationDataflowRow{
+				App: app.Name, Level: level, Chosen: spec.Array.Dataflow,
+			}
+			if chosen.Unsupported || swapped.Unsupported {
+				row.ChosenS, row.SwappedS, row.Penalty = math.NaN(), math.NaN(), math.NaN()
+			} else {
+				row.ChosenS = chosen.Seconds
+				row.SwappedS = swapped.Seconds
+				row.Penalty = swapped.Seconds / chosen.Seconds
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runScanSpec is RunScan with an explicit accelerator spec.
+func runScanSpec(app *workload.App, spec accel.Spec, devCfg ssd.Config, window int64) (ScanOutcome, error) {
+	return runScanSpecFeatures(app, spec, devCfg, workload.PaperSpec(app).Features, window)
+}
+
+func runScanSpecFeatures(app *workload.App, spec accel.Spec, devCfg ssd.Config, features, window int64) (ScanOutcome, error) {
+	out, err := RunScanCustom(app, spec, devCfg, features, window)
+	return out, err
+}
+
+// AblationPrecisionRow reports the precision extension's effect at the
+// channel level: quantized features shrink both compute and — decisively for
+// an in-storage design — flash traffic.
+type AblationPrecisionRow struct {
+	App           string
+	Precision     systolic.Precision
+	Seconds       float64
+	SpeedupVsFP32 float64
+	EnergyJ       float64
+}
+
+// AblationPrecision runs every application at FP32/FP16/INT8 on the
+// channel-level design (the §7 quantization extension; accuracy effects are
+// out of scope — the paper notes the optimization is orthogonal).
+func AblationPrecision(window int64) ([]AblationPrecisionRow, error) {
+	devCfg := ssd.DefaultConfig()
+	var rows []AblationPrecisionRow
+	for _, app := range workload.Apps() {
+		var fp32 float64
+		for _, p := range []systolic.Precision{systolic.FP32, systolic.FP16, systolic.INT8} {
+			spec := accel.SpecForLevel(accel.LevelChannel, devCfg)
+			spec.Array.Precision = p
+			// Quantized databases store quantized features.
+			features := workload.PaperSpec(app).Features
+			out, err := RunScanCustom(app, spec, devCfg, features, window)
+			if err != nil {
+				return nil, err
+			}
+			if out.Unsupported {
+				rows = append(rows, AblationPrecisionRow{App: app.Name, Precision: p,
+					Seconds: math.NaN(), SpeedupVsFP32: math.NaN(), EnergyJ: math.NaN()})
+				continue
+			}
+			if p == systolic.FP32 {
+				fp32 = out.Seconds
+			}
+			rows = append(rows, AblationPrecisionRow{
+				App: app.Name, Precision: p,
+				Seconds:       out.Seconds,
+				SpeedupVsFP32: fp32 / out.Seconds,
+				EnergyJ:       DeepStoreEnergyJ(out),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// AblationL2Row measures the §4.5 shared-L2 design choice: channel-level
+// accelerators use the SSD-level 8 MB scratchpad as a second-level memory
+// for weight broadcast; without it, every non-resident model streams from
+// DRAM instead.
+type AblationL2Row struct {
+	App          string
+	WithL2Sec    float64
+	NoL2Sec      float64
+	WithL2Source accel.WeightSource
+	NoL2Source   accel.WeightSource
+	// Penalty is NoL2Sec/WithL2Sec.
+	Penalty float64
+}
+
+// AblationL2 disables the shared scratchpad (shrinks it below any model) and
+// measures the channel-level scan penalty per application.
+func AblationL2(window int64) ([]AblationL2Row, error) {
+	withCfg := ssd.DefaultConfig()
+	noCfg := ssd.DefaultConfig()
+	// Too small to hold any studied model: L2 candidates fall to DRAM.
+	noCfg.SharedScratchpadBytes = 64 << 10
+	var rows []AblationL2Row
+	for _, app := range workload.Apps() {
+		features := workload.PaperSpec(app).Features
+		with, err := RunScanFeatures(app, accel.LevelChannel, withCfg, features, window)
+		if err != nil {
+			return nil, err
+		}
+		without, err := RunScanFeatures(app, accel.LevelChannel, noCfg, features, window)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationL2Row{
+			App:          app.Name,
+			WithL2Sec:    with.Seconds,
+			NoL2Sec:      without.Seconds,
+			WithL2Source: with.Result.WeightSource,
+			NoL2Source:   without.Result.WeightSource,
+			Penalty:      without.Seconds / with.Seconds,
+		})
+	}
+	return rows, nil
+}
+
+// CellsAblationL2 returns the L2 ablation as header and rows.
+func CellsAblationL2(rows []AblationL2Row) ([]string, [][]string) {
+	header := []string{"App", "With L2(s)", "Source", "No L2(s)", "Source", "Penalty x"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.App, F(r.WithL2Sec), r.WithL2Source.String(),
+			F(r.NoL2Sec), r.NoL2Source.String(), F(r.Penalty)})
+	}
+	return header, out
+}
+
+// CellsAblationDataflow returns the dataflow ablation as header and rows.
+func CellsAblationDataflow(df []AblationDataflowRow) ([]string, [][]string) {
+	header := []string{"App", "Level", "Chosen", "Chosen(s)", "Swapped(s)", "Penalty x"}
+	var out [][]string
+	for _, r := range df {
+		out = append(out, []string{r.App, r.Level.String(), r.Chosen.String(),
+			F(r.ChosenS), F(r.SwappedS), F(r.Penalty)})
+	}
+	return header, out
+}
+
+// CellsAblationPrecision returns the precision ablation as header and rows.
+func CellsAblationPrecision(pr []AblationPrecisionRow) ([]string, [][]string) {
+	header := []string{"App", "Precision", "Scan(s)", "vs FP32", "Energy(J)"}
+	var out [][]string
+	for _, r := range pr {
+		out = append(out, []string{r.App, r.Precision.String(), F(r.Seconds),
+			F(r.SpeedupVsFP32), F(r.EnergyJ)})
+	}
+	return header, out
+}
+
+// FormatAblations renders the ablations.
+func FormatAblations(df []AblationDataflowRow, pr []AblationPrecisionRow) string {
+	return "(a) dataflow assignment (§4.5)\n" + FormatTable(CellsAblationDataflow(df)) +
+		"\n(b) precision extension (§7), channel level\n" + FormatTable(CellsAblationPrecision(pr))
+}
+
+// FormatAblationL2 renders the shared-L2 ablation.
+func FormatAblationL2(rows []AblationL2Row) string {
+	return "(c) shared second-level scratchpad (§4.5), channel level\n" +
+		FormatTable(CellsAblationL2(rows))
+}

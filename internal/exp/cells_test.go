@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/accel"
+	"repro/internal/report"
+)
+
+func accelChannel() accel.Level { return accel.LevelChannel }
+
+// TestAllCellsFeedValidTables: every Cells* export must produce a header and
+// rows that pass the report.Table structural validation, so CSV/Markdown
+// export can never emit ragged data.
+func TestAllCellsFeedValidTables(t *testing.T) {
+	check := func(name string, header []string, rows [][]string) {
+		t.Helper()
+		tb := report.Table{Name: name, Header: header, Rows: rows}
+		if err := tb.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if len(rows) == 0 {
+			t.Errorf("%s: no rows", name)
+		}
+		if _, err := tb.CSV(); err != nil {
+			t.Errorf("%s csv: %v", name, err)
+		}
+		if _, err := tb.Markdown(); err != nil {
+			t.Errorf("%s md: %v", name, err)
+		}
+	}
+
+	h, c := CellsTable1(Table1())
+	check("table1", h, c)
+
+	h, c = CellsFigure2(Figure2())
+	check("fig2", h, c)
+
+	h, c = CellsFigure6(Figure6())
+	check("fig6", h, c)
+
+	h, c = CellsTable3(Table3())
+	check("table3", h, c)
+
+	rows8, err := Figure8(testWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, c = CellsFigure8(rows8)
+	check("fig8", h, c)
+	h, c = CellsFigure11(Figure11(rows8))
+	check("fig11", h, c)
+
+	rows12, err := Figure12(testWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, c = CellsFigure12(rows12)
+	check("fig12", h, c)
+
+	cfg := DefaultQCStudy()
+	cfg.TraceLen = 2000
+	rows13, err := Figure13(testWindow, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, c = CellsFigure13(rows13)
+	check("fig13", h, c)
+
+	h, c = CellsFigure14(Figure14(cfg))
+	check("fig14", h, c)
+
+	a10, err := Figure10a(testWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, c = CellsFigure10a(a10)
+	check("fig10a", h, c)
+	b10, err := Figure10b(testWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, c = CellsFigure10b(b10)
+	check("fig10b", h, c)
+
+	rows9, err := Figure9(testWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, c = CellsFigure9(rows9)
+	check("fig9", h, c)
+
+	tp, err := Throughput(testWindow, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, c = CellsThroughput(tp)
+	check("throughput", h, c)
+
+	intf, err := Interference("TextQA", accelChannel(), 16_000, 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, c = CellsInterference([]InterferenceResult{intf})
+	check("interference", h, c)
+
+	l2, err := AblationL2(testWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, c = CellsAblationL2(l2)
+	check("ablation-l2", h, c)
+}

@@ -1,0 +1,175 @@
+// Package exp implements the paper's evaluation: one function per table and
+// figure, each returning structured rows that the deepstore-bench command
+// and the repository benchmarks print. EXPERIMENTS.md records these outputs
+// against the paper's reported values.
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/accel"
+	"repro/internal/baseline"
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// DefaultWindow is the per-accelerator feature window used by the
+// event-driven scans. Scans are homogeneous steady-state pipelines, so the
+// extrapolation error is small (see accel.Scan); tests validate it.
+const DefaultWindow = 3000
+
+// ScanOutcome is one DeepStore scan measurement.
+type ScanOutcome struct {
+	Level       accel.Level
+	Seconds     float64
+	Energy      energy.Breakdown
+	Result      accel.ScanResult
+	Unsupported bool
+}
+
+// RunScan executes one windowed scan of the application's §6.1 database
+// (25 GiB of features) on a fresh simulated device.
+func RunScan(app *workload.App, level accel.Level, devCfg ssd.Config, window int64) (ScanOutcome, error) {
+	return RunScanFeatures(app, level, devCfg, workload.PaperSpec(app).Features, window)
+}
+
+// RunScanFeatures is RunScan with an explicit database size.
+func RunScanFeatures(app *workload.App, level accel.Level, devCfg ssd.Config, features, window int64) (ScanOutcome, error) {
+	return RunScanCustom(app, accel.SpecForLevel(level, devCfg), devCfg, features, window)
+}
+
+// RunScanCustom runs a scan with an explicit accelerator spec (used by the
+// ablation studies to swap dataflow or precision). The database layout
+// follows the spec's precision: quantized features are stored quantized.
+func RunScanCustom(app *workload.App, spec accel.Spec, devCfg ssd.Config, features, window int64) (ScanOutcome, error) {
+	e := sim.NewEngine()
+	dev, err := ssd.New(e, devCfg)
+	if err != nil {
+		return ScanOutcome{}, err
+	}
+	featureBytes := int64(app.SCN.FeatureElems()) * spec.Array.Precision.ElementBytes()
+	meta, err := dev.CreateDB(app.Name, featureBytes, features)
+	if err != nil {
+		return ScanOutcome{}, err
+	}
+	res, err := accel.Scan(accel.ScanRequest{
+		Device: dev, Spec: spec, Net: app.SCN, Layout: meta.Layout,
+		WindowFeaturesPerAccel: window,
+	})
+	if err != nil {
+		var unsup *accel.ErrUnsupported
+		if ok := asUnsupported(err, &unsup); ok {
+			return ScanOutcome{Level: spec.Level, Unsupported: true}, nil
+		}
+		return ScanOutcome{}, err
+	}
+	model := energy.DefaultModel()
+	model.MACJoules *= spec.Array.Precision.MACEnergyScale()
+	return ScanOutcome{
+		Level:   spec.Level,
+		Seconds: res.Elapsed.Seconds(),
+		Energy:  model.Energy(res.Activity),
+		Result:  res,
+	}, nil
+}
+
+func asUnsupported(err error, target **accel.ErrUnsupported) bool {
+	u, ok := err.(*accel.ErrUnsupported)
+	if ok {
+		*target = u
+	}
+	return ok
+}
+
+// BaselineScan returns the GPU+SSD baseline's scan time and energy for the
+// application's §6.1 database at its §6.2 batch size.
+func BaselineScan(app *workload.App, cfg baseline.Config, features int64) (seconds float64, energyJ float64) {
+	t, _ := cfg.ScanTime(app, features, app.DefaultBatch)
+	return t, cfg.EnergyJ(t)
+}
+
+// scanRecord couples one (app, level) scan with its outcome for experiments
+// that iterate the full matrix.
+type scanRecord struct {
+	app   string
+	level accel.Level
+	out   ScanOutcome
+	err   error
+}
+
+// collectAllScans runs every application at every accelerator level on the
+// default device.
+func collectAllScans(window int64) []scanRecord {
+	devCfg := ssd.DefaultConfig()
+	var recs []scanRecord
+	for _, app := range workload.Apps() {
+		for _, level := range accel.Levels() {
+			out, err := RunScan(app, level, devCfg, window)
+			recs = append(recs, scanRecord{app: app.Name, level: level, out: out, err: err})
+		}
+	}
+	return recs
+}
+
+// Ratio returns a/b, or NaN when b is zero.
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}
+
+// FormatTable renders rows as an aligned text table.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// F formats a float compactly for tables.
+func F(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "n/s"
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,115 @@
+package exp
+
+import (
+	"math"
+
+	"repro/internal/accel"
+)
+
+// Fig11Row is one energy-efficiency bar: a DeepStore design's perf/Watt
+// normalized to the Volta GPU of the traditional system.
+type Fig11Row struct {
+	App         string
+	Level       accel.Level
+	PerfPerWatt float64
+}
+
+// Figure11 computes the Fig. 11 normalized perf/Watt values from the
+// Figure 8 measurements (they share the same runs).
+func Figure11(rows []Fig8Row) []Fig11Row {
+	var out []Fig11Row
+	for _, r := range rows {
+		for _, level := range accel.Levels() {
+			out = append(out, Fig11Row{App: r.App, Level: level, PerfPerWatt: r.EnergyEff[level]})
+		}
+	}
+	return out
+}
+
+// CellsFigure11 returns the normalized perf/Watt table.
+func CellsFigure11(rows []Fig11Row) ([]string, [][]string) {
+	header := []string{"App", "SSD", "Channel", "Chip"}
+	byApp := map[string]map[accel.Level]float64{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byApp[r.App]; !ok {
+			byApp[r.App] = map[accel.Level]float64{}
+			order = append(order, r.App)
+		}
+		byApp[r.App][r.Level] = r.PerfPerWatt
+	}
+	var out [][]string
+	for _, app := range order {
+		m := byApp[app]
+		out = append(out, []string{app, F(m[accel.LevelSSD]), F(m[accel.LevelChannel]), F(m[accel.LevelChip])})
+	}
+	return header, out
+}
+
+// FormatFigure11 renders the normalized perf/Watt table.
+func FormatFigure11(rows []Fig11Row) string {
+	return FormatTable(CellsFigure11(rows))
+}
+
+// Fig12Row is one energy-breakdown bar: the compute/memory/flash shares of
+// one application at one accelerator level.
+type Fig12Row struct {
+	App     string
+	Level   accel.Level
+	Compute float64
+	Memory  float64
+	Flash   float64
+}
+
+// Figure12 computes the Fig. 12 power-consumption breakdown by re-running
+// the level scans and decomposing their activity energy.
+func Figure12(window int64) ([]Fig12Row, error) {
+	rows8, err := figure12Scans(window)
+	if err != nil {
+		return nil, err
+	}
+	return rows8, nil
+}
+
+func figure12Scans(window int64) ([]Fig12Row, error) {
+	var rows []Fig12Row
+	for _, outcome := range collectAllScans(window) {
+		if outcome.err != nil {
+			return nil, outcome.err
+		}
+		if outcome.out.Unsupported {
+			rows = append(rows, Fig12Row{App: outcome.app, Level: outcome.level,
+				Compute: math.NaN(), Memory: math.NaN(), Flash: math.NaN()})
+			continue
+		}
+		c, m, f := outcome.out.Energy.Fractions()
+		rows = append(rows, Fig12Row{App: outcome.app, Level: outcome.level,
+			Compute: c, Memory: m, Flash: f})
+	}
+	return rows, nil
+}
+
+// CellsFigure12 returns the percentage breakdown.
+func CellsFigure12(rows []Fig12Row) ([]string, [][]string) {
+	header := []string{"App", "Level", "Compute %", "Memory %", "Flash %"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.App, r.Level.String(),
+			pct(r.Compute), pct(r.Memory), pct(r.Flash),
+		})
+	}
+	return header, out
+}
+
+// FormatFigure12 renders the percentage breakdown.
+func FormatFigure12(rows []Fig12Row) string {
+	return FormatTable(CellsFigure12(rows))
+}
+
+func pct(v float64) string {
+	if math.IsNaN(v) {
+		return "n/s"
+	}
+	return F(v * 100)
+}

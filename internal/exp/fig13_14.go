@@ -1,0 +1,255 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/baseline"
+	"repro/internal/qcache"
+	"repro/internal/ssd"
+	"repro/internal/workload"
+)
+
+// QCStudyConfig parameterizes the §6.5 query-cache study: TIR on 100M images
+// (192 GB of feature vectors) with 100K queries against a 1K-entry cache.
+// Trace length is reduced by default — miss rates converge long before 100K
+// queries — and can be raised to the paper's scale.
+type QCStudyConfig struct {
+	Features     int64 // database size (100M in §6.5)
+	Universe     int64 // distinct semantic queries behind the noised stream
+	TraceLen     int
+	CacheEntries int
+	QCNAccuracy  float64
+	Seed         int64
+}
+
+// DefaultQCStudy returns the §6.5 setup with a convergence-scaled trace.
+func DefaultQCStudy() QCStudyConfig {
+	return QCStudyConfig{
+		Features:     100_000_000,
+		Universe:     2000,
+		TraceLen:     20_000,
+		CacheEntries: 1000,
+		QCNAccuracy:  0.95,
+		Seed:         42,
+	}
+}
+
+// qcnScore is the analytic stand-in for running the Universal Sentence
+// Encoder over two query occurrences: same-intent pairs score near 1 with a
+// jitter penalty; different intents land well below any useful threshold.
+func qcnScore(a, b workload.Query) float64 {
+	if a.SemanticID == b.SemanticID {
+		s := 1 - 0.3*(a.Jitter+b.Jitter)
+		if s < 0 {
+			return 0
+		}
+		return s
+	}
+	// Deterministic pseudo-random dissimilar score in [0, 0.4).
+	h := uint64(a.SemanticID*0x9E3779B9+b.SemanticID) * 0xBF58476D1CE4E5B9 >> 40
+	return float64(h%400) / 1000
+}
+
+// SimulateQCTrace replays a trace through the similarity cache and returns
+// the steady-state miss rate. The cache is warmed with the first half of the
+// trace; the miss rate is measured over the second half (§6.5 warms the
+// cache before measuring).
+func SimulateQCTrace(cfg QCStudyConfig, dist workload.Distribution, alpha, threshold float64) float64 {
+	trace := workload.GenerateTrace(workload.TraceConfig{
+		Universe:  cfg.Universe,
+		Length:    cfg.TraceLen,
+		Dist:      dist,
+		Alpha:     alpha,
+		MaxJitter: 0.2,
+		Seed:      cfg.Seed,
+	})
+	cache := qcache.New[workload.Query](cfg.CacheEntries, cfg.QCNAccuracy, qcnScore)
+	warm := len(trace.Queries) / 2
+	for _, q := range trace.Queries[:warm] {
+		if _, hit := cache.Lookup(q, threshold); !hit {
+			cache.Insert(q, nil)
+		}
+	}
+	measured := cache.Stats()
+	for _, q := range trace.Queries[warm:] {
+		if _, hit := cache.Lookup(q, threshold); !hit {
+			cache.Insert(q, nil)
+		}
+	}
+	final := cache.Stats()
+	misses := final.Misses - measured.Misses
+	lookups := final.Lookups - measured.Lookups
+	if lookups == 0 {
+		return 1
+	}
+	return float64(misses) / float64(lookups)
+}
+
+// Fig13Row is one Fig. 13 x-axis point: speedups over the plain traditional
+// system and the cache miss rate, at one error threshold.
+type Fig13Row struct {
+	Dist          string
+	ThresholdPct  int
+	MissRate      float64
+	TraditionalQC float64 // Traditional + QCache over Traditional
+	DeepStore     float64 // DeepStore (no QC) over Traditional
+	DeepStoreQC   float64 // DeepStore + QCache over Traditional
+}
+
+// QCSpeedupRow holds the three Fig. 13 speedups for one miss rate.
+type QCSpeedupRow struct {
+	TraditionalQC float64
+	DeepStore     float64
+	DeepStoreQC   float64
+}
+
+// qcCosts precomputes the §6.5 system latencies: one full-database scan on
+// the traditional and DeepStore systems, plus the cache lookup cost on each
+// (the QCN runs on the channel-level accelerators in DeepStore — §6.5
+// reports ~0.3 ms for 1000 entries — and on the GPU in the baseline).
+type qcCosts struct {
+	baseSec, dsSec       float64
+	hostLookup, dsLookup float64
+}
+
+func computeQCCosts(window int64, cfg QCStudyConfig) (qcCosts, error) {
+	app, err := workload.ByName("TIR")
+	if err != nil {
+		return qcCosts{}, err
+	}
+	baseCfg := baseline.DefaultConfig()
+	baseSec, _ := baseCfg.ScanTime(app, cfg.Features, app.DefaultBatch)
+	out, err := RunScanFeatures(app, accel.LevelChannel, ssd.DefaultConfig(), cfg.Features, window)
+	if err != nil {
+		return qcCosts{}, err
+	}
+	qcn := app.QCN()
+	spec := accel.SpecForLevel(accel.LevelChannel, ssd.DefaultConfig())
+	perQCN := float64(spec.Array.NetworkCost(qcn.LayerPlan()).Cycles) / spec.Array.FreqHz
+	return qcCosts{
+		baseSec:    baseSec,
+		dsSec:      out.Seconds,
+		dsLookup:   perQCN * float64((cfg.CacheEntries+spec.Count-1)/spec.Count),
+		hostLookup: baseCfg.GPU.BatchComputeTime(qcn.LayerPlan(), cfg.CacheEntries),
+	}, nil
+}
+
+func (c qcCosts) speedups(miss float64) QCSpeedupRow {
+	return QCSpeedupRow{
+		TraditionalQC: c.baseSec / (miss*(c.baseSec+c.hostLookup) + (1-miss)*c.hostLookup),
+		DeepStore:     c.baseSec / c.dsSec,
+		DeepStoreQC:   c.baseSec / (miss*(c.dsSec+c.dsLookup) + (1-miss)*c.dsLookup),
+	}
+}
+
+// QCSpeedups composes a measured miss rate with the §6.5 system latencies.
+func QCSpeedups(window int64, cfg QCStudyConfig, missRate float64) (QCSpeedupRow, error) {
+	costs, err := computeQCCosts(window, cfg)
+	if err != nil {
+		return QCSpeedupRow{}, err
+	}
+	return costs.speedups(missRate), nil
+}
+
+// Figure13 sweeps the error threshold 0–20% for uniform and Zipfian(0.7)
+// query streams (§6.5, Fig. 13), composing the measured miss rates with the
+// scan and lookup latencies of each system.
+func Figure13(window int64, cfg QCStudyConfig) ([]Fig13Row, error) {
+	costs, err := computeQCCosts(window, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []Fig13Row
+	dists := []struct {
+		d     workload.Distribution
+		alpha float64
+		name  string
+	}{
+		{workload.Uniform, 0, "uniform"},
+		{workload.Zipfian, 0.7, "zipf-0.7"},
+	}
+	for _, d := range dists {
+		for _, pct := range []int{0, 2, 5, 8, 10, 12, 15, 18, 20} {
+			miss := SimulateQCTrace(cfg, d.d, d.alpha, float64(pct)/100)
+			s := costs.speedups(miss)
+			rows = append(rows, Fig13Row{
+				Dist:          d.name,
+				ThresholdPct:  pct,
+				MissRate:      miss,
+				TraditionalQC: s.TraditionalQC,
+				DeepStore:     s.DeepStore,
+				DeepStoreQC:   s.DeepStoreQC,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// CellsFigure13 returns the sweep as header and rows.
+func CellsFigure13(rows []Fig13Row) ([]string, [][]string) {
+	header := []string{"Dist", "Threshold %", "Miss %", "Trad+QC x", "DeepStore x", "DeepStore+QC x"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Dist, fmt.Sprint(r.ThresholdPct), F(r.MissRate * 100),
+			F(r.TraditionalQC), F(r.DeepStore), F(r.DeepStoreQC),
+		})
+	}
+	return header, out
+}
+
+// FormatFigure13 renders the sweep.
+func FormatFigure13(rows []Fig13Row) string {
+	return FormatTable(CellsFigure13(rows))
+}
+
+// Fig14Row is one cache-size point of Fig. 14.
+type Fig14Row struct {
+	Dist     string
+	Entries  int
+	MissRate float64
+}
+
+// Figure14 sweeps the cache size 100–1000 entries at a 10% threshold for
+// uniform, Zipfian(0.7), and Zipfian(0.8) streams (§6.5, Fig. 14).
+func Figure14(cfg QCStudyConfig) []Fig14Row {
+	dists := []struct {
+		d     workload.Distribution
+		alpha float64
+		name  string
+	}{
+		{workload.Uniform, 0, "uniform"},
+		{workload.Zipfian, 0.7, "zipf-0.7"},
+		{workload.Zipfian, 0.8, "zipf-0.8"},
+	}
+	var rows []Fig14Row
+	for _, d := range dists {
+		for entries := 100; entries <= 1000; entries += 100 {
+			c := cfg
+			c.CacheEntries = entries
+			rows = append(rows, Fig14Row{
+				Dist:     d.name,
+				Entries:  entries,
+				MissRate: SimulateQCTrace(c, d.d, d.alpha, 0.10),
+			})
+		}
+	}
+	return rows
+}
+
+// CellsFigure14 returns the sweep as header and rows.
+func CellsFigure14(rows []Fig14Row) ([]string, [][]string) {
+	header := []string{"Dist", "Entries", "Miss %"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{r.Dist, fmt.Sprint(r.Entries), F(r.MissRate * 100)})
+	}
+	return header, out
+}
+
+// FormatFigure14 renders the sweep.
+func FormatFigure14(rows []Fig14Row) string {
+	return FormatTable(CellsFigure14(rows))
+}

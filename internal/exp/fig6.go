@@ -1,0 +1,38 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/dse"
+)
+
+// Figure6 sweeps systolic-array sizes for the largest FC and conv layers
+// (best aspect ratio per point, infinite memory bandwidth), reproducing the
+// §4.5 saturation study.
+func Figure6() []dse.Fig6Point {
+	return dse.Figure6()
+}
+
+// CellsFigure6 returns the sweep as header and rows for export.
+func CellsFigure6(points []dse.Fig6Point) ([]string, [][]string) {
+	header := []string{"PEs", "FC speedup", "Conv speedup", "FC aspect", "Conv aspect"}
+	var out [][]string
+	for _, p := range points {
+		out = append(out, []string{
+			fmt.Sprint(p.PEs),
+			F(p.FCSpeedup),
+			F(p.ConvSpeedup),
+			fmt.Sprintf("%dx%d", p.FCBestAspect.Rows, p.FCBestAspect.Cols),
+			fmt.Sprintf("%dx%d", p.ConvBestAspect.Rows, p.ConvBestAspect.Cols),
+		})
+	}
+	return header, out
+}
+
+// FormatFigure6 renders the sweep.
+func FormatFigure6(points []dse.Fig6Point) string {
+	s := FormatTable(CellsFigure6(points))
+	s += fmt.Sprintf("\nFC saturates at %d PEs; conv at %d PEs (paper: 512 and 1024).\n",
+		dse.SaturationPE(points, false, 0.05), dse.SaturationPE(points, true, 0.05))
+	return s
+}

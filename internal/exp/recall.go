@@ -1,0 +1,205 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// Query-cache recall study. The QC design rests on the §4.6 insight that
+// "DNN-based queries have already tolerated a certain level of errors": a
+// hit returns the cached entry's top-K re-ranked by the SCN instead of a
+// fresh full scan. This experiment quantifies that tolerance — for a stream
+// of paraphrased queries, what fraction of the true top-K does the cache-hit
+// answer recover?
+
+// RecallRow is one threshold point of the study.
+type RecallRow struct {
+	ThresholdPct int
+	HitRate      float64
+	// MeanRecall is the average |cacheTopK ∩ trueTopK| / K over cache hits
+	// (1.0 when every hit returns exactly the full-scan answer).
+	MeanRecall float64
+	// Hits counts the queries the cache served.
+	Hits int
+}
+
+// RecallConfig sizes the study.
+type RecallConfig struct {
+	Features int // materialized database size
+	Intents  int // distinct query intents
+	Queries  int // stream length
+	K        int // top-K
+	Entries  int // cache entries
+	Seed     int64
+	// Noise is the paraphrase perturbation added per occurrence.
+	Noise float32
+}
+
+// DefaultRecall returns a laptop-scale configuration.
+func DefaultRecall() RecallConfig {
+	return RecallConfig{
+		Features: 2000, Intents: 40, Queries: 300, K: 10, Entries: 64,
+		Seed: 11, Noise: 0.02,
+	}
+}
+
+// dotNet builds a similarity-faithful comparison network: a Hadamard front
+// end summed by an FC with uniform positive weights — score ∝ q·d. Trained
+// SCNs approximate exactly this kind of monotone similarity; an untrained
+// random network has a near-degenerate score landscape where tiny paraphrase
+// noise reshuffles rankings arbitrarily, which would measure noise rather
+// than the cache design.
+func dotNet(name string, fe int) (*nn.Network, error) {
+	net, err := nn.NewNetwork(name, tensor.Shape{fe}, nn.CombineHadamard,
+		nn.NewFC("sum", fe, 1, nn.ActSigmoid))
+	if err != nil {
+		return nil, err
+	}
+	// Weight scale matters: same-intent dot products are ≈ fe/3 and
+	// cross-intent ones ≈ ±√(fe)/3. The 0.05 scale puts same-intent pairs
+	// at sigmoid ≈ 0.96 and cross-intent pairs near 0.5, so the sigmoid
+	// neither saturates into degenerate ties nor lets unrelated intents
+	// score as similar.
+	if fc, ok := net.Layers[0].(*nn.FC); ok {
+		for i := range fc.W {
+			fc.W[i] = 0.05
+		}
+	}
+	return net, nil
+}
+
+// QCRecall sweeps the error threshold and measures hit rate and recall of
+// cache-served answers against ground-truth full scans, on TextQA-shaped
+// features (the cheapest workload; the study is SCN-agnostic).
+func QCRecall(cfg RecallConfig) ([]RecallRow, error) {
+	app, err := workload.ByName("TextQA")
+	if err != nil {
+		return nil, err
+	}
+	fe := app.SCN.FeatureElems()
+	scn, err := dotNet("recall-scn", fe)
+	if err != nil {
+		return nil, err
+	}
+	db := workload.NewFeatureDB(app, cfg.Features, cfg.Seed+1)
+	host := baseline.HostScan{Net: scn}
+
+	qcn, err := dotNet("recall-qcn", fe)
+	if err != nil {
+		return nil, err
+	}
+
+	// Query stream intents.
+	intents := make([][]float32, cfg.Intents)
+	for i := range intents {
+		intents[i] = workload.NewFeatureDB(app, 1, cfg.Seed+100+int64(i)).Vectors[0]
+	}
+
+	// Plant relevance structure: real retrieval corpora contain items that
+	// actually match each query intent, scored far above the background.
+	// The first Intents×relevantPerIntent features are noisy copies of
+	// their intent's vector; the rest stay random background.
+	const relevantPerIntent = 15
+	planted := workload.NewFeatureDB(app, cfg.Intents*relevantPerIntent, cfg.Seed+500)
+	for i := 0; i < cfg.Intents; i++ {
+		for r := 0; r < relevantPerIntent; r++ {
+			idx := i*relevantPerIntent + r
+			if idx >= len(db.Vectors) {
+				break
+			}
+			for j := 0; j < fe; j++ {
+				db.Vectors[idx][j] = intents[i][j] + 0.15*planted.Vectors[idx][j]
+			}
+		}
+	}
+
+	// Query stream: intents with per-occurrence paraphrase noise.
+	trace := workload.GenerateTrace(workload.TraceConfig{
+		Universe: int64(cfg.Intents), Length: cfg.Queries,
+		Dist: workload.Zipfian, Alpha: 0.7, Seed: cfg.Seed,
+	})
+	noise := workload.NewFeatureDB(app, cfg.Queries, cfg.Seed+999)
+
+	var rows []RecallRow
+	for _, pct := range []int{5, 10, 20, 40} {
+		ds, err := core.New(core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		dbID, err := ds.WriteDB(db.Vectors)
+		if err != nil {
+			return nil, err
+		}
+		model, err := ds.LoadModelNetwork(scn)
+		if err != nil {
+			return nil, err
+		}
+		if err := ds.SetQC(qcn, 1.0, cfg.Entries, float64(pct)/100); err != nil {
+			return nil, err
+		}
+		row := RecallRow{ThresholdPct: pct}
+		var recallSum float64
+		for qi, q := range trace.Queries {
+			qfv := make([]float32, fe)
+			base := intents[q.SemanticID]
+			for j := range qfv {
+				qfv[j] = base[j] + cfg.Noise*noise.Vectors[qi][j]
+			}
+			qid, err := ds.Query(core.QuerySpec{QFV: qfv, K: cfg.K, Model: model, DB: dbID})
+			if err != nil {
+				return nil, err
+			}
+			res, err := ds.GetResults(qid)
+			if err != nil {
+				return nil, err
+			}
+			if !res.CacheHit {
+				continue
+			}
+			row.Hits++
+			truth, err := host.TopK(qfv, db.Vectors, cfg.K)
+			if err != nil {
+				return nil, err
+			}
+			truthSet := map[int64]bool{}
+			for _, e := range truth {
+				truthSet[e.FeatureID] = true
+			}
+			overlap := 0
+			for _, e := range res.TopK {
+				if truthSet[e.FeatureID] {
+					overlap++
+				}
+			}
+			recallSum += float64(overlap) / float64(cfg.K)
+		}
+		row.HitRate = float64(row.Hits) / float64(cfg.Queries)
+		if row.Hits > 0 {
+			row.MeanRecall = recallSum / float64(row.Hits)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CellsRecall returns the study as header and rows.
+func CellsRecall(rows []RecallRow) ([]string, [][]string) {
+	header := []string{"Threshold %", "Hit rate", "Hits", "Mean recall@K"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.ThresholdPct), F(r.HitRate), fmt.Sprint(r.Hits), F(r.MeanRecall),
+		})
+	}
+	return header, out
+}
+
+// FormatRecall renders the study.
+func FormatRecall(rows []RecallRow) string {
+	return FormatTable(CellsRecall(rows))
+}

@@ -1,0 +1,262 @@
+// Package flash models the NAND flash subsystem of the simulated SSD:
+// geometry (channels → chips → planes → blocks → pages), array read/program/
+// erase timing, per-plane page buffers, and bandwidth-arbitrated channel
+// buses (§2.2). The model is event-driven on the sim kernel, so concurrent
+// reads contend for planes and channel buses exactly as in SSD-Sim.
+package flash
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Geometry describes the physical organization of the flash array.
+// The evaluation defaults (§6.1) are 32 channels, 4 chips per channel,
+// 8 planes per chip, 512 blocks per plane, 128 pages per block, 16 KB pages.
+type Geometry struct {
+	Channels        int
+	ChipsPerChannel int
+	PlanesPerChip   int
+	BlocksPerPlane  int
+	PagesPerBlock   int
+	PageBytes       int64
+}
+
+// DefaultGeometry returns the §6.1 evaluation geometry.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		Channels:        32,
+		ChipsPerChannel: 4,
+		PlanesPerChip:   8,
+		BlocksPerPlane:  512,
+		PagesPerBlock:   128,
+		PageBytes:       16 << 10,
+	}
+}
+
+// Validate reports geometry errors.
+func (g Geometry) Validate() error {
+	if g.Channels <= 0 || g.ChipsPerChannel <= 0 || g.PlanesPerChip <= 0 ||
+		g.BlocksPerPlane <= 0 || g.PagesPerBlock <= 0 || g.PageBytes <= 0 {
+		return fmt.Errorf("flash: non-positive geometry field in %+v", g)
+	}
+	return nil
+}
+
+// Chips returns the total chip count.
+func (g Geometry) Chips() int { return g.Channels * g.ChipsPerChannel }
+
+// PagesPerPlane returns pages in one plane.
+func (g Geometry) PagesPerPlane() int64 {
+	return int64(g.BlocksPerPlane) * int64(g.PagesPerBlock)
+}
+
+// TotalPages returns the page count of the whole array.
+func (g Geometry) TotalPages() int64 {
+	return int64(g.Channels) * int64(g.ChipsPerChannel) * int64(g.PlanesPerChip) * g.PagesPerPlane()
+}
+
+// TotalBytes returns the raw capacity.
+func (g Geometry) TotalBytes() int64 { return g.TotalPages() * g.PageBytes }
+
+// PageAddr is a physical page address.
+type PageAddr struct {
+	Channel, Chip, Plane, Block, Page int
+}
+
+// Valid reports whether the address is inside the geometry.
+func (g Geometry) Valid(a PageAddr) bool {
+	return a.Channel >= 0 && a.Channel < g.Channels &&
+		a.Chip >= 0 && a.Chip < g.ChipsPerChannel &&
+		a.Plane >= 0 && a.Plane < g.PlanesPerChip &&
+		a.Block >= 0 && a.Block < g.BlocksPerPlane &&
+		a.Page >= 0 && a.Page < g.PagesPerBlock
+}
+
+// Linear converts a page address to a dense index. The striping order is
+// chosen for maximum parallelism on sequential access (§4.4: databases are
+// striped across channels and chips): consecutive indices rotate across
+// channels first, then chips, then planes, then advance pages within blocks.
+func (g Geometry) Linear(a PageAddr) int64 {
+	if !g.Valid(a) {
+		panic(fmt.Sprintf("flash: address %+v outside geometry", a))
+	}
+	// Order (outer→inner): block, page, plane, chip, channel.
+	idx := int64(a.Block)
+	idx = idx*int64(g.PagesPerBlock) + int64(a.Page)
+	idx = idx*int64(g.PlanesPerChip) + int64(a.Plane)
+	idx = idx*int64(g.ChipsPerChannel) + int64(a.Chip)
+	idx = idx*int64(g.Channels) + int64(a.Channel)
+	return idx
+}
+
+// FromLinear is the inverse of Linear.
+func (g Geometry) FromLinear(idx int64) PageAddr {
+	if idx < 0 || idx >= g.TotalPages() {
+		panic(fmt.Sprintf("flash: linear index %d outside geometry", idx))
+	}
+	var a PageAddr
+	a.Channel = int(idx % int64(g.Channels))
+	idx /= int64(g.Channels)
+	a.Chip = int(idx % int64(g.ChipsPerChannel))
+	idx /= int64(g.ChipsPerChannel)
+	a.Plane = int(idx % int64(g.PlanesPerChip))
+	idx /= int64(g.PlanesPerChip)
+	a.Page = int(idx % int64(g.PagesPerBlock))
+	idx /= int64(g.PagesPerBlock)
+	a.Block = int(idx)
+	return a
+}
+
+// Timing holds the NAND operation latencies and channel bandwidth.
+type Timing struct {
+	// ReadLatency is the array read (cell → page buffer) time;
+	// 53 µs in the §6.1 baseline, swept 7–212 µs in Fig. 9.
+	ReadLatency sim.Duration
+	// ProgramLatency is the page program time.
+	ProgramLatency sim.Duration
+	// EraseLatency is the block erase time.
+	EraseLatency sim.Duration
+	// ChannelBandwidth is the per-channel bus bandwidth in bytes/s
+	// (800 MB/s in §6.1).
+	ChannelBandwidth float64
+}
+
+// DefaultTiming returns the §6.1 evaluation timing.
+func DefaultTiming() Timing {
+	return Timing{
+		ReadLatency:      53 * sim.Microsecond,
+		ProgramLatency:   600 * sim.Microsecond,
+		EraseLatency:     3 * sim.Millisecond,
+		ChannelBandwidth: 800e6,
+	}
+}
+
+// Validate reports timing errors.
+func (t Timing) Validate() error {
+	if t.ReadLatency <= 0 || t.ProgramLatency <= 0 || t.EraseLatency <= 0 {
+		return fmt.Errorf("flash: non-positive latency in %+v", t)
+	}
+	if t.ChannelBandwidth <= 0 {
+		return fmt.Errorf("flash: non-positive channel bandwidth")
+	}
+	return nil
+}
+
+// Stats aggregates flash activity for reporting and the energy model.
+type Stats struct {
+	PageReads    uint64
+	PagePrograms uint64
+	BlockErases  uint64
+	BusBytes     uint64
+}
+
+// Array is the event-driven flash array model.
+type Array struct {
+	e      *sim.Engine
+	geom   Geometry
+	timing Timing
+
+	// planes[ch][chip][plane]: one server per plane (its page buffer).
+	planes [][][]*sim.Resource
+	// chipBus[ch][chip]: the chip's interface to the channel; a chip can
+	// transfer only one page at a time even with multi-plane reads.
+	buses []*sim.Link // one per channel
+
+	stats Stats
+}
+
+// NewArray builds a flash array on the given engine.
+func NewArray(e *sim.Engine, geom Geometry, timing Timing) (*Array, error) {
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := timing.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{e: e, geom: geom, timing: timing}
+	a.planes = make([][][]*sim.Resource, geom.Channels)
+	a.buses = make([]*sim.Link, geom.Channels)
+	for ch := 0; ch < geom.Channels; ch++ {
+		a.buses[ch] = sim.NewLink(e, fmt.Sprintf("chan%d-bus", ch), timing.ChannelBandwidth)
+		a.planes[ch] = make([][]*sim.Resource, geom.ChipsPerChannel)
+		for cp := 0; cp < geom.ChipsPerChannel; cp++ {
+			a.planes[ch][cp] = make([]*sim.Resource, geom.PlanesPerChip)
+			for pl := 0; pl < geom.PlanesPerChip; pl++ {
+				a.planes[ch][cp][pl] = sim.NewResource(e,
+					fmt.Sprintf("ch%d-chip%d-plane%d", ch, cp, pl), 1)
+			}
+		}
+	}
+	return a, nil
+}
+
+// Geometry returns the array geometry.
+func (a *Array) Geometry() Geometry { return a.geom }
+
+// Timing returns the array timing.
+func (a *Array) Timing() Timing { return a.timing }
+
+// Stats returns a snapshot of activity counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// Bus returns the channel bus link for utilization inspection or for
+// modeling non-page traffic (e.g. weight broadcast to chip accelerators).
+func (a *Array) Bus(channel int) *sim.Link { return a.buses[channel] }
+
+func (a *Array) plane(addr PageAddr) *sim.Resource {
+	if !a.geom.Valid(addr) {
+		panic(fmt.Sprintf("flash: address %+v outside geometry", addr))
+	}
+	return a.planes[addr.Channel][addr.Chip][addr.Plane]
+}
+
+// ReadPage reads one page: the plane is busy for the array-read latency
+// (cell → page buffer, Fig. 5 ❷), then the page crosses the channel bus
+// (Fig. 5 ❸). done fires when the last byte leaves the bus.
+func (a *Array) ReadPage(addr PageAddr, done func()) {
+	a.stats.PageReads++
+	pl := a.plane(addr)
+	pl.Acquire(func() {
+		a.e.After(a.timing.ReadLatency, func() {
+			// The page buffer is free for the next array read as soon as
+			// the data is handed to the channel transfer; SSDs overlap
+			// array reads with bus transfers via the per-plane buffer.
+			pl.Release()
+			a.stats.BusBytes += uint64(a.geom.PageBytes)
+			a.buses[addr.Channel].Transfer(a.geom.PageBytes, done)
+		})
+	})
+}
+
+// ReadPageToBuffer performs only the array read (cell → page buffer) without
+// a channel-bus transfer. Chip-level accelerators consume pages directly
+// from the plane page buffers (§4.5), so their data path skips the bus.
+func (a *Array) ReadPageToBuffer(addr PageAddr, done func()) {
+	a.stats.PageReads++
+	pl := a.plane(addr)
+	pl.Hold(a.timing.ReadLatency, done)
+}
+
+// ProgramPage programs one page: the plane is busy for the program latency
+// after the data crosses the channel bus.
+func (a *Array) ProgramPage(addr PageAddr, done func()) {
+	a.stats.PagePrograms++
+	a.stats.BusBytes += uint64(a.geom.PageBytes)
+	a.buses[addr.Channel].Transfer(a.geom.PageBytes, func() {
+		a.plane(addr).Hold(a.timing.ProgramLatency, done)
+	})
+}
+
+// EraseBlock erases one block, holding the plane for the erase latency.
+func (a *Array) EraseBlock(addr PageAddr, done func()) {
+	a.stats.BlockErases++
+	a.plane(addr).Hold(a.timing.EraseLatency, done)
+}
+
+// InternalBandwidth returns the aggregate channel-bus bandwidth in bytes/s —
+// the SSD's internal read roofline.
+func (a *Array) InternalBandwidth() float64 {
+	return float64(a.geom.Channels) * a.timing.ChannelBandwidth
+}

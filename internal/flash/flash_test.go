@@ -1,0 +1,220 @@
+package flash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func smallGeometry() Geometry {
+	return Geometry{Channels: 2, ChipsPerChannel: 2, PlanesPerChip: 2,
+		BlocksPerPlane: 4, PagesPerBlock: 8, PageBytes: 16 << 10}
+}
+
+func TestDefaultGeometryMatchesPaper(t *testing.T) {
+	g := DefaultGeometry()
+	if g.Channels != 32 || g.ChipsPerChannel != 4 || g.PlanesPerChip != 8 ||
+		g.BlocksPerPlane != 512 || g.PagesPerBlock != 128 || g.PageBytes != 16<<10 {
+		t.Errorf("default geometry %+v does not match §6.1", g)
+	}
+	// 32ch * 4chips * 8planes * 512blocks * 128pages * 16KB = 1 TiB raw,
+	// matching the 1 TB evaluation SSD.
+	if g.TotalBytes() != 1<<40 {
+		t.Errorf("capacity = %d, want 1 TiB", g.TotalBytes())
+	}
+	if g.Chips() != 128 {
+		t.Errorf("chips = %d, want 128", g.Chips())
+	}
+}
+
+func TestDefaultTimingMatchesPaper(t *testing.T) {
+	tm := DefaultTiming()
+	if tm.ReadLatency != 53*sim.Microsecond {
+		t.Errorf("read latency = %v, want 53us", tm.ReadLatency)
+	}
+	if tm.ChannelBandwidth != 800e6 {
+		t.Errorf("channel bandwidth = %v, want 800e6", tm.ChannelBandwidth)
+	}
+}
+
+func TestLinearRoundTrip(t *testing.T) {
+	g := smallGeometry()
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		idx := seed % g.TotalPages()
+		a := g.FromLinear(idx)
+		return g.Valid(a) && g.Linear(a) == idx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearStripesAcrossChannels(t *testing.T) {
+	// Consecutive linear indices must land on consecutive channels (§4.4).
+	g := smallGeometry()
+	a0 := g.FromLinear(0)
+	a1 := g.FromLinear(1)
+	if a0.Channel == a1.Channel {
+		t.Errorf("consecutive pages on same channel: %+v, %+v", a0, a1)
+	}
+	// After a full channel rotation, the chip advances.
+	a2 := g.FromLinear(int64(g.Channels))
+	if a2.Chip == a0.Chip {
+		t.Errorf("page %d did not advance chip: %+v", g.Channels, a2)
+	}
+}
+
+func TestLinearOutOfRangePanics(t *testing.T) {
+	g := smallGeometry()
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range FromLinear did not panic")
+		}
+	}()
+	g.FromLinear(g.TotalPages())
+}
+
+func TestReadPageTiming(t *testing.T) {
+	e := sim.NewEngine()
+	a, err := NewArray(e, smallGeometry(), DefaultTiming())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt sim.Time
+	a.ReadPage(PageAddr{}, func() { doneAt = e.Now() })
+	e.Run()
+	// 53us array read + 16KB / 800MB/s = 20.48us transfer.
+	want := sim.Time(53*sim.Microsecond) + sim.Time(sim.FromSeconds(16384.0/800e6))
+	if doneAt != want {
+		t.Errorf("read done at %v, want %v", doneAt, want)
+	}
+	if a.Stats().PageReads != 1 {
+		t.Errorf("page reads = %d, want 1", a.Stats().PageReads)
+	}
+}
+
+func TestReadsSamePlaneSerialize(t *testing.T) {
+	e := sim.NewEngine()
+	a, _ := NewArray(e, smallGeometry(), DefaultTiming())
+	var done []sim.Time
+	addr := PageAddr{Block: 0, Page: 0}
+	addr2 := PageAddr{Block: 1, Page: 3}
+	a.ReadPage(addr, func() { done = append(done, e.Now()) })
+	a.ReadPage(addr2, func() { done = append(done, e.Now()) })
+	e.Run()
+	// Second array read starts when the first hands off to the bus (t=53us),
+	// finishes array at 106us, then transfers behind an idle bus.
+	if len(done) != 2 {
+		t.Fatal("reads did not complete")
+	}
+	if done[1] < sim.Time(106*sim.Microsecond) {
+		t.Errorf("same-plane reads overlapped: second done at %v", done[1])
+	}
+}
+
+func TestReadsDifferentChannelsParallel(t *testing.T) {
+	e := sim.NewEngine()
+	a, _ := NewArray(e, smallGeometry(), DefaultTiming())
+	var done []sim.Time
+	a.ReadPage(PageAddr{Channel: 0}, func() { done = append(done, e.Now()) })
+	a.ReadPage(PageAddr{Channel: 1}, func() { done = append(done, e.Now()) })
+	e.Run()
+	if done[0] != done[1] {
+		t.Errorf("independent channels did not run in parallel: %v vs %v", done[0], done[1])
+	}
+}
+
+func TestReadsSameChannelShareBus(t *testing.T) {
+	e := sim.NewEngine()
+	a, _ := NewArray(e, smallGeometry(), DefaultTiming())
+	var done []sim.Time
+	// Different chips, same channel: array reads overlap, bus serializes.
+	a.ReadPage(PageAddr{Chip: 0}, func() { done = append(done, e.Now()) })
+	a.ReadPage(PageAddr{Chip: 1}, func() { done = append(done, e.Now()) })
+	e.Run()
+	transfer := sim.FromSeconds(16384.0 / 800e6)
+	want0 := sim.Time(53*sim.Microsecond + transfer)
+	want1 := sim.Time(53*sim.Microsecond + 2*transfer)
+	if done[0] != want0 || done[1] != want1 {
+		t.Errorf("bus sharing wrong: got %v, %v; want %v, %v", done[0], done[1], want0, want1)
+	}
+}
+
+func TestReadPageToBufferSkipsBus(t *testing.T) {
+	e := sim.NewEngine()
+	a, _ := NewArray(e, smallGeometry(), DefaultTiming())
+	var doneAt sim.Time
+	a.ReadPageToBuffer(PageAddr{}, func() { doneAt = e.Now() })
+	e.Run()
+	if doneAt != sim.Time(53*sim.Microsecond) {
+		t.Errorf("buffer read done at %v, want 53us", doneAt)
+	}
+	if a.Bus(0).Transferred() != 0 {
+		t.Error("buffer read used the channel bus")
+	}
+}
+
+func TestProgramAndErase(t *testing.T) {
+	e := sim.NewEngine()
+	a, _ := NewArray(e, smallGeometry(), DefaultTiming())
+	var programDone, eraseDone sim.Time
+	a.ProgramPage(PageAddr{}, func() { programDone = e.Now() })
+	e.Run()
+	a.EraseBlock(PageAddr{Block: 2}, func() { eraseDone = e.Now() })
+	e.Run()
+	transfer := sim.FromSeconds(16384.0 / 800e6)
+	if programDone != sim.Time(transfer+600*sim.Microsecond) {
+		t.Errorf("program done at %v", programDone)
+	}
+	if eraseDone-programDone != sim.Time(3*sim.Millisecond) {
+		t.Errorf("erase took %v, want 3ms", eraseDone-programDone)
+	}
+	s := a.Stats()
+	if s.PagePrograms != 1 || s.BlockErases != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestInternalBandwidth(t *testing.T) {
+	e := sim.NewEngine()
+	a, _ := NewArray(e, DefaultGeometry(), DefaultTiming())
+	if got := a.InternalBandwidth(); got != 32*800e6 {
+		t.Errorf("internal bandwidth = %v, want 25.6e9", got)
+	}
+}
+
+func TestNewArrayRejectsBadConfig(t *testing.T) {
+	e := sim.NewEngine()
+	if _, err := NewArray(e, Geometry{}, DefaultTiming()); err == nil {
+		t.Error("zero geometry accepted")
+	}
+	if _, err := NewArray(e, smallGeometry(), Timing{}); err == nil {
+		t.Error("zero timing accepted")
+	}
+}
+
+// Property: n reads spread across all channels of the default geometry take
+// no longer than the serial time of one channel and no less than the ideal
+// parallel bound.
+func TestParallelReadScalingProperty(t *testing.T) {
+	f := func(nn uint8) bool {
+		n := int(nn%64) + 1
+		e := sim.NewEngine()
+		g := smallGeometry()
+		a, _ := NewArray(e, g, DefaultTiming())
+		for i := 0; i < n; i++ {
+			a.ReadPage(g.FromLinear(int64(i%int(g.TotalPages()))), nil)
+		}
+		end := e.Run()
+		transfer := sim.FromSeconds(16384.0 / 800e6)
+		serial := sim.Time(int64(n) * int64(53*sim.Microsecond+transfer))
+		return end <= serial && end >= sim.Time(53*sim.Microsecond)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

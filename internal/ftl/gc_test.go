@@ -1,0 +1,136 @@
+package ftl
+
+import (
+	"testing"
+)
+
+// fragment builds an FTL with alternating allocated/free columns.
+func fragment(t *testing.T) (*FTL, []*DBMeta) {
+	t.Helper()
+	// 17 columns: metadata column 0 plus exactly eight 2-column DBs, so
+	// the device is full before the deletions.
+	f := NewFTL(17)
+	// Allocate eight 2-column DBs filling columns 1..16 (plus metadata 0),
+	// then delete every other one, leaving 2-column holes.
+	var metas []*DBMeta
+	for i := 0; i < 8; i++ {
+		m, err := f.CreateDB("db", smallLayout(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		metas = append(metas, m)
+	}
+	var kept []*DBMeta
+	for i, m := range metas {
+		if i%2 == 0 {
+			if err := f.DeleteDB(m.ID); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			kept = append(kept, m)
+		}
+	}
+	return f, kept
+}
+
+// smallLayout builds a layout needing exactly cols block columns.
+// One block column holds PagesPerBlock*planes pages per channel; with the
+// default geometry that is 128*32 = 4096 pages per channel per column, i.e.
+// 4096*32ch = 131072 16 KB features per column.
+func smallLayout(cols int) DBLayout {
+	l := template(16<<10, int64(cols)*131072)
+	return l
+}
+
+func TestFragmentationMetric(t *testing.T) {
+	f, _ := fragment(t)
+	if got := f.Fragmentation(); got <= 0.5 {
+		t.Errorf("fragmentation = %v, want > 0.5 for alternating holes", got)
+	}
+	fresh := NewFTL(32)
+	if got := fresh.Fragmentation(); got != 0 {
+		t.Errorf("fresh FTL fragmentation = %v", got)
+	}
+}
+
+func TestCompactCoalescesFreeSpace(t *testing.T) {
+	f, kept := fragment(t)
+	before := f.LargestFreeRun()
+	moved := f.Compact()
+	if moved == 0 {
+		t.Fatal("compaction moved nothing")
+	}
+	after := f.LargestFreeRun()
+	if after <= before {
+		t.Errorf("largest free run %d -> %d, want growth", before, after)
+	}
+	if f.Fragmentation() != 0 {
+		t.Errorf("post-compact fragmentation = %v, want 0", f.Fragmentation())
+	}
+	// Kept databases remain registered with valid, disjoint regions.
+	seen := map[int]DBID{}
+	for _, m := range kept {
+		got, ok := f.Lookup(m.ID)
+		if !ok {
+			t.Fatalf("db %d lost in compaction", m.ID)
+		}
+		for c := got.Layout.StartBlock; c < got.Layout.StartBlock+got.Layout.BlocksPerPlane(); c++ {
+			if owner, clash := seen[c]; clash {
+				t.Fatalf("column %d owned by both %d and %d", c, owner, got.ID)
+			}
+			seen[c] = got.ID
+		}
+	}
+	// Free-block count is preserved.
+	if f.FreeBlocks() != 17-1-8 {
+		t.Errorf("free blocks = %d, want %d", f.FreeBlocks(), 17-1-8)
+	}
+}
+
+func TestCompactIncrementsWear(t *testing.T) {
+	f, _ := fragment(t)
+	var wearBefore uint64
+	for b := 1; b < 17; b++ {
+		wearBefore += f.Wear(b)
+	}
+	f.Compact()
+	var wearAfter uint64
+	for b := 1; b < 17; b++ {
+		wearAfter += f.Wear(b)
+	}
+	if wearAfter <= wearBefore {
+		t.Error("compaction did not charge erases")
+	}
+}
+
+func TestCompactIdempotent(t *testing.T) {
+	f, _ := fragment(t)
+	f.Compact()
+	if moved := f.Compact(); moved != 0 {
+		t.Errorf("second compaction moved %d columns", moved)
+	}
+}
+
+func TestCreateDBCompacting(t *testing.T) {
+	f, _ := fragment(t)
+	// Free space is 8 columns in 2-column holes: a 4-column DB fails the
+	// plain allocator but succeeds with GC.
+	if _, err := f.CreateDB("big", smallLayout(4)); err == nil {
+		t.Fatal("fragmented allocation unexpectedly succeeded; test setup wrong")
+	}
+	m, err := f.CreateDBCompacting("big", smallLayout(4))
+	if err != nil {
+		t.Fatalf("compacting create failed: %v", err)
+	}
+	if m.Layout.BlocksPerPlane() != 4 {
+		t.Errorf("created db spans %d columns", m.Layout.BlocksPerPlane())
+	}
+}
+
+func TestCreateDBCompactingGenuinelyFull(t *testing.T) {
+	f, _ := fragment(t)
+	// 9 columns exceed the 8 free ones even after GC.
+	if _, err := f.CreateDBCompacting("huge", smallLayout(9)); err == nil {
+		t.Error("over-capacity create succeeded")
+	}
+}

@@ -1,0 +1,204 @@
+// Package ftl implements the flash translation layer of the simulated SSD:
+// feature-database layout and striping across channels/chips (§4.4), a
+// block-granular allocator with wear accounting, and the database metadata
+// table that the query engine caches in SSD DRAM.
+package ftl
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+)
+
+// DBLayout describes where a feature database lives in the flash array and
+// how features map to pages.
+//
+// Per §4.4, databases are striped across channels and chips so every
+// accelerator level can stream its share independently:
+//
+//   - feature i is owned by channel i mod Channels;
+//   - within a channel, a feature's pages are spread across chips and planes
+//     round-robin, so chip-level accelerators also see a balanced share;
+//   - features smaller than a page are packed (a 16 KB page holds twenty
+//     0.8 KB TextQA vectors), never straddling a page boundary;
+//   - features larger than a page are page-aligned and span
+//     ⌈size/page⌉ consecutive within-channel pages (a 44 KB ReId vector
+//     spans three).
+type DBLayout struct {
+	Geom         flash.Geometry
+	FeatureBytes int64
+	Features     int64
+	// StartBlock is the first block index (in every plane) owned by this
+	// database.
+	StartBlock int
+}
+
+// Validate reports layout errors.
+func (l DBLayout) Validate() error {
+	if err := l.Geom.Validate(); err != nil {
+		return err
+	}
+	if l.FeatureBytes <= 0 {
+		return fmt.Errorf("ftl: feature bytes %d invalid", l.FeatureBytes)
+	}
+	if l.Features < 0 {
+		return fmt.Errorf("ftl: negative feature count")
+	}
+	if l.StartBlock < 0 || l.StartBlock >= l.Geom.BlocksPerPlane {
+		return fmt.Errorf("ftl: start block %d outside plane", l.StartBlock)
+	}
+	return nil
+}
+
+// FeaturesPerPage returns how many whole features pack into one page
+// (at least 1 conceptually; 0 is never returned for sub-page features).
+// For features larger than a page this is 0.
+func (l DBLayout) FeaturesPerPage() int {
+	if l.FeatureBytes > l.Geom.PageBytes {
+		return 0
+	}
+	return int(l.Geom.PageBytes / l.FeatureBytes)
+}
+
+// PagesPerFeature returns the pages one feature occupies (1 for packed
+// sub-page features, ⌈size/page⌉ otherwise).
+func (l DBLayout) PagesPerFeature() int {
+	if l.FeatureBytes <= l.Geom.PageBytes {
+		return 1
+	}
+	return int((l.FeatureBytes + l.Geom.PageBytes - 1) / l.Geom.PageBytes)
+}
+
+// ChannelFeatures returns the number of features owned by a channel.
+func (l DBLayout) ChannelFeatures(ch int) int64 {
+	if ch < 0 || ch >= l.Geom.Channels {
+		panic(fmt.Sprintf("ftl: channel %d outside geometry", ch))
+	}
+	n := l.Features / int64(l.Geom.Channels)
+	if int64(ch) < l.Features%int64(l.Geom.Channels) {
+		n++
+	}
+	return n
+}
+
+// ChannelPages returns the number of pages the channel's share occupies.
+func (l DBLayout) ChannelPages(ch int) int64 {
+	return l.pagesForFeatures(l.ChannelFeatures(ch))
+}
+
+func (l DBLayout) pagesForFeatures(n int64) int64 {
+	if n == 0 {
+		return 0
+	}
+	if fp := l.FeaturesPerPage(); fp > 0 {
+		return (n + int64(fp) - 1) / int64(fp)
+	}
+	return n * int64(l.PagesPerFeature())
+}
+
+// TotalPages returns the physical page footprint of the database.
+func (l DBLayout) TotalPages() int64 {
+	var total int64
+	for ch := 0; ch < l.Geom.Channels; ch++ {
+		total += l.ChannelPages(ch)
+	}
+	return total
+}
+
+// TotalBytes returns the physical footprint in bytes (including packing and
+// alignment waste).
+func (l DBLayout) TotalBytes() int64 { return l.TotalPages() * l.Geom.PageBytes }
+
+// BlocksPerPlane returns how many blocks in every plane the layout needs.
+// The worst-loaded channel determines the allocation.
+func (l DBLayout) BlocksPerPlane() int {
+	var maxPages int64
+	for ch := 0; ch < l.Geom.Channels; ch++ {
+		if p := l.ChannelPages(ch); p > maxPages {
+			maxPages = p
+		}
+	}
+	planesPerChannel := int64(l.Geom.ChipsPerChannel * l.Geom.PlanesPerChip)
+	pagesPerPlane := (maxPages + planesPerChannel - 1) / planesPerChannel
+	return int((pagesPerPlane + int64(l.Geom.PagesPerBlock) - 1) / int64(l.Geom.PagesPerBlock))
+}
+
+// ChannelPageAddr returns the physical address of within-channel page j of
+// channel ch: pages rotate across chips first, then planes, then fill blocks
+// starting at StartBlock.
+func (l DBLayout) ChannelPageAddr(ch int, j int64) flash.PageAddr {
+	if ch < 0 || ch >= l.Geom.Channels {
+		panic(fmt.Sprintf("ftl: channel %d outside geometry", ch))
+	}
+	if j < 0 || j >= l.ChannelPages(ch) {
+		panic(fmt.Sprintf("ftl: channel page %d outside channel %d share", j, ch))
+	}
+	chips := int64(l.Geom.ChipsPerChannel)
+	planes := int64(l.Geom.PlanesPerChip)
+	chip := int(j % chips)
+	plane := int((j / chips) % planes)
+	seq := j / (chips * planes)
+	block := l.StartBlock + int(seq/int64(l.Geom.PagesPerBlock))
+	page := int(seq % int64(l.Geom.PagesPerBlock))
+	addr := flash.PageAddr{Channel: ch, Chip: chip, Plane: plane, Block: block, Page: page}
+	if !l.Geom.Valid(addr) {
+		panic(fmt.Sprintf("ftl: layout overflow at %+v", addr))
+	}
+	return addr
+}
+
+// FeatureChannel returns the channel owning feature i.
+func (l DBLayout) FeatureChannel(i int64) int {
+	if i < 0 || i >= l.Features {
+		panic(fmt.Sprintf("ftl: feature %d outside database", i))
+	}
+	return int(i % int64(l.Geom.Channels))
+}
+
+// FeaturePages returns the physical pages holding feature i, in read order.
+func (l DBLayout) FeaturePages(i int64) []flash.PageAddr {
+	ch := l.FeatureChannel(i)
+	slot := i / int64(l.Geom.Channels) // index within the channel's share
+	if fp := l.FeaturesPerPage(); fp > 0 {
+		return []flash.PageAddr{l.ChannelPageAddr(ch, slot/int64(fp))}
+	}
+	ppf := int64(l.PagesPerFeature())
+	pages := make([]flash.PageAddr, ppf)
+	for k := int64(0); k < ppf; k++ {
+		pages[k] = l.ChannelPageAddr(ch, slot*ppf+k)
+	}
+	return pages
+}
+
+// ChipFeatures returns the number of features stored on pages of the given
+// chip — the share a chip-level accelerator processes.
+func (l DBLayout) ChipFeatures(ch, chip int) int64 {
+	if chip < 0 || chip >= l.Geom.ChipsPerChannel {
+		panic(fmt.Sprintf("ftl: chip %d outside geometry", chip))
+	}
+	pages := l.ChannelPages(ch)
+	chips := int64(l.Geom.ChipsPerChannel)
+	chipPages := pages / chips
+	if int64(chip) < pages%chips {
+		chipPages++
+	}
+	if fp := l.FeaturesPerPage(); fp > 0 {
+		// Every full page carries fp features; the final partial page may
+		// carry fewer, but at this granularity the approximation is exact
+		// except for at most one page.
+		feats := chipPages * int64(fp)
+		if total := l.ChannelFeatures(ch); feats > totalSharePerChip(total, chips, chip) {
+			return totalSharePerChip(total, chips, chip)
+		}
+		return feats
+	}
+	return chipPages / int64(l.PagesPerFeature())
+}
+
+func totalSharePerChip(total, chips int64, chip int) int64 {
+	n := total / chips
+	if int64(chip) < total%chips {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,214 @@
+package ftl
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/flash"
+)
+
+// Metadata persistence. §4.4: "This metadata is persisted in a reserved
+// flash block, but will be cached in SSD DRAM for fast look-up." Snapshot
+// serializes the FTL's durable state — the database metadata table, block
+// ownership, and wear counters — into the byte image written to the reserved
+// block column; Restore rebuilds an FTL from it after a power cycle.
+
+const (
+	persistMagic   = "DSFT"
+	persistVersion = 1
+)
+
+var persistOrder = binary.LittleEndian
+
+// Snapshot serializes the FTL's durable state.
+func (f *FTL) Snapshot() ([]byte, error) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	w.WriteString(persistMagic)
+	writeU32(w, persistVersion)
+	writeU64(w, uint64(f.nextID))
+	writeU32(w, uint32(f.reservedBlocks))
+
+	writeU32(w, uint32(len(f.blockOwner)))
+	for i := range f.blockOwner {
+		writeU64(w, uint64(f.blockOwner[i]))
+		writeU64(w, f.wear[i])
+	}
+
+	dbs := f.DBs()
+	writeU32(w, uint32(len(dbs)))
+	for _, m := range dbs {
+		writeU64(w, uint64(m.ID))
+		writeString(w, m.Name)
+		l := m.Layout
+		for _, v := range []int64{
+			int64(l.Geom.Channels), int64(l.Geom.ChipsPerChannel), int64(l.Geom.PlanesPerChip),
+			int64(l.Geom.BlocksPerPlane), int64(l.Geom.PagesPerBlock), l.Geom.PageBytes,
+			l.FeatureBytes, l.Features, int64(l.StartBlock),
+		} {
+			writeU64(w, uint64(v))
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore rebuilds an FTL from a Snapshot image.
+func Restore(data []byte) (*FTL, error) {
+	r := bytes.NewReader(data)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("ftl: reading snapshot magic: %w", err)
+	}
+	if string(magic) != persistMagic {
+		return nil, fmt.Errorf("ftl: bad snapshot magic %q", magic)
+	}
+	version, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if version != persistVersion {
+		return nil, fmt.Errorf("ftl: unsupported snapshot version %d", version)
+	}
+	nextID, err := readU64(r)
+	if err != nil {
+		return nil, err
+	}
+	reserved, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if cols < 2 || cols > 1<<20 {
+		return nil, fmt.Errorf("ftl: implausible column count %d", cols)
+	}
+	f := &FTL{
+		nextID:         DBID(nextID),
+		dbs:            make(map[DBID]*DBMeta),
+		blockOwner:     make([]DBID, cols),
+		wear:           make([]uint64, cols),
+		reservedBlocks: int(reserved),
+	}
+	for i := 0; i < int(cols); i++ {
+		owner, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		wear, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		f.blockOwner[i] = DBID(owner)
+		f.wear[i] = wear
+	}
+	nDBs, err := readU32(r)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nDBs); i++ {
+		id, err := readU64(r)
+		if err != nil {
+			return nil, err
+		}
+		name, err := readStringR(r)
+		if err != nil {
+			return nil, err
+		}
+		var vals [9]int64
+		for j := range vals {
+			v, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			vals[j] = int64(v)
+		}
+		meta := &DBMeta{
+			ID:   DBID(id),
+			Name: name,
+			Layout: DBLayout{
+				Geom: flash.Geometry{
+					Channels: int(vals[0]), ChipsPerChannel: int(vals[1]),
+					PlanesPerChip: int(vals[2]), BlocksPerPlane: int(vals[3]),
+					PagesPerBlock: int(vals[4]), PageBytes: vals[5],
+				},
+				FeatureBytes: vals[6],
+				Features:     vals[7],
+				StartBlock:   int(vals[8]),
+			},
+		}
+		if err := meta.Layout.Validate(); err != nil {
+			return nil, fmt.Errorf("ftl: snapshot db %d: %w", id, err)
+		}
+		f.dbs[meta.ID] = meta
+	}
+	// Cross-check: every db in the table owns at least one column.
+	for id := range f.dbs {
+		owned := false
+		for _, o := range f.blockOwner {
+			if o == id {
+				owned = true
+				break
+			}
+		}
+		if !owned {
+			return nil, fmt.Errorf("ftl: snapshot db %d owns no block columns", id)
+		}
+	}
+	return f, nil
+}
+
+func writeU32(w *bufio.Writer, v uint32) {
+	var b [4]byte
+	persistOrder.PutUint32(b[:], v)
+	w.Write(b[:])
+}
+
+func writeU64(w *bufio.Writer, v uint64) {
+	var b [8]byte
+	persistOrder.PutUint64(b[:], v)
+	w.Write(b[:])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeU32(w, uint32(len(s)))
+	w.WriteString(s)
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return persistOrder.Uint32(b[:]), nil
+}
+
+func readU64(r io.Reader) (uint64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return persistOrder.Uint64(b[:]), nil
+}
+
+func readStringR(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("ftl: snapshot string length %d too large", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

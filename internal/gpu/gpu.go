@@ -1,0 +1,109 @@
+// Package gpu models the discrete GPUs of the baseline system (§3): NVIDIA
+// Titan Xp (Pascal) and Titan V (Volta). Similarity-comparison batches are
+// costed with a roofline over peak FP32 throughput and memory bandwidth,
+// plus a per-kernel launch overhead — the first-order behaviour that makes
+// the small FC layers of intelligent queries memory-bound on GPUs.
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+)
+
+// Model describes one GPU.
+type Model struct {
+	Name string
+	// PeakFLOPs is peak FP32 throughput in FLOP/s.
+	PeakFLOPs float64
+	// MemBandwidth is device memory bandwidth in bytes/s.
+	MemBandwidth float64
+	// BoardPowerW is the TDP; AvgPowerFactor scales it to the nvidia-smi
+	// style average draw during the I/O-heavy query workloads.
+	BoardPowerW    float64
+	AvgPowerFactor float64
+	// LaunchOverheadSec is the per-kernel launch + sync cost.
+	LaunchOverheadSec float64
+	// H2DBandwidth is the effective host-to-device PCIe copy bandwidth.
+	H2DBandwidth float64
+}
+
+// Pascal returns the Titan Xp model used in §3.
+func Pascal() Model {
+	return Model{
+		Name:              "Titan Xp (Pascal)",
+		PeakFLOPs:         12.15e12,
+		MemBandwidth:      547e9,
+		BoardPowerW:       250,
+		AvgPowerFactor:    0.8,
+		LaunchOverheadSec: 10e-6,
+		H2DBandwidth:      12e9,
+	}
+}
+
+// Volta returns the Titan V model used in §3 and §6.
+func Volta() Model {
+	return Model{
+		Name:              "Titan V (Volta)",
+		PeakFLOPs:         14.9e12,
+		MemBandwidth:      653e9,
+		BoardPowerW:       250,
+		AvgPowerFactor:    0.8,
+		LaunchOverheadSec: 10e-6,
+		H2DBandwidth:      12e9,
+	}
+}
+
+// Validate reports model errors.
+func (m Model) Validate() error {
+	if m.PeakFLOPs <= 0 || m.MemBandwidth <= 0 || m.H2DBandwidth <= 0 {
+		return fmt.Errorf("gpu: non-positive throughput in %+v", m)
+	}
+	if m.BoardPowerW <= 0 || m.AvgPowerFactor <= 0 || m.AvgPowerFactor > 1 {
+		return fmt.Errorf("gpu: invalid power model in %+v", m)
+	}
+	if m.LaunchOverheadSec < 0 {
+		return fmt.Errorf("gpu: negative launch overhead")
+	}
+	return nil
+}
+
+// BatchComputeTime returns the SCN execution time for a batch of comparisons
+// against one query: each layer is a batched GEMM costed at
+// max(FLOP/peak, bytes/bandwidth) plus one launch overhead per layer.
+func (m Model) BatchComputeTime(plan []nn.LayerDims, batch int) float64 {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	if batch <= 0 {
+		panic(fmt.Sprintf("gpu: batch %d invalid", batch))
+	}
+	b := float64(batch)
+	var total float64
+	for _, d := range plan {
+		flops := float64(d.FLOPs) * b
+		var bytes float64
+		switch d.Kind {
+		case nn.KindElementwise:
+			// Two operand streams and one output stream.
+			bytes = 3 * 4 * float64(d.In.Elems()) * b
+		default:
+			// Batched GEMM: activations in/out per item, weights once.
+			bytes = 4 * (b*float64(d.In.Elems()) + b*float64(d.Out.Elems()) + float64(d.Weights))
+		}
+		t := flops / m.PeakFLOPs
+		if mt := bytes / m.MemBandwidth; mt > t {
+			t = mt
+		}
+		total += t + m.LaunchOverheadSec
+	}
+	return total
+}
+
+// H2DTime returns the host-to-device copy time for n bytes.
+func (m Model) H2DTime(bytes int64) float64 {
+	return float64(bytes) / m.H2DBandwidth
+}
+
+// AvgPowerW returns the modeled average power draw under query workloads.
+func (m Model) AvgPowerW() float64 { return m.BoardPowerW * m.AvgPowerFactor }

@@ -1,0 +1,88 @@
+package gpu
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestModelsValid(t *testing.T) {
+	for _, m := range []Model{Pascal(), Volta()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", m.Name, err)
+		}
+	}
+}
+
+// TestVoltaFasterThanPascal reproduces the §3 observation: Volta runs the
+// compute-intensive SCN layers ~33% faster than Pascal.
+func TestVoltaFasterThanPascal(t *testing.T) {
+	for _, a := range workload.Apps() {
+		plan := a.SCN.LayerPlan()
+		tp := Pascal().BatchComputeTime(plan, a.DefaultBatch)
+		tv := Volta().BatchComputeTime(plan, a.DefaultBatch)
+		if tv >= tp {
+			t.Errorf("%s: Volta (%.4g s) not faster than Pascal (%.4g s)", a.Name, tv, tp)
+		}
+		speedup := tp / tv
+		if speedup < 1.05 || speedup > 1.6 {
+			t.Errorf("%s: Volta speedup = %.2fx, want ~1.2-1.35x band", a.Name, speedup)
+		}
+	}
+}
+
+func TestBatchComputeScalesWithBatch(t *testing.T) {
+	a, _ := workload.ByName("TIR")
+	plan := a.SCN.LayerPlan()
+	m := Volta()
+	t1 := m.BatchComputeTime(plan, 1000)
+	t2 := m.BatchComputeTime(plan, 2000)
+	if t2 <= t1 {
+		t.Errorf("doubling batch did not increase time: %v vs %v", t1, t2)
+	}
+	if t2 > 2.2*t1 {
+		t.Errorf("compute grew superlinearly: %v vs %v", t1, t2)
+	}
+}
+
+func TestBatchComputePanicsOnBadInput(t *testing.T) {
+	a, _ := workload.ByName("TIR")
+	defer func() {
+		if recover() == nil {
+			t.Error("batch 0 did not panic")
+		}
+	}()
+	Volta().BatchComputeTime(a.SCN.LayerPlan(), 0)
+}
+
+func TestH2DTime(t *testing.T) {
+	m := Volta()
+	if got := m.H2DTime(12e9); got < 0.99 || got > 1.01 {
+		t.Errorf("12 GB over 12 GB/s = %v s, want 1", got)
+	}
+}
+
+func TestAvgPower(t *testing.T) {
+	m := Volta()
+	if p := m.AvgPowerW(); p <= 0 || p > m.BoardPowerW {
+		t.Errorf("avg power = %v", p)
+	}
+}
+
+// TestSmallLayersMemoryBound: TextQA's tiny FC layer must be memory-bound on
+// the GPU (the reason wimpy compute is nowhere near enough but a GPU is
+// still underutilized).
+func TestSmallLayersMemoryBound(t *testing.T) {
+	a, _ := workload.ByName("TextQA")
+	m := Volta()
+	batch := a.DefaultBatch
+	tm := m.BatchComputeTime(a.SCN.LayerPlan(), batch)
+	var flops float64
+	for _, d := range a.SCN.LayerPlan() {
+		flops += float64(d.FLOPs)
+	}
+	idealCompute := flops * float64(batch) / m.PeakFLOPs
+	if tm < 1.5*idealCompute {
+		t.Errorf("TextQA not memory/launch bound: %v vs ideal %v", tm, idealCompute)
+	}
+}

@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func benchNetwork() *Network {
+	n := MustNetwork("bench", tensor.Shape{512}, CombineHadamard,
+		NewFC("fc1", 512, 512, ActReLU),
+		NewFC("fc2", 512, 256, ActReLU),
+		NewFC("fc3", 256, 2, ActNone),
+	)
+	n.InitRandom(1)
+	return n
+}
+
+// BenchmarkSCNForward measures one similarity comparison — the numeric path
+// the examples exercise per database feature.
+func BenchmarkSCNForward(b *testing.B) {
+	n := benchNetwork()
+	q := make([]float32, 512)
+	d := make([]float32, 512)
+	for i := range q {
+		q[i] = float32(i%7) / 7
+		d[i] = float32(i%5) / 5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Score(q, d)
+	}
+}
+
+func BenchmarkModelMarshal(b *testing.B) {
+	n := benchNetwork()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelUnmarshal(b *testing.B) {
+	data, err := Marshal(benchNetwork())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+// randomNetwork builds an arbitrary small valid network from a seed.
+func randomNetwork(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	combines := []CombineOp{CombineHadamard, CombineSubtract, CombineConcat}
+	combine := combines[rng.Intn(len(combines))]
+	fe := 4 + rng.Intn(60)
+	in := fe
+	if combine == CombineConcat {
+		in = 2 * fe
+	}
+	var layers []Layer
+	nLayers := 1 + rng.Intn(3)
+	for i := 0; i < nLayers; i++ {
+		out := 1 + rng.Intn(32)
+		acts := []Activation{ActNone, ActReLU, ActSigmoid}
+		layers = append(layers, NewFC("fc", in, out, acts[rng.Intn(3)]))
+		in = out
+	}
+	n := MustNetwork("rand", tensor.Shape{fe}, combine, layers...)
+	n.InitRandom(seed)
+	return n
+}
+
+// TestCodecRoundTripProperty: arbitrary networks survive marshal/unmarshal
+// with identical structure and bit-identical forward passes.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := randomNetwork(seed)
+		data, err := Marshal(n)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		if got.FLOPsPerComparison() != n.FLOPsPerComparison() ||
+			got.WeightCount() != n.WeightCount() ||
+			got.Combine != n.Combine {
+			return false
+		}
+		fe := n.FeatureElems()
+		q := make([]float32, fe)
+		d := make([]float32, fe)
+		rng := rand.New(rand.NewSource(seed ^ 0x5555))
+		for i := range q {
+			q[i] = rng.Float32()
+			d[i] = rng.Float32()
+		}
+		return n.Score(q, d) == got.Score(q, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCodecNeverPanicsOnCorruption: flipping any single byte of a valid
+// model image must produce either a clean error or a decodable network —
+// never a panic.
+func TestCodecNeverPanicsOnCorruption(t *testing.T) {
+	n := randomNetwork(7)
+	data, err := Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := len(data)
+	if limit > 512 {
+		limit = 512 // corrupting the header region is the interesting part
+	}
+	for i := 0; i < limit; i++ {
+		corrupted := append([]byte(nil), data...)
+		corrupted[i] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("byte %d corruption panicked: %v", i, r)
+				}
+			}()
+			_, _ = Unmarshal(corrupted)
+		}()
+	}
+}

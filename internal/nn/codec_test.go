@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func reidLikeNetwork() *Network {
+	return MustNetwork("ReId-like", tensor.Shape{8, 6, 4}, CombineSubtract,
+		NewConv("conv1", 8, 6, 4, 4, 3, 3, 1, 1, ActReLU),
+		NewConv("conv2", 8, 6, 4, 4, 3, 3, 2, 1, ActReLU),
+		NewFC("fc1", 4*3*4, 16, ActReLU),
+		NewFC("fc2", 16, 2, ActNone),
+	)
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, n := range []*Network{tirNetwork(), reidLikeNetwork()} {
+		n.InitRandom(99)
+		data, err := Marshal(n)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", n.Name, err)
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", n.Name, err)
+		}
+		if got.Name != n.Name {
+			t.Errorf("name = %q, want %q", got.Name, n.Name)
+		}
+		if !got.FeatureShape.Equal(n.FeatureShape) {
+			t.Errorf("shape = %v, want %v", got.FeatureShape, n.FeatureShape)
+		}
+		if got.Combine != n.Combine {
+			t.Errorf("combine = %v, want %v", got.Combine, n.Combine)
+		}
+		if got.FLOPsPerComparison() != n.FLOPsPerComparison() {
+			t.Errorf("FLOPs changed across round trip")
+		}
+		if got.WeightCount() != n.WeightCount() {
+			t.Errorf("weights changed across round trip")
+		}
+		// Forward passes must agree bit-for-bit.
+		q := make([]float32, n.FeatureElems())
+		d := make([]float32, n.FeatureElems())
+		for i := range q {
+			q[i] = float32(i%13) / 13
+			d[i] = float32(i%11) / 11
+		}
+		if n.Score(q, d) != got.Score(q, d) {
+			t.Errorf("%s: scores differ after round trip", n.Name)
+		}
+	}
+}
+
+func TestCodecRejectsBadMagic(t *testing.T) {
+	if _, err := Unmarshal([]byte("XXXX garbage")); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestCodecRejectsTruncated(t *testing.T) {
+	data, err := Marshal(tirNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{4, 10, len(data) / 2, len(data) - 1} {
+		if _, err := Unmarshal(data[:cut]); err == nil {
+			t.Errorf("truncated model (%d bytes) accepted", cut)
+		}
+	}
+}
+
+func TestCodecRejectsBadVersion(t *testing.T) {
+	data, err := Marshal(tirNetwork())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[4] = 0xFF // bump version
+	if _, err := Unmarshal(data); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestCodecRejectsUnknownCombine(t *testing.T) {
+	n := MustNetwork("x", tensor.Shape{4}, CombineHadamard, NewFC("fc", 4, 1, ActNone))
+	data, err := Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The combine byte follows magic(4) + version(2) + name(2+len) + rank(1) + dims(4).
+	off := 4 + 2 + 2 + len(n.Name) + 1 + 4
+	data[off] = 0x7F
+	if _, err := Unmarshal(data); err == nil {
+		t.Error("unknown combine op accepted")
+	}
+}
+
+func TestWriteReadStream(t *testing.T) {
+	n := tirNetwork()
+	n.InitRandom(3)
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != n.Name {
+		t.Errorf("name = %q", got.Name)
+	}
+}
+
+func TestCodecSizeMatchesWeights(t *testing.T) {
+	n := tirNetwork()
+	data, err := Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serialized size must be weight bytes + non-weight float data (biases
+	// are already in WeightCount) + small header overhead.
+	if int64(len(data)) < n.WeightBytes() {
+		t.Errorf("serialized %d bytes < weight bytes %d", len(data), n.WeightBytes())
+	}
+	if int64(len(data)) > n.WeightBytes()+4096 {
+		t.Errorf("serialized %d bytes has too much overhead (weights %d)", len(data), n.WeightBytes())
+	}
+}

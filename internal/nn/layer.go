@@ -1,0 +1,335 @@
+// Package nn implements the neural-network layer library used by DeepStore's
+// similarity comparison networks (SCNs) and query comparison networks (QCNs).
+//
+// The paper's workload study (§3, Table 1) shows that intelligent-query
+// networks are built from three layer families — convolutional, fully
+// connected, and element-wise — plus activations. This package provides:
+//
+//   - real float32 forward execution, so examples can compute actual
+//     similarity scores on feature vectors;
+//   - static characterization (FLOPs, weight bytes, output shapes) consumed
+//     by the systolic-array timing model and the energy model; and
+//   - a binary model-exchange codec standing in for the paper's ONNX format
+//     (§4.7.2, loadModel).
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Kind identifies a layer family, matching the taxonomy of Table 1.
+type Kind int
+
+const (
+	KindFC Kind = iota
+	KindConv
+	KindElementwise
+)
+
+// String returns the Table 1 column name of the layer family.
+func (k Kind) String() string {
+	switch k {
+	case KindFC:
+		return "FC"
+	case KindConv:
+		return "CONV"
+	case KindElementwise:
+		return "EW"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Activation selects the nonlinearity applied after a layer's affine part.
+type Activation int
+
+const (
+	ActNone Activation = iota
+	ActReLU
+	ActSigmoid
+)
+
+func (a Activation) apply(x []float32) {
+	switch a {
+	case ActReLU:
+		tensor.ReLU(x)
+	case ActSigmoid:
+		tensor.Sigmoid(x)
+	}
+}
+
+// String names the activation.
+func (a Activation) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActReLU:
+		return "relu"
+	case ActSigmoid:
+		return "sigmoid"
+	default:
+		return fmt.Sprintf("Activation(%d)", int(a))
+	}
+}
+
+// Layer is one stage of a sequential similarity-comparison network.
+type Layer interface {
+	// Name returns a short diagnostic name, e.g. "fc1".
+	Name() string
+	// Kind returns the layer family.
+	Kind() Kind
+	// OutputShape returns the shape produced for the given input shape.
+	OutputShape(in tensor.Shape) tensor.Shape
+	// FLOPs returns the floating-point operations per forward pass
+	// (multiply and add counted separately, as in Table 1).
+	FLOPs(in tensor.Shape) int64
+	// WeightCount returns the number of learned parameters.
+	WeightCount() int64
+	// Forward computes the layer on in, returning a fresh output tensor.
+	Forward(in *tensor.Tensor) *tensor.Tensor
+	// InitRandom fills parameters from rng with small centered values.
+	InitRandom(rng *rand.Rand)
+}
+
+// FC is a fully connected (dense) layer: y = act(Wx + b).
+type FC struct {
+	LayerName string
+	In, Out   int
+	W         []float32 // Out×In row-major
+	B         []float32 // Out
+	Act       Activation
+}
+
+// NewFC allocates a fully connected layer with zero weights.
+func NewFC(name string, in, out int, act Activation) *FC {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: fc %q dims %dx%d invalid", name, in, out))
+	}
+	return &FC{
+		LayerName: name, In: in, Out: out,
+		W: make([]float32, in*out), B: make([]float32, out), Act: act,
+	}
+}
+
+// Name implements Layer.
+func (l *FC) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *FC) Kind() Kind { return KindFC }
+
+// OutputShape implements Layer. FC flattens any input of matching size.
+func (l *FC) OutputShape(in tensor.Shape) tensor.Shape {
+	if in.Elems() != l.In {
+		panic(fmt.Sprintf("nn: fc %q expects %d inputs, got shape %v", l.LayerName, l.In, in))
+	}
+	return tensor.Shape{l.Out}
+}
+
+// FLOPs implements Layer: one multiply plus one add per weight.
+func (l *FC) FLOPs(in tensor.Shape) int64 { return 2 * int64(l.In) * int64(l.Out) }
+
+// WeightCount implements Layer.
+func (l *FC) WeightCount() int64 { return int64(l.In)*int64(l.Out) + int64(l.Out) }
+
+// Forward implements Layer.
+func (l *FC) Forward(in *tensor.Tensor) *tensor.Tensor {
+	if in.Elems() != l.In {
+		panic(fmt.Sprintf("nn: fc %q expects %d inputs, got %d", l.LayerName, l.In, in.Elems()))
+	}
+	out := tensor.New(l.Out)
+	tensor.Gemv(out.Data, l.W, in.Data, l.B)
+	l.Act.apply(out.Data)
+	return out
+}
+
+// InitRandom implements Layer with Xavier-style scaling.
+func (l *FC) InitRandom(rng *rand.Rand) {
+	scale := float32(1.0) / float32(l.In)
+	for i := range l.W {
+		l.W[i] = (rng.Float32()*2 - 1) * scale
+	}
+	for i := range l.B {
+		l.B[i] = (rng.Float32()*2 - 1) * 0.01
+	}
+}
+
+// Conv is a 2-D convolutional layer over HWC inputs.
+type Conv struct {
+	LayerName string
+	H, W, C   int // expected input dims
+	K         int // filter count
+	R, S      int // kernel height, width
+	Stride    int
+	Pad       int
+	Wt        []float32 // K×R×S×C
+	B         []float32 // K
+	Act       Activation
+}
+
+// NewConv allocates a convolutional layer with zero weights.
+func NewConv(name string, h, w, c, k, r, s, stride, pad int, act Activation) *Conv {
+	if h <= 0 || w <= 0 || c <= 0 || k <= 0 || r <= 0 || s <= 0 || stride <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: conv %q has invalid geometry", name))
+	}
+	if tensor.ConvOutput(h, r, stride, pad) <= 0 || tensor.ConvOutput(w, s, stride, pad) <= 0 {
+		panic(fmt.Sprintf("nn: conv %q produces empty output", name))
+	}
+	return &Conv{
+		LayerName: name, H: h, W: w, C: c, K: k, R: r, S: s, Stride: stride, Pad: pad,
+		Wt: make([]float32, k*r*s*c), B: make([]float32, k), Act: act,
+	}
+}
+
+// Name implements Layer.
+func (l *Conv) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *Conv) Kind() Kind { return KindConv }
+
+// OutputShape implements Layer.
+func (l *Conv) OutputShape(in tensor.Shape) tensor.Shape {
+	if in.Elems() != l.H*l.W*l.C {
+		panic(fmt.Sprintf("nn: conv %q expects %d inputs, got shape %v", l.LayerName, l.H*l.W*l.C, in))
+	}
+	return tensor.Shape{
+		tensor.ConvOutput(l.H, l.R, l.Stride, l.Pad),
+		tensor.ConvOutput(l.W, l.S, l.Stride, l.Pad),
+		l.K,
+	}
+}
+
+// FLOPs implements Layer: 2 ops per MAC across the output volume.
+func (l *Conv) FLOPs(in tensor.Shape) int64 {
+	out := l.OutputShape(in)
+	return 2 * int64(out[0]) * int64(out[1]) * int64(l.K) * int64(l.R) * int64(l.S) * int64(l.C)
+}
+
+// WeightCount implements Layer.
+func (l *Conv) WeightCount() int64 {
+	return int64(l.K)*int64(l.R)*int64(l.S)*int64(l.C) + int64(l.K)
+}
+
+// Forward implements Layer.
+func (l *Conv) Forward(in *tensor.Tensor) *tensor.Tensor {
+	shape := l.OutputShape(in.Shape)
+	out := tensor.New(shape...)
+	tensor.Conv2D(out.Data, in.Data, l.Wt, l.B, l.H, l.W, l.C, l.K, l.R, l.S, l.Stride, l.Pad)
+	l.Act.apply(out.Data)
+	return out
+}
+
+// InitRandom implements Layer.
+func (l *Conv) InitRandom(rng *rand.Rand) {
+	scale := float32(1.0) / float32(l.R*l.S*l.C)
+	for i := range l.Wt {
+		l.Wt[i] = (rng.Float32()*2 - 1) * scale
+	}
+	for i := range l.B {
+		l.B[i] = (rng.Float32()*2 - 1) * 0.01
+	}
+}
+
+// EWOp selects the arithmetic of an element-wise layer.
+type EWOp int
+
+const (
+	EWAdd EWOp = iota
+	EWSub
+	EWMul
+	// EWScale multiplies every element by a learned per-element weight
+	// (the only parameterized element-wise form in the studied apps).
+	EWScale
+)
+
+// String names the element-wise operation.
+func (o EWOp) String() string {
+	switch o {
+	case EWAdd:
+		return "add"
+	case EWSub:
+		return "sub"
+	case EWMul:
+		return "mul"
+	case EWScale:
+		return "scale"
+	default:
+		return fmt.Sprintf("EWOp(%d)", int(o))
+	}
+}
+
+// Elementwise is an element-wise layer. Binary forms (add/sub/mul) combine
+// the input with a stored operand vector; EWScale applies learned weights.
+// Inside a Network the combine stage supplies the second operand, so an
+// Elementwise layer used mid-network holds its operand explicitly.
+type Elementwise struct {
+	LayerName string
+	N         int
+	Op        EWOp
+	Operand   []float32 // length N; learned weights for EWScale, constants otherwise
+}
+
+// NewElementwise allocates an element-wise layer of width n.
+func NewElementwise(name string, n int, op EWOp) *Elementwise {
+	if n <= 0 {
+		panic(fmt.Sprintf("nn: elementwise %q width %d invalid", name, n))
+	}
+	return &Elementwise{LayerName: name, N: n, Op: op, Operand: make([]float32, n)}
+}
+
+// Name implements Layer.
+func (l *Elementwise) Name() string { return l.LayerName }
+
+// Kind implements Layer.
+func (l *Elementwise) Kind() Kind { return KindElementwise }
+
+// OutputShape implements Layer.
+func (l *Elementwise) OutputShape(in tensor.Shape) tensor.Shape {
+	if in.Elems() != l.N {
+		panic(fmt.Sprintf("nn: elementwise %q expects %d inputs, got shape %v", l.LayerName, l.N, in))
+	}
+	return tensor.Shape{l.N}
+}
+
+// FLOPs implements Layer: one op per element.
+func (l *Elementwise) FLOPs(in tensor.Shape) int64 { return int64(l.N) }
+
+// WeightCount implements Layer: only EWScale has learned parameters.
+func (l *Elementwise) WeightCount() int64 {
+	if l.Op == EWScale {
+		return int64(l.N)
+	}
+	return 0
+}
+
+// Forward implements Layer.
+func (l *Elementwise) Forward(in *tensor.Tensor) *tensor.Tensor {
+	if in.Elems() != l.N {
+		panic(fmt.Sprintf("nn: elementwise %q expects %d inputs, got %d", l.LayerName, l.N, in.Elems()))
+	}
+	out := tensor.New(l.N)
+	switch l.Op {
+	case EWAdd:
+		for i := range out.Data {
+			out.Data[i] = in.Data[i] + l.Operand[i]
+		}
+	case EWSub:
+		for i := range out.Data {
+			out.Data[i] = in.Data[i] - l.Operand[i]
+		}
+	case EWMul, EWScale:
+		for i := range out.Data {
+			out.Data[i] = in.Data[i] * l.Operand[i]
+		}
+	}
+	return out
+}
+
+// InitRandom implements Layer.
+func (l *Elementwise) InitRandom(rng *rand.Rand) {
+	for i := range l.Operand {
+		l.Operand[i] = rng.Float32()*2 - 1
+	}
+}

@@ -1,0 +1,251 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// CombineOp describes how a network's two branches — the query feature vector
+// (QFV) and a database feature vector (DFV) — are merged before the shared
+// layer stack (the two-branch architecture of §2.1, Fig. 1).
+type CombineOp int
+
+const (
+	// CombineHadamard multiplies QFV and DFV element-wise (the "vector dot
+	// product" front end of TIR and TextQA). Counted as one element-wise
+	// layer in Table 1.
+	CombineHadamard CombineOp = iota
+	// CombineSubtract takes QFV − DFV element-wise (ReId-style neighborhood
+	// difference). Counted as one element-wise layer.
+	CombineSubtract
+	// CombineConcat concatenates [QFV ‖ DFV]. Pure data movement: zero
+	// FLOPs, not counted as an element-wise layer (MIR, ESTP).
+	CombineConcat
+)
+
+// String names the combine op.
+func (c CombineOp) String() string {
+	switch c {
+	case CombineHadamard:
+		return "hadamard"
+	case CombineSubtract:
+		return "subtract"
+	case CombineConcat:
+		return "concat"
+	default:
+		return fmt.Sprintf("CombineOp(%d)", int(c))
+	}
+}
+
+// IsElementwise reports whether the combine counts as an element-wise layer
+// in the Table 1 taxonomy.
+func (c CombineOp) IsElementwise() bool { return c != CombineConcat }
+
+// Network is a similarity-comparison network (SCN) or query-comparison
+// network (QCN): a two-branch front end merged by Combine, followed by a
+// sequential layer stack ending in a similarity score.
+type Network struct {
+	Name string
+	// FeatureShape is the shape of one feature vector (each branch).
+	FeatureShape tensor.Shape
+	Combine      CombineOp
+	Layers       []Layer
+}
+
+// NewNetwork builds a network and validates that the layer stack is
+// shape-consistent with the combined input.
+func NewNetwork(name string, featureShape tensor.Shape, combine CombineOp, layers ...Layer) (*Network, error) {
+	n := &Network{Name: name, FeatureShape: featureShape.Clone(), Combine: combine, Layers: layers}
+	if featureShape.Elems() == 0 {
+		return nil, fmt.Errorf("nn: network %q has empty feature shape", name)
+	}
+	// Walk shapes through the stack; Layer.OutputShape panics on mismatch,
+	// which we convert to an error here so construction is checkable.
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("nn: network %q shape check: %v", name, r)
+			}
+		}()
+		shape := n.combinedShape()
+		for _, l := range layers {
+			shape = l.OutputShape(shape)
+		}
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MustNetwork is NewNetwork that panics on error; for static model zoo
+// definitions that are covered by tests.
+func MustNetwork(name string, featureShape tensor.Shape, combine CombineOp, layers ...Layer) *Network {
+	n, err := NewNetwork(name, featureShape, combine, layers...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// combinedShape is the shape entering the first layer.
+func (n *Network) combinedShape() tensor.Shape {
+	if n.Combine == CombineConcat {
+		return tensor.Shape{2 * n.FeatureShape.Elems()}
+	}
+	return n.FeatureShape.Clone()
+}
+
+// FeatureElems returns the element count of one feature vector.
+func (n *Network) FeatureElems() int { return n.FeatureShape.Elems() }
+
+// FeatureBytes returns the byte size of one float32 feature vector.
+func (n *Network) FeatureBytes() int64 { return int64(n.FeatureShape.Elems()) * 4 }
+
+// Score runs a forward pass comparing qfv against dfv and returns the
+// similarity score: the first element of the final layer output.
+func (n *Network) Score(qfv, dfv []float32) float32 {
+	fe := n.FeatureElems()
+	if len(qfv) != fe || len(dfv) != fe {
+		panic(fmt.Sprintf("nn: network %q wants %d-element features, got %d and %d",
+			n.Name, fe, len(qfv), len(dfv)))
+	}
+	var x *tensor.Tensor
+	switch n.Combine {
+	case CombineHadamard:
+		x = tensor.New(fe)
+		for i := 0; i < fe; i++ {
+			x.Data[i] = qfv[i] * dfv[i]
+		}
+	case CombineSubtract:
+		// Preserve the feature's spatial shape for conv stacks (ReId).
+		x = tensor.New(n.FeatureShape...)
+		for i := 0; i < fe; i++ {
+			x.Data[i] = qfv[i] - dfv[i]
+		}
+	case CombineConcat:
+		x = tensor.New(2 * fe)
+		copy(x.Data[:fe], qfv)
+		copy(x.Data[fe:], dfv)
+	}
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x.Data[0]
+}
+
+// FLOPsPerComparison returns the total FLOPs of one query-to-feature
+// comparison, including the combine stage.
+func (n *Network) FLOPsPerComparison() int64 {
+	var total int64
+	if n.Combine.IsElementwise() {
+		total += int64(n.FeatureElems())
+	}
+	shape := n.combinedShape()
+	for _, l := range n.Layers {
+		total += l.FLOPs(shape)
+		shape = l.OutputShape(shape)
+	}
+	return total
+}
+
+// WeightCount returns the total learned parameters.
+func (n *Network) WeightCount() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += l.WeightCount()
+	}
+	return total
+}
+
+// WeightBytes returns the model size in bytes (float32 parameters).
+func (n *Network) WeightBytes() int64 { return n.WeightCount() * 4 }
+
+// CountKinds returns the number of layers of each family, with the combine
+// stage counted as an element-wise layer when applicable — the Table 1
+// accounting.
+func (n *Network) CountKinds() (conv, fc, ew int) {
+	if n.Combine.IsElementwise() {
+		ew++
+	}
+	for _, l := range n.Layers {
+		switch l.Kind() {
+		case KindConv:
+			conv++
+		case KindFC:
+			fc++
+		case KindElementwise:
+			ew++
+		}
+	}
+	return conv, fc, ew
+}
+
+// LayerDims describes one layer for the timing model.
+type LayerDims struct {
+	Name    string
+	Kind    Kind
+	In      tensor.Shape
+	Out     tensor.Shape
+	FLOPs   int64
+	Weights int64
+	// Conv geometry (zero for non-conv layers).
+	K, R, S, C, Stride int
+}
+
+// LayerPlan returns per-layer dimensions, including a synthetic entry for an
+// element-wise combine stage, in execution order. The timing model maps each
+// entry onto the systolic array.
+func (n *Network) LayerPlan() []LayerDims {
+	var plan []LayerDims
+	shape := n.FeatureShape.Clone()
+	if n.Combine.IsElementwise() {
+		plan = append(plan, LayerDims{
+			Name:  "combine-" + n.Combine.String(),
+			Kind:  KindElementwise,
+			In:    shape.Clone(),
+			Out:   shape.Clone(),
+			FLOPs: int64(shape.Elems()),
+		})
+	} else {
+		shape = n.combinedShape()
+	}
+	for _, l := range n.Layers {
+		d := LayerDims{
+			Name:    l.Name(),
+			Kind:    l.Kind(),
+			In:      shape.Clone(),
+			Out:     l.OutputShape(shape),
+			FLOPs:   l.FLOPs(shape),
+			Weights: l.WeightCount(),
+		}
+		if cv, ok := l.(*Conv); ok {
+			d.K, d.R, d.S, d.C, d.Stride = cv.K, cv.R, cv.S, cv.C, cv.Stride
+		}
+		plan = append(plan, d)
+		shape = d.Out
+	}
+	return plan
+}
+
+// InitRandom initializes every layer's parameters deterministically from
+// seed, so simulations and examples are reproducible.
+func (n *Network) InitRandom(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, l := range n.Layers {
+		l.InitRandom(rng)
+	}
+}
+
+// String summarizes the network, e.g.
+// "TIR: 512 features, hadamard, FC 512x512 -> FC 512x256 -> FC 256x2".
+func (n *Network) String() string {
+	s := fmt.Sprintf("%s: %d features, %s", n.Name, n.FeatureElems(), n.Combine)
+	for _, l := range n.Layers {
+		s += " -> " + l.Name()
+	}
+	return s
+}

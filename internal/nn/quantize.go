@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Feature quantization — the functional half of the §7 precision extension.
+// The timing/energy model (systolic.Precision) accounts for narrow storage
+// and arithmetic; these helpers perform the actual value conversion so the
+// accuracy cost of quantizing feature vectors can be measured.
+
+// QuantizedVector is an int8-quantized feature vector with a per-vector
+// scale: value[i] ≈ float32(Data[i]) * Scale.
+type QuantizedVector struct {
+	Data  []int8
+	Scale float32
+}
+
+// QuantizeVector converts a float32 feature vector to int8 with symmetric
+// per-vector scaling (max-abs calibration).
+func QuantizeVector(v []float32) QuantizedVector {
+	var maxAbs float32
+	for _, x := range v {
+		if a := float32(math.Abs(float64(x))); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	q := QuantizedVector{Data: make([]int8, len(v))}
+	if maxAbs == 0 {
+		q.Scale = 1
+		return q
+	}
+	q.Scale = maxAbs / 127
+	for i, x := range v {
+		r := x / q.Scale
+		switch {
+		case r > 127:
+			r = 127
+		case r < -127:
+			r = -127
+		}
+		q.Data[i] = int8(math.RoundToEven(float64(r)))
+	}
+	return q
+}
+
+// Dequantize reconstructs the float32 vector.
+func (q QuantizedVector) Dequantize() []float32 {
+	out := make([]float32, len(q.Data))
+	for i, x := range q.Data {
+		out[i] = float32(x) * q.Scale
+	}
+	return out
+}
+
+// Bytes returns the storage footprint: one byte per element plus the scale.
+func (q QuantizedVector) Bytes() int64 { return int64(len(q.Data)) + 4 }
+
+// QuantizeDB quantizes a whole feature database.
+func QuantizeDB(vectors [][]float32) []QuantizedVector {
+	out := make([]QuantizedVector, len(vectors))
+	for i, v := range vectors {
+		out[i] = QuantizeVector(v)
+	}
+	return out
+}
+
+// QuantizationError reports the quantization fidelity of one vector:
+// the relative L2 error ‖v − deq(q(v))‖ / ‖v‖ (0 for a zero vector).
+func QuantizationError(v []float32) float64 {
+	q := QuantizeVector(v).Dequantize()
+	var num, den float64
+	for i := range v {
+		d := float64(v[i] - q[i])
+		num += d * d
+		den += float64(v[i]) * float64(v[i])
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+// ScoreDrift measures how much int8 feature quantization perturbs a
+// network's similarity scores: the mean absolute score change over the
+// given query/feature pairs, with both operands quantized.
+func ScoreDrift(net *Network, qfvs, dfvs [][]float32) (float64, error) {
+	if net == nil {
+		return 0, fmt.Errorf("nn: nil network")
+	}
+	if len(qfvs) == 0 || len(dfvs) == 0 {
+		return 0, fmt.Errorf("nn: no vectors")
+	}
+	var sum float64
+	n := 0
+	for _, q := range qfvs {
+		dq := QuantizeVector(q).Dequantize()
+		for _, d := range dfvs {
+			dd := QuantizeVector(d).Dequantize()
+			exact := net.Score(q, d)
+			quant := net.Score(dq, dd)
+			sum += math.Abs(float64(exact - quant))
+			n++
+		}
+	}
+	return sum / float64(n), nil
+}

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func newTestRng(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+func TestQuantizeRoundTripSmallError(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := newTestRng(seed)
+		v := make([]float32, 64)
+		for i := range v {
+			v[i] = rng.Float32()*2 - 1
+		}
+		return QuantizationError(v) < 0.01 // int8 max-abs: < 1% relative L2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeZeroVector(t *testing.T) {
+	q := QuantizeVector(make([]float32, 8))
+	for _, x := range q.Dequantize() {
+		if x != 0 {
+			t.Fatal("zero vector did not survive quantization")
+		}
+	}
+	if QuantizationError(make([]float32, 8)) != 0 {
+		t.Error("zero vector has error")
+	}
+}
+
+func TestQuantizeBounds(t *testing.T) {
+	v := []float32{-5, 0, 2.5, 5}
+	q := QuantizeVector(v)
+	if q.Data[0] != -127 || q.Data[3] != 127 {
+		t.Errorf("extremes = %d, %d, want ±127", q.Data[0], q.Data[3])
+	}
+	if q.Data[1] != 0 {
+		t.Errorf("zero = %d", q.Data[1])
+	}
+	// Storage: 4x smaller than float32 plus the scale word.
+	if q.Bytes() != int64(len(v))+4 {
+		t.Errorf("bytes = %d", q.Bytes())
+	}
+}
+
+func TestQuantizeDB(t *testing.T) {
+	db := [][]float32{{1, -1}, {0.5, 0.25}}
+	qs := QuantizeDB(db)
+	if len(qs) != 2 {
+		t.Fatal("wrong count")
+	}
+	back := qs[1].Dequantize()
+	if math.Abs(float64(back[0]-0.5)) > 0.01 {
+		t.Errorf("dequantized %v", back)
+	}
+}
+
+// TestScoreDriftSmall: quantizing features perturbs a dot-product style
+// SCN's scores by well under the score scale — the §7 claim that the
+// optimization is compatible with the workloads' error tolerance.
+func TestScoreDriftSmall(t *testing.T) {
+	net := MustNetwork("drift", tensor.Shape{64}, CombineHadamard,
+		NewFC("sum", 64, 1, ActSigmoid))
+	if fc, ok := net.Layers[0].(*FC); ok {
+		for i := range fc.W {
+			fc.W[i] = 0.05
+		}
+	}
+	rng := newTestRng(5)
+	mk := func(n int) [][]float32 {
+		out := make([][]float32, n)
+		for i := range out {
+			v := make([]float32, 64)
+			for j := range v {
+				v[j] = rng.Float32()*2 - 1
+			}
+			out[i] = v
+		}
+		return out
+	}
+	drift, err := ScoreDrift(net, mk(5), mk(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drift > 0.01 {
+		t.Errorf("mean score drift %.4f > 0.01", drift)
+	}
+}
+
+func TestScoreDriftValidation(t *testing.T) {
+	if _, err := ScoreDrift(nil, nil, nil); err == nil {
+		t.Error("nil network accepted")
+	}
+	net := MustNetwork("x", tensor.Shape{4}, CombineHadamard, NewFC("f", 4, 1, ActNone))
+	if _, err := ScoreDrift(net, nil, nil); err == nil {
+		t.Error("empty vectors accepted")
+	}
+}

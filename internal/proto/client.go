@@ -1,0 +1,224 @@
+package proto
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/accel"
+	"repro/internal/core"
+	"repro/internal/ftl"
+	"repro/internal/nn"
+	"repro/internal/sim"
+)
+
+// Transport carries commands to the device and returns completions.
+type Transport interface {
+	Submit(Command) (Completion, error)
+}
+
+// Loopback is the in-process transport: commands execute directly on the
+// attached handler, the way a kernel driver invokes an emulated device.
+type Loopback struct {
+	Handler *Handler
+}
+
+// Submit implements Transport.
+func (l Loopback) Submit(c Command) (Completion, error) {
+	if l.Handler == nil {
+		return Completion{}, fmt.Errorf("proto: loopback has no handler")
+	}
+	return l.Handler.Execute(c), nil
+}
+
+// Stream is a wire transport over any duplex byte stream (net.Conn,
+// net.Pipe, …): commands and completions travel in their NVMe-like wire
+// encoding, one request in flight at a time.
+type Stream struct {
+	rw io.ReadWriter
+	bw *bufio.Writer
+}
+
+// NewStream wraps a duplex stream.
+func NewStream(rw io.ReadWriter) *Stream {
+	return &Stream{rw: rw, bw: bufio.NewWriter(rw)}
+}
+
+// Submit implements Transport.
+func (s *Stream) Submit(c Command) (Completion, error) {
+	buf, err := MarshalCommand(c)
+	if err != nil {
+		return Completion{}, err
+	}
+	if _, err := s.bw.Write(buf); err != nil {
+		return Completion{}, err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return Completion{}, err
+	}
+	return UnmarshalCompletion(s.rw)
+}
+
+// Serve runs the device side of a Stream transport until the stream closes:
+// it decodes commands, executes them on the handler, and writes completions.
+func Serve(rw io.ReadWriter, h *Handler) error {
+	bw := bufio.NewWriter(rw)
+	for {
+		cmd, err := UnmarshalCommand(rw)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		buf, err := MarshalCompletion(h.Execute(cmd))
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// Client is the host-side library: typed wrappers that build commands and
+// decode completions, mirroring the Table 2 API over any transport.
+type Client struct {
+	T Transport
+
+	nextCID uint16
+}
+
+// NewClient builds a client over a transport.
+func NewClient(t Transport) *Client { return &Client{T: t} }
+
+func (c *Client) submit(cmd Command) (Completion, error) {
+	c.nextCID++
+	cmd.CID = c.nextCID
+	cpl, err := c.T.Submit(cmd)
+	if err != nil {
+		return Completion{}, err
+	}
+	if cpl.CID != cmd.CID {
+		return Completion{}, fmt.Errorf("proto: completion CID %d for command %d", cpl.CID, cmd.CID)
+	}
+	return cpl, cpl.Err()
+}
+
+// WriteDB creates a feature database (writeDB).
+func (c *Client) WriteDB(features [][]float32) (ftl.DBID, error) {
+	payload, err := EncodeFeatures(features)
+	if err != nil {
+		return 0, err
+	}
+	cpl, err := c.submit(Command{Op: OpWriteDB, Payload: payload})
+	if err != nil {
+		return 0, err
+	}
+	return ftl.DBID(cpl.Value), nil
+}
+
+// AppendDB appends features (appendDB).
+func (c *Client) AppendDB(db ftl.DBID, features [][]float32) error {
+	payload, err := EncodeFeatures(features)
+	if err != nil {
+		return err
+	}
+	_, err = c.submit(Command{Op: OpAppendDB, DB: uint64(db), Payload: payload})
+	return err
+}
+
+// ReadDB reads a feature range (readDB).
+func (c *Client) ReadDB(db ftl.DBID, start, count int64) ([][]float32, error) {
+	cpl, err := c.submit(Command{Op: OpReadDB, DB: uint64(db),
+		Args: [4]uint64{uint64(start), uint64(count)}})
+	if err != nil {
+		return nil, err
+	}
+	return DecodeFeatures(cpl.Payload)
+}
+
+// LoadModel ships a serialized SCN (loadModel).
+func (c *Client) LoadModel(blob []byte) (core.ModelID, error) {
+	cpl, err := c.submit(Command{Op: OpLoadModel, Payload: blob})
+	if err != nil {
+		return 0, err
+	}
+	return core.ModelID(cpl.Value), nil
+}
+
+// LoadModelNetwork marshals and ships an in-memory network.
+func (c *Client) LoadModelNetwork(net *nn.Network) (core.ModelID, error) {
+	blob, err := nn.Marshal(net)
+	if err != nil {
+		return 0, err
+	}
+	return c.LoadModel(blob)
+}
+
+// Query submits an intelligent query (query). level may be nil for the
+// engine default.
+func (c *Client) Query(qfv []float32, k int, model core.ModelID, db ftl.DBID,
+	start, end int64, level *accel.Level) (core.QueryID, error) {
+	payload, err := EncodeFeatures([][]float32{qfv})
+	if err != nil {
+		return 0, err
+	}
+	var lv uint64
+	if level != nil {
+		lv = uint64(*level) + 1
+	}
+	cpl, err := c.submit(Command{
+		Op: OpQuery, DB: uint64(db), Model: uint64(model),
+		Args:    [4]uint64{uint64(k), uint64(start), uint64(end), lv},
+		Payload: payload,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return core.QueryID(cpl.Value), nil
+}
+
+// Results is the host-side view of a completed query.
+type Results struct {
+	IDs      []int64
+	Scores   []float32
+	Objects  []uint64
+	CacheHit bool
+	Latency  sim.Duration
+}
+
+// GetResults retrieves a query's top-K (getResults).
+func (c *Client) GetResults(q core.QueryID) (Results, error) {
+	cpl, err := c.submit(Command{Op: OpGetResults, Args: [4]uint64{uint64(q)}})
+	if err != nil {
+		return Results{}, err
+	}
+	ids, scores, objects, err := DecodeResults(cpl.Payload)
+	if err != nil {
+		return Results{}, err
+	}
+	return Results{
+		IDs: ids, Scores: scores, Objects: objects,
+		CacheHit: cpl.Value&(1<<63) != 0,
+		Latency:  sim.Duration(cpl.Value&^(1<<63)) * sim.Nanosecond,
+	}, nil
+}
+
+// SetQC configures the query cache (setQC). threshold and accuracy are
+// carried in milli-units on the wire.
+func (c *Client) SetQC(qcn *nn.Network, accuracy float64, entries int, threshold float64) error {
+	blob, err := nn.Marshal(qcn)
+	if err != nil {
+		return err
+	}
+	_, err = c.submit(Command{
+		Op:      OpSetQC,
+		Args:    [4]uint64{uint64(entries), uint64(threshold*1000 + 0.5), uint64(accuracy*1000 + 0.5)},
+		Payload: blob,
+	})
+	return err
+}

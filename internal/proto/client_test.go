@@ -1,0 +1,157 @@
+package proto
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// newEngineClient builds an engine-backed client over the given transport
+// constructor.
+func newEngineClient(t *testing.T, useStream bool) (*Client, *workload.App) {
+	t.Helper()
+	ds, err := core.New(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := workload.ByName("TextQA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(3)
+	h := &Handler{DS: ds}
+	if !useStream {
+		return NewClient(Loopback{Handler: h}), app
+	}
+	hostSide, devSide := net.Pipe()
+	t.Cleanup(func() { hostSide.Close() })
+	go func() {
+		defer devSide.Close()
+		_ = Serve(devSide, h)
+	}()
+	return NewClient(NewStream(hostSide)), app
+}
+
+// TestClientEndToEnd drives the full Table 2 API through the protocol layer
+// on both transports.
+func TestClientEndToEnd(t *testing.T) {
+	for _, useStream := range []bool{false, true} {
+		name := "loopback"
+		if useStream {
+			name = "stream"
+		}
+		t.Run(name, func(t *testing.T) {
+			client, app := newEngineClient(t, useStream)
+			db := workload.NewFeatureDB(app, 64, 5)
+
+			dbID, err := client.WriteDB(db.Vectors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := client.AppendDB(dbID, db.Vectors[:4]); err != nil {
+				t.Fatal(err)
+			}
+			back, err := client.ReadDB(dbID, 2, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(back) != 3 || back[0][0] != db.Vectors[2][0] {
+				t.Error("readDB returned wrong data")
+			}
+
+			model, err := client.LoadModelNetwork(app.SCN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := workload.NewFeatureDB(app, 1, 9).Vectors[0]
+			qid, err := client.Query(q, 5, model, dbID, 0, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := client.GetResults(qid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.IDs) != 5 || len(res.Scores) != 5 {
+				t.Fatalf("results = %d rows", len(res.IDs))
+			}
+			if res.Latency <= 0 {
+				t.Error("no latency in completion")
+			}
+			if res.CacheHit {
+				t.Error("cache hit without a configured cache")
+			}
+
+			// setQC over the wire, then a repeated query.
+			if err := client.SetQC(app.QCN(), 0.95, 16, 0.2); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := client.Query(q, 5, model, dbID, 0, 0, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestClientErrorsSurface(t *testing.T) {
+	client, app := newEngineClient(t, false)
+	// Query against an unknown database.
+	q := workload.NewFeatureDB(app, 1, 9).Vectors[0]
+	if _, err := client.Query(q, 5, 1, 999, 0, 0, nil); err == nil {
+		t.Error("unknown DB accepted")
+	}
+	// getResults for an unknown query.
+	if _, err := client.GetResults(12345); err == nil {
+		t.Error("unknown query accepted")
+	}
+	// Malformed model blob.
+	if _, err := client.LoadModel([]byte("not a model")); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestClientMatchesDirectEngine(t *testing.T) {
+	// The protocol path must return the same top-K as calling the engine
+	// directly.
+	ds, err := core.New(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := workload.ByName("TIR")
+	app.SCN.InitRandom(4)
+	db := workload.NewFeatureDB(app, 100, 6)
+
+	dbID, err := ds.WriteDB(db.Vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ds.LoadModelNetwork(app.SCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := workload.NewFeatureDB(app, 1, 10).Vectors[0]
+	qid, err := ds.Query(core.QuerySpec{QFV: q, K: 4, Model: model, DB: dbID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := ds.GetResults(qid)
+
+	client := NewClient(Loopback{Handler: &Handler{DS: ds}})
+	qid2, err := client.Query(q, 4, model, dbID, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaProto, err := client.GetResults(qid2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.TopK {
+		if direct.TopK[i].FeatureID != viaProto.IDs[i] ||
+			direct.TopK[i].Score != viaProto.Scores[i] ||
+			direct.TopK[i].ObjectID != viaProto.Objects[i] {
+			t.Fatalf("rank %d differs between direct and protocol paths", i)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package proto
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommandWireRoundTrip(t *testing.T) {
+	c := Command{
+		Op: OpQuery, CID: 42, DB: 7, Model: 3,
+		Args:    [4]uint64{10, 0, 100, 2},
+		Payload: []byte{1, 2, 3, 4, 5},
+	}
+	buf, err := MarshalCommand(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCommand(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != c.Op || got.CID != c.CID || got.DB != c.DB || got.Model != c.Model ||
+		got.Args != c.Args || !bytes.Equal(got.Payload, c.Payload) {
+		t.Errorf("round trip changed command: %+v vs %+v", got, c)
+	}
+}
+
+func TestCommandWireRoundTripProperty(t *testing.T) {
+	f := func(op uint8, cid uint16, db, model, a0, a1 uint64, payload []byte) bool {
+		c := Command{Op: Opcode(op), CID: cid, DB: db, Model: model,
+			Args: [4]uint64{a0, a1}, Payload: payload}
+		buf, err := MarshalCommand(c)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalCommand(bytes.NewReader(buf))
+		if err != nil {
+			return false
+		}
+		return got.Op == c.Op && got.CID == c.CID && got.DB == c.DB &&
+			got.Args == c.Args && bytes.Equal(got.Payload, c.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompletionWireRoundTrip(t *testing.T) {
+	c := Completion{CID: 9, Status: StatusNotFound, Value: 1 << 62, Detail: "missing", Payload: []byte{9, 8}}
+	buf, err := MarshalCompletion(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCompletion(bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CID != c.CID || got.Status != c.Status || got.Value != c.Value ||
+		got.Detail != c.Detail || !bytes.Equal(got.Payload, c.Payload) {
+		t.Errorf("round trip changed completion: %+v vs %+v", got, c)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	buf := make([]byte, 128)
+	if _, err := UnmarshalCommand(bytes.NewReader(buf)); err == nil {
+		t.Error("zero command magic accepted")
+	}
+	if _, err := UnmarshalCompletion(bytes.NewReader(buf)); err == nil {
+		t.Error("zero completion magic accepted")
+	}
+}
+
+func TestTruncatedRejected(t *testing.T) {
+	c := Command{Op: OpWriteDB, Payload: []byte{1, 2, 3}}
+	buf, _ := MarshalCommand(c)
+	for _, cut := range []int{1, 32, len(buf) - 1} {
+		if _, err := UnmarshalCommand(bytes.NewReader(buf[:cut])); err == nil {
+			t.Errorf("truncated command (%d bytes) accepted", cut)
+		}
+	}
+}
+
+func TestFeatureCodec(t *testing.T) {
+	features := [][]float32{{1, 2, 3}, {4, 5, 6}}
+	buf, err := EncodeFeatures(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFeatures(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range features {
+		for j := range features[i] {
+			if got[i][j] != features[i][j] {
+				t.Fatal("feature codec mismatch")
+			}
+		}
+	}
+	if _, err := EncodeFeatures(nil); err == nil {
+		t.Error("empty features accepted")
+	}
+	if _, err := EncodeFeatures([][]float32{{1}, {1, 2}}); err == nil {
+		t.Error("ragged features accepted")
+	}
+	if _, err := DecodeFeatures(buf[:len(buf)-1]); err == nil {
+		t.Error("short feature payload accepted")
+	}
+}
+
+func TestResultsCodec(t *testing.T) {
+	ids := []int64{1, 2}
+	scores := []float32{0.5, -0.25}
+	objects := []uint64{100, 200}
+	buf, err := EncodeResults(ids, scores, objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, gs, gо, err := DecodeResults(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if gi[i] != ids[i] || gs[i] != scores[i] || gо[i] != objects[i] {
+			t.Fatal("results codec mismatch")
+		}
+	}
+	if _, err := EncodeResults(ids, scores[:1], objects); err == nil {
+		t.Error("mismatched columns accepted")
+	}
+}
+
+func TestOpcodeAndStatusStrings(t *testing.T) {
+	ops := []Opcode{OpWriteDB, OpAppendDB, OpReadDB, OpLoadModel, OpQuery, OpGetResults, OpSetQC}
+	names := []string{"writeDB", "appendDB", "readDB", "loadModel", "query", "getResults", "setQC"}
+	for i, op := range ops {
+		if op.String() != names[i] {
+			t.Errorf("%v != %s", op, names[i])
+		}
+	}
+	if StatusSuccess.String() != "success" || StatusNotFound.String() != "not found" {
+		t.Error("status strings wrong")
+	}
+	if (Completion{Status: StatusSuccess}).Err() != nil {
+		t.Error("success completion errored")
+	}
+	if (Completion{Status: StatusInternal}).Err() == nil {
+		t.Error("failed completion did not error")
+	}
+}
+
+func TestStreamTransportOverPipe(t *testing.T) {
+	// Exercise the wire path end to end over an in-memory duplex pipe,
+	// without an engine: the handler rejects the op, and the rejection
+	// round-trips.
+	hostSide, devSide := net.Pipe()
+	defer hostSide.Close()
+	go func() {
+		defer devSide.Close()
+		_ = Serve(devSide, &Handler{})
+	}()
+	s := NewStream(hostSide)
+	cpl, err := s.Submit(Command{Op: OpGetResults, CID: 5, Args: [4]uint64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpl.CID != 5 {
+		t.Errorf("CID = %d", cpl.CID)
+	}
+	if cpl.Status != StatusInternal { // nil engine
+		t.Errorf("status = %v, want internal error", cpl.Status)
+	}
+}
+
+func TestLoopbackWithoutHandler(t *testing.T) {
+	if _, err := (Loopback{}).Submit(Command{}); err == nil {
+		t.Error("loopback without handler accepted command")
+	}
+}

@@ -1,0 +1,30 @@
+package qcache
+
+import "testing"
+
+// BenchmarkLookup1000 measures Algorithm 1 over a full 1000-entry cache —
+// the §6.5 configuration.
+func BenchmarkLookup1000(b *testing.B) {
+	score := func(a, q int) float64 {
+		if a == q {
+			return 1
+		}
+		return 0.2
+	}
+	c := New[int](1000, 0.95, score)
+	for i := 0; i < 1000; i++ {
+		c.Insert(i, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(i%2000, 0.10)
+	}
+}
+
+func BenchmarkInsertEvict(b *testing.B) {
+	c := New[int](256, 0.95, func(a, q int) float64 { return 0 })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(i, nil)
+	}
+}

@@ -1,0 +1,41 @@
+package qcache_test
+
+import (
+	"fmt"
+
+	"repro/internal/qcache"
+	"repro/internal/topk"
+)
+
+// Example walks Algorithm 1: a similarity lookup that tolerates paraphrased
+// queries. The scorer stands in for the query comparison network.
+func Example() {
+	// Two queries are similar when they share the same hundreds digit —
+	// a toy "semantic intent".
+	scorer := func(a, b int) float64 {
+		if a/100 == b/100 {
+			return 0.98
+		}
+		return 0.2
+	}
+	qc := qcache.New[int](4, 0.95 /* QCN accuracy */, scorer)
+
+	// Cache query 101 with its results.
+	qc.Insert(101, []topk.Entry{{FeatureID: 7, Score: 0.9}})
+
+	// 105 is a paraphrase of 101: score 0.98 × 0.95 = 0.931,
+	// complement 0.069 ≤ threshold 0.10 → hit.
+	if e, hit := qc.Lookup(105, 0.10); hit {
+		fmt.Println("hit, reuse results of", len(e.Results), "entries")
+	}
+	// 507 is unrelated: 0.2 × 0.95 leaves complement 0.81 → miss.
+	if _, hit := qc.Lookup(507, 0.10); !hit {
+		fmt.Println("miss, scan the database")
+	}
+	s := qc.Stats()
+	fmt.Printf("hits=%d misses=%d\n", s.Hits, s.Misses)
+	// Output:
+	// hit, reuse results of 1 entries
+	// miss, scan the database
+	// hits=1 misses=1
+}

@@ -1,0 +1,138 @@
+// Package qcache implements DeepStore's similarity-based in-storage query
+// cache (§4.6, Fig. 7, Algorithm 1). Unlike a conventional exact-match cache,
+// a lookup compares the incoming query against every cached query with a
+// query comparison network (QCN); the best match's results are reused when
+// the confidence-weighted similarity clears a threshold, exploiting both the
+// temporal locality and the semantic similarity of intelligent queries.
+package qcache
+
+import (
+	"fmt"
+
+	"repro/internal/topk"
+)
+
+// Scorer computes the QCN similarity of two queries in [0, 1].
+type Scorer[Q any] func(a, b Q) float64
+
+// Entry is one cached query with its top-K results (the TopKFV/ObjectID
+// fields of Fig. 7).
+type Entry[Q any] struct {
+	Query   Q
+	Results []topk.Entry
+}
+
+// Stats counts cache behaviour.
+type Stats struct {
+	Lookups    uint64
+	Hits       uint64
+	Misses     uint64
+	Insertions uint64
+	Evictions  uint64
+	// Comparisons counts QCN executions (one per valid entry per lookup),
+	// the quantity the channel-level accelerators execute (§4.6).
+	Comparisons uint64
+}
+
+// MissRate returns misses/lookups (0 when no lookups yet).
+func (s Stats) MissRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Lookups)
+}
+
+// Cache is the similarity-based query cache. Entries are kept in LRU order;
+// hits promote, inserts evict the least recently used entry.
+type Cache[Q any] struct {
+	capacity int
+	// qcnAcc is the QCN's accuracy; Algorithm 1 weights every similarity
+	// score by it before thresholding.
+	qcnAcc float64
+	score  Scorer[Q]
+	// entries[0] is most recently used.
+	entries []Entry[Q]
+	stats   Stats
+}
+
+// New creates a cache of the given capacity. qcnAcc must be in (0, 1].
+func New[Q any](capacity int, qcnAcc float64, score Scorer[Q]) *Cache[Q] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("qcache: capacity %d < 1", capacity))
+	}
+	if qcnAcc <= 0 || qcnAcc > 1 {
+		panic(fmt.Sprintf("qcache: QCN accuracy %v outside (0,1]", qcnAcc))
+	}
+	if score == nil {
+		panic("qcache: nil scorer")
+	}
+	return &Cache[Q]{capacity: capacity, qcnAcc: qcnAcc, score: score}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[Q]) Len() int { return len(c.entries) }
+
+// Capacity returns the entry limit.
+func (c *Cache[Q]) Capacity() int { return c.capacity }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[Q]) Stats() Stats { return c.stats }
+
+// Lookup runs Algorithm 1: score the query against every cached entry,
+// take the entry with the maximum confidence-weighted score, and hit when
+// the score's complement is within the threshold. On a hit the entry is
+// promoted (LRU) and its results returned; the caller re-ranks them against
+// the new query with the SCN (line 13 of Algorithm 1).
+func (c *Cache[Q]) Lookup(q Q, threshold float64) (Entry[Q], bool) {
+	if threshold < 0 || threshold > 1 {
+		panic(fmt.Sprintf("qcache: threshold %v outside [0,1]", threshold))
+	}
+	c.stats.Lookups++
+	maxIndex := -1
+	maxScore := 0.0
+	for i := range c.entries {
+		c.stats.Comparisons++
+		s := c.score(q, c.entries[i].Query) * c.qcnAcc
+		if s > maxScore {
+			maxScore = s
+			maxIndex = i
+		}
+	}
+	if maxIndex >= 0 && (1-maxScore) <= threshold {
+		c.stats.Hits++
+		e := c.entries[maxIndex]
+		c.promote(maxIndex)
+		return e, true
+	}
+	c.stats.Misses++
+	return Entry[Q]{}, false
+}
+
+func (c *Cache[Q]) promote(i int) {
+	e := c.entries[i]
+	copy(c.entries[1:i+1], c.entries[:i])
+	c.entries[0] = e
+}
+
+// Insert caches a query and its freshly computed results as the most
+// recently used entry, evicting the LRU entry when full (line 16).
+func (c *Cache[Q]) Insert(q Q, results []topk.Entry) {
+	e := Entry[Q]{Query: q, Results: results}
+	if len(c.entries) < c.capacity {
+		c.entries = append(c.entries, Entry[Q]{})
+	} else {
+		c.stats.Evictions++
+	}
+	copy(c.entries[1:], c.entries[:len(c.entries)-1])
+	c.entries[0] = e
+	c.stats.Insertions++
+}
+
+// Clear removes every entry, keeping statistics.
+func (c *Cache[Q]) Clear() { c.entries = c.entries[:0] }
+
+// EntryBytes estimates one entry's DRAM footprint (§4.6): the query feature
+// vector plus K cached feature vectors and their 8-byte ObjectIDs.
+func EntryBytes(featureBytes int64, k int) int64 {
+	return featureBytes + int64(k)*(featureBytes+8)
+}

@@ -1,0 +1,196 @@
+// Package reorg implements in-storage feature reorganization, the §7
+// extension the paper points at ("recent work has explored reorganizing
+// feature vectors in-storage for efficient search operations; such
+// techniques can also be exploited by DeepStore"): feature vectors are
+// clustered offline, stored cluster-contiguously, and a query scans only the
+// clusters whose centroids score highest — trading a bounded recall loss for
+// a proportional cut in flash traffic and SCN compute.
+package reorg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Clustering is the offline product: centroids and the cluster-contiguous
+// feature order.
+type Clustering struct {
+	// Centroids[c] is cluster c's mean vector.
+	Centroids [][]float32
+	// Assign[i] is the cluster of original feature i.
+	Assign []int
+	// Order lists original feature indices cluster by cluster — the §4.4
+	// striping order a reorganized database would use.
+	Order []int
+	// Offsets[c] is the first position of cluster c in Order;
+	// Offsets[len(Centroids)] == len(Order).
+	Offsets []int
+}
+
+// KMeans clusters the vectors with Lloyd's algorithm (deterministic
+// seeding, fixed iteration budget — reorganization happens offline, §2.1's
+// offline phase).
+func KMeans(vectors [][]float32, k int, iters int, seed int64) (*Clustering, error) {
+	n := len(vectors)
+	if n == 0 {
+		return nil, fmt.Errorf("reorg: no vectors")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("reorg: k = %d invalid for %d vectors", k, n)
+	}
+	dims := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != dims {
+			return nil, fmt.Errorf("reorg: vector %d has %d dims, want %d", i, len(v), dims)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	// Farthest-point seeding: the first centroid is random, each further
+	// one is the vector farthest from every chosen centroid. For separated
+	// data this lands one seed per true cluster, avoiding the classic
+	// merged/split local optimum of uniform random initialization.
+	centroids := make([][]float32, 0, k)
+	first := make([]float32, dims)
+	copy(first, vectors[rng.Intn(n)])
+	centroids = append(centroids, first)
+	minD := make([]float64, n)
+	for i, v := range vectors {
+		minD[i] = sqDist(v, first)
+	}
+	for len(centroids) < k {
+		far, farD := 0, -1.0
+		for i, d := range minD {
+			if d > farD {
+				far, farD = i, d
+			}
+		}
+		c := make([]float32, dims)
+		copy(c, vectors[far])
+		centroids = append(centroids, c)
+		for i, v := range vectors {
+			if d := sqDist(v, c); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				d := sqDist(v, centroids[c])
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dims)
+		}
+		for i, v := range vectors {
+			c := assign[i]
+			counts[c]++
+			for j, x := range v {
+				sums[c][j] += float64(x)
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster from a random vector.
+				copy(centroids[c], vectors[rng.Intn(n)])
+				continue
+			}
+			for j := range centroids[c] {
+				centroids[c][j] = float32(sums[c][j] / float64(counts[c]))
+			}
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+
+	cl := &Clustering{Centroids: centroids, Assign: assign}
+	cl.buildOrder(n, k)
+	return cl, nil
+}
+
+func (cl *Clustering) buildOrder(n, k int) {
+	cl.Order = make([]int, 0, n)
+	cl.Offsets = make([]int, k+1)
+	for c := 0; c < k; c++ {
+		cl.Offsets[c] = len(cl.Order)
+		for i := 0; i < n; i++ {
+			if cl.Assign[i] == c {
+				cl.Order = append(cl.Order, i)
+			}
+		}
+	}
+	cl.Offsets[k] = len(cl.Order)
+}
+
+func sqDist(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		s += d * d
+	}
+	return s
+}
+
+// ClusterSize returns the number of features in cluster c.
+func (cl *Clustering) ClusterSize(c int) int {
+	return cl.Offsets[c+1] - cl.Offsets[c]
+}
+
+// RankClusters orders cluster indices by a query's affinity to their
+// centroids, using the provided scorer (e.g. the SCN or QCN itself, so the
+// pruning decision uses the same learned similarity as the scan).
+func (cl *Clustering) RankClusters(score func(centroid []float32) float32) []int {
+	type ranked struct {
+		c int
+		s float32
+	}
+	rs := make([]ranked, len(cl.Centroids))
+	for c, cent := range cl.Centroids {
+		rs[c] = ranked{c: c, s: score(cent)}
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].s != rs[j].s {
+			return rs[i].s > rs[j].s
+		}
+		return rs[i].c < rs[j].c
+	})
+	out := make([]int, len(rs))
+	for i, r := range rs {
+		out[i] = r.c
+	}
+	return out
+}
+
+// Candidates returns the original feature indices of the top-m ranked
+// clusters for the query, plus the fraction of the database they cover —
+// the pruned scan set.
+func (cl *Clustering) Candidates(ranked []int, m int) (indices []int, fraction float64) {
+	if m > len(ranked) {
+		m = len(ranked)
+	}
+	for _, c := range ranked[:m] {
+		indices = append(indices, cl.Order[cl.Offsets[c]:cl.Offsets[c+1]]...)
+	}
+	if len(cl.Order) > 0 {
+		fraction = float64(len(indices)) / float64(len(cl.Order))
+	}
+	return indices, fraction
+}

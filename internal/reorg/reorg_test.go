@@ -1,0 +1,143 @@
+package reorg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// clusteredData builds n vectors drawn from k well-separated centers.
+func clusteredData(n, k, dims int, seed int64) (vectors [][]float32, truth []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][]float32, k)
+	for c := range centers {
+		v := make([]float32, dims)
+		for j := range v {
+			v[j] = float32(c*10) + rng.Float32()
+		}
+		centers[c] = v
+	}
+	for i := 0; i < n; i++ {
+		c := rng.Intn(k)
+		v := make([]float32, dims)
+		for j := range v {
+			v[j] = centers[c][j] + 0.1*(rng.Float32()*2-1)
+		}
+		vectors = append(vectors, v)
+		truth = append(truth, c)
+	}
+	return vectors, truth
+}
+
+func TestKMeansRecoversSeparatedClusters(t *testing.T) {
+	vectors, truth := clusteredData(300, 4, 8, 1)
+	cl, err := KMeans(vectors, 4, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Well-separated clusters: every pair in the same true cluster must
+	// land in the same found cluster (up to label permutation).
+	label := map[int]int{}
+	for i := range vectors {
+		if want, ok := label[truth[i]]; ok {
+			if cl.Assign[i] != want {
+				t.Fatalf("vector %d split from its true cluster", i)
+			}
+		} else {
+			label[truth[i]] = cl.Assign[i]
+		}
+	}
+}
+
+func TestClusteringOrderIsPermutation(t *testing.T) {
+	f := func(seed int64) bool {
+		vectors, _ := clusteredData(120, 3, 4, seed)
+		cl, err := KMeans(vectors, 5, 10, seed)
+		if err != nil {
+			return false
+		}
+		seen := make([]bool, len(vectors))
+		for _, i := range cl.Order {
+			if i < 0 || i >= len(vectors) || seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		// Offsets partition the order and sizes sum to n.
+		total := 0
+		for c := range cl.Centroids {
+			total += cl.ClusterSize(c)
+		}
+		return total == len(vectors)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankClustersOrders(t *testing.T) {
+	vectors, _ := clusteredData(200, 4, 8, 3)
+	cl, err := KMeans(vectors, 4, 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Score clusters by distance to a vector from cluster 0 in found
+	// labels: its own cluster must rank first.
+	q := vectors[0]
+	ranked := cl.RankClusters(func(cent []float32) float32 {
+		return -float32(sqDist(q, cent))
+	})
+	if ranked[0] != cl.Assign[0] {
+		t.Errorf("own cluster ranked %v, assignment %d", ranked, cl.Assign[0])
+	}
+}
+
+func TestCandidatesFraction(t *testing.T) {
+	vectors, _ := clusteredData(400, 8, 4, 5)
+	cl, err := KMeans(vectors, 8, 15, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := cl.RankClusters(func([]float32) float32 { return 0 })
+	all, frac := cl.Candidates(ranked, 8)
+	if len(all) != 400 || frac != 1.0 {
+		t.Errorf("full candidates = %d (%.2f)", len(all), frac)
+	}
+	some, frac2 := cl.Candidates(ranked, 2)
+	if len(some) == 0 || frac2 >= 1 {
+		t.Errorf("pruned candidates = %d (%.2f)", len(some), frac2)
+	}
+	// Over-asking clamps.
+	if _, f := cl.Candidates(ranked, 99); f != 1.0 {
+		t.Error("over-ask not clamped")
+	}
+}
+
+func TestKMeansValidation(t *testing.T) {
+	if _, err := KMeans(nil, 1, 5, 1); err == nil {
+		t.Error("empty input accepted")
+	}
+	v := [][]float32{{1}, {2}}
+	if _, err := KMeans(v, 3, 5, 1); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := KMeans([][]float32{{1}, {1, 2}}, 1, 5, 1); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	vectors, _ := clusteredData(100, 3, 4, 9)
+	a, _ := KMeans(vectors, 3, 10, 42)
+	b, _ := KMeans(vectors, 3, 10, 42)
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("kmeans not deterministic")
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package report renders experiment results in machine-friendly formats
+// (CSV, Markdown) alongside the plain-text tables, so regenerated figures
+// can feed plotting scripts directly.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment: a header row plus data rows.
+type Table struct {
+	Name   string
+	Header []string
+	Rows   [][]string
+}
+
+// Validate reports structural problems (ragged rows).
+func (t Table) Validate() error {
+	if len(t.Header) == 0 {
+		return fmt.Errorf("report: table %q has no header", t.Name)
+	}
+	for i, r := range t.Rows {
+		if len(r) != len(t.Header) {
+			return fmt.Errorf("report: table %q row %d has %d cells, want %d",
+				t.Name, i, len(r), len(t.Header))
+		}
+	}
+	return nil
+}
+
+// CSV renders the table as RFC-4180 CSV.
+func (t Table) CSV() (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	if err := w.Write(t.Header); err != nil {
+		return "", err
+	}
+	if err := w.WriteAll(t.Rows); err != nil {
+		return "", err
+	}
+	w.Flush()
+	return sb.String(), w.Error()
+}
+
+// Markdown renders the table as a GitHub-flavored Markdown table.
+func (t Table) Markdown() (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		sb.WriteString("|")
+		for _, c := range cells {
+			sb.WriteString(" ")
+			sb.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			sb.WriteString(" |")
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String(), nil
+}
+
+// Format selects an output rendering.
+type Format int
+
+// Supported formats.
+const (
+	FormatText Format = iota
+	FormatCSV
+	FormatMarkdown
+)
+
+// ParseFormat maps a flag value to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "text", "txt":
+		return FormatText, nil
+	case "csv":
+		return FormatCSV, nil
+	case "md", "markdown":
+		return FormatMarkdown, nil
+	default:
+		return 0, fmt.Errorf("report: unknown format %q (text, csv, markdown)", s)
+	}
+}
+
+// Render produces the table in the chosen format; FormatText uses the
+// caller-supplied plain renderer (experiments already align their own text).
+func Render(t Table, f Format, text func() string) (string, error) {
+	switch f {
+	case FormatText:
+		return text(), nil
+	case FormatCSV:
+		return t.CSV()
+	case FormatMarkdown:
+		return t.Markdown()
+	default:
+		return "", fmt.Errorf("report: unknown format %d", int(f))
+	}
+}

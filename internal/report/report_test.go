@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() Table {
+	return Table{
+		Name:   "t",
+		Header: []string{"App", "Speedup"},
+		Rows:   [][]string{{"MIR", "8.25"}, {"TextQA", "18.54"}},
+	}
+}
+
+func TestCSV(t *testing.T) {
+	s, err := sample().CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "App,Speedup\nMIR,8.25\nTextQA,18.54\n"
+	if s != want {
+		t.Errorf("csv = %q, want %q", s, want)
+	}
+}
+
+func TestCSVQuotesSpecials(t *testing.T) {
+	tb := Table{Name: "x", Header: []string{"a"}, Rows: [][]string{{`va,l"ue`}}}
+	s, err := tb.CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, `"va,l""ue"`) {
+		t.Errorf("csv escaping wrong: %q", s)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	s, err := sample().Markdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(s, "| App | Speedup |\n| --- | --- |\n") {
+		t.Errorf("markdown header wrong: %q", s)
+	}
+	if !strings.Contains(s, "| MIR | 8.25 |") {
+		t.Errorf("markdown row missing: %q", s)
+	}
+}
+
+func TestMarkdownEscapesPipes(t *testing.T) {
+	tb := Table{Name: "x", Header: []string{"a"}, Rows: [][]string{{"p|q"}}}
+	s, err := tb.Markdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, `p\|q`) {
+		t.Errorf("pipe not escaped: %q", s)
+	}
+}
+
+func TestValidateRaggedRows(t *testing.T) {
+	tb := Table{Name: "bad", Header: []string{"a", "b"}, Rows: [][]string{{"only one"}}}
+	if err := tb.Validate(); err == nil {
+		t.Error("ragged table validated")
+	}
+	if _, err := tb.CSV(); err == nil {
+		t.Error("ragged CSV rendered")
+	}
+	if _, err := (Table{Name: "empty"}).Markdown(); err == nil {
+		t.Error("headerless markdown rendered")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]Format{"": FormatText, "text": FormatText, "csv": FormatCSV, "md": FormatMarkdown, "markdown": FormatMarkdown}
+	for s, want := range cases {
+		got, err := ParseFormat(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFormat(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestRender(t *testing.T) {
+	tb := sample()
+	text, err := Render(tb, FormatText, func() string { return "plain" })
+	if err != nil || text != "plain" {
+		t.Errorf("text render = %q, %v", text, err)
+	}
+	if s, err := Render(tb, FormatCSV, nil); err != nil || !strings.HasPrefix(s, "App,") {
+		t.Errorf("csv render = %q, %v", s, err)
+	}
+	if s, err := Render(tb, FormatMarkdown, nil); err != nil || !strings.HasPrefix(s, "| App") {
+		t.Errorf("md render = %q, %v", s, err)
+	}
+}

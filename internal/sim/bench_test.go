@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw event-calendar throughput — the
+// bound on how fast the device model simulates.
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(Nanosecond, tick)
+		}
+	}
+	b.ResetTimer()
+	e.After(Nanosecond, tick)
+	e.Run()
+}
+
+func BenchmarkResourceHold(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, "bench", 4)
+	for i := 0; i < b.N; i++ {
+		r.Hold(Nanosecond, nil)
+	}
+	b.ResetTimer()
+	e.Run()
+}
+
+func BenchmarkQueuePutGet(b *testing.B) {
+	e := NewEngine()
+	q := NewQueue[int](e, "bench", 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Put(i, nil)
+		q.Get(func(int) {})
+		if i%1024 == 0 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

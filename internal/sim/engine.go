@@ -1,0 +1,184 @@
+// Package sim provides a small discrete-event simulation kernel used by the
+// flash, SSD, accelerator, and baseline timing models.
+//
+// The kernel follows the classic event-calendar design: an Engine owns a
+// virtual clock and a priority queue of timestamped events; callers schedule
+// closures at absolute or relative virtual times and the Engine executes them
+// in timestamp order. All simulated hardware (flash channels, chips, DRAM,
+// PCIe links, accelerator controllers) is modeled as processes that schedule
+// follow-up events on the same Engine.
+//
+// Virtual time is measured in integer picoseconds (type Time). Picosecond
+// resolution comfortably represents both sub-nanosecond accelerator cycles
+// (1.25 ns at 800 MHz) and multi-second query scans without floating-point
+// accumulation error.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp in picoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration is a span of virtual time in picoseconds.
+type Duration int64
+
+// Common durations, in picoseconds.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Seconds converts a duration to floating-point seconds, for reporting.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Milliseconds converts a duration to floating-point milliseconds.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Microseconds converts a duration to floating-point microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// FromSeconds builds a Duration from floating-point seconds, rounding to the
+// nearest picosecond.
+func FromSeconds(s float64) Duration { return Duration(s*float64(Second) + 0.5) }
+
+// String renders the duration using the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Milliseconds())
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fus", d.Microseconds())
+	case d >= Nanosecond:
+		return fmt.Sprintf("%.3fns", float64(d)/float64(Nanosecond))
+	default:
+		return fmt.Sprintf("%dps", int64(d))
+	}
+}
+
+// Seconds reports the timestamp as floating-point seconds since simulation
+// start.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// event is a single calendar entry. seq breaks ties so that events scheduled
+// for the same instant run in FIFO order, which keeps the simulation
+// deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation engine. The zero value is ready to
+// use. An Engine is not safe for concurrent use; simulations are
+// single-threaded by design so results are deterministic.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+
+	// Executed counts events run so far; useful for debugging runaway
+	// simulations.
+	Executed uint64
+	// MaxEvents, when non-zero, is a watchdog: Run panics after executing
+	// that many events, turning a silently spinning model (a process that
+	// reschedules itself at zero delay, a barrier that never releases)
+	// into a loud failure with the event count in hand.
+	MaxEvents uint64
+}
+
+// NewEngine returns a fresh Engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a modeling bug.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d picoseconds from now. Negative delays panic.
+func (e *Engine) After(d Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	e.At(e.now+Time(d), fn)
+}
+
+// Pending reports the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop aborts the run loop after the currently executing event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the calendar is empty or Stop
+// is called. It returns the final virtual time.
+func (e *Engine) Run() Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.Executed++
+		if e.MaxEvents != 0 && e.Executed > e.MaxEvents {
+			panic(fmt.Sprintf("sim: watchdog tripped after %d events at t=%d", e.Executed, e.now))
+		}
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (if the simulation had not already passed it) and
+// returns. Events scheduled beyond the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > deadline {
+			break
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(30*Nanosecond, func() { order = append(order, 3) })
+	e.After(10*Nanosecond, func() { order = append(order, 1) })
+	e.After(20*Nanosecond, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != Time(30*Nanosecond) {
+		t.Errorf("end time = %d, want %d", end, 30*Nanosecond)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineTieBreakFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(5*Nanosecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.After(1*Microsecond, func() {
+		hits = append(hits, e.Now())
+		e.After(2*Microsecond, func() {
+			hits = append(hits, e.Now())
+		})
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != Time(1*Microsecond) || hits[1] != Time(3*Microsecond) {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.After(1*Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(0, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.After(1, func() { ran++; e.Stop() })
+	e.After(2, func() { ran++ })
+	e.Run()
+	if ran != 1 {
+		t.Errorf("ran %d events after Stop, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := []Time{}
+	for _, d := range []Duration{10, 20, 30, 40} {
+		e.After(d*Nanosecond, func() { ran = append(ran, e.Now()) })
+	}
+	e.RunUntil(Time(25 * Nanosecond))
+	if len(ran) != 2 {
+		t.Fatalf("ran %d events, want 2", len(ran))
+	}
+	if e.Now() != Time(25*Nanosecond) {
+		t.Errorf("now = %d, want %d", e.Now(), 25*Nanosecond)
+	}
+	// Remaining events still run afterwards.
+	e.Run()
+	if len(ran) != 4 {
+		t.Errorf("after Run, ran %d events, want 4", len(ran))
+	}
+}
+
+func TestEngineRandomOrderProperty(t *testing.T) {
+	// Property: regardless of insertion order, execution order is sorted.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		n := 50
+		delays := make([]Duration, n)
+		for i := range delays {
+			delays[i] = Duration(rng.Int63n(1000)) * Nanosecond
+		}
+		var seen []Time
+		for _, d := range delays {
+			e.After(d, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(seen, func(i, j int) bool { return seen[i] < seen[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ps"},
+		{2500 * Picosecond, "2.500ns"},
+		{3 * Microsecond, "3.000us"},
+		{15 * Millisecond, "15.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestWatchdogTripsOnRunawayLoop(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 100
+	var spin func()
+	spin = func() { e.After(0, spin) } // zero-delay self-reschedule
+	e.After(1, spin)
+	defer func() {
+		if recover() == nil {
+			t.Error("runaway simulation did not trip the watchdog")
+		}
+	}()
+	e.Run()
+}
+
+func TestWatchdogAllowsNormalRuns(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 1000
+	for i := 0; i < 500; i++ {
+		e.After(Duration(i)*Nanosecond, func() {})
+	}
+	e.Run()
+	if e.Executed != 500 {
+		t.Errorf("executed %d", e.Executed)
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	f := func(ms uint16) bool {
+		d := FromSeconds(float64(ms) / 1000)
+		return d == Duration(ms)*Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import "fmt"
+
+// Queue is a bounded FIFO connecting a producer process to a consumer process
+// in the simulation, such as the FLASH_DFV queue that decouples flash
+// prefetching from accelerator compute (paper §4.4, Fig. 5).
+//
+// Put blocks (virtually) when the queue is full; Get blocks when it is empty.
+// Both take completion callbacks instead of blocking the real goroutine.
+type Queue[T any] struct {
+	e        *Engine
+	name     string
+	capacity int
+	items    []T
+	getters  []func(T)
+	putters  []pendingPut[T]
+
+	puts, gets uint64
+	// highWater tracks the maximum occupancy observed, for sizing studies.
+	highWater int
+}
+
+type pendingPut[T any] struct {
+	item T
+	fn   func()
+}
+
+// NewQueue creates a bounded queue. capacity must be >= 1.
+func NewQueue[T any](e *Engine, name string, capacity int) *Queue[T] {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: queue %q capacity %d < 1", name, capacity))
+	}
+	return &Queue[T]{e: e, name: name, capacity: capacity}
+}
+
+// Len returns the current occupancy.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Capacity returns the maximum occupancy.
+func (q *Queue[T]) Capacity() int { return q.capacity }
+
+// HighWater returns the maximum occupancy ever observed.
+func (q *Queue[T]) HighWater() int { return q.highWater }
+
+// Puts returns the number of completed Put operations.
+func (q *Queue[T]) Puts() uint64 { return q.puts }
+
+// Gets returns the number of completed Get operations.
+func (q *Queue[T]) Gets() uint64 { return q.gets }
+
+// Put inserts item, invoking accepted once space exists (immediately if the
+// queue is not full). accepted may be nil.
+func (q *Queue[T]) Put(item T, accepted func()) {
+	// Fast path: a consumer is already waiting, hand the item over without
+	// ever occupying a slot.
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		q.puts++
+		q.gets++
+		if accepted != nil {
+			q.e.After(0, accepted)
+		}
+		q.e.After(0, func() { g(item) })
+		return
+	}
+	if len(q.items) < q.capacity {
+		q.items = append(q.items, item)
+		if len(q.items) > q.highWater {
+			q.highWater = len(q.items)
+		}
+		q.puts++
+		if accepted != nil {
+			q.e.After(0, accepted)
+		}
+		return
+	}
+	q.putters = append(q.putters, pendingPut[T]{item: item, fn: accepted})
+}
+
+// Get removes the oldest item, invoking fn with it once one exists
+// (immediately if the queue is non-empty).
+func (q *Queue[T]) Get(fn func(T)) {
+	if len(q.items) > 0 {
+		item := q.items[0]
+		q.items = q.items[1:]
+		q.gets++
+		// Admit a blocked producer into the freed slot.
+		if len(q.putters) > 0 {
+			p := q.putters[0]
+			q.putters = q.putters[1:]
+			q.items = append(q.items, p.item)
+			q.puts++
+			if p.fn != nil {
+				q.e.After(0, p.fn)
+			}
+		}
+		fn(item)
+		return
+	}
+	// Empty: if a producer is blocked (possible only when capacity would
+	// have been exceeded by a burst), service it directly.
+	if len(q.putters) > 0 {
+		p := q.putters[0]
+		q.putters = q.putters[1:]
+		q.puts++
+		q.gets++
+		if p.fn != nil {
+			q.e.After(0, p.fn)
+		}
+		fn(p.item)
+		return
+	}
+	q.getters = append(q.getters, fn)
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, "q", 4)
+	for i := 0; i < 3; i++ {
+		q.Put(i, nil)
+	}
+	var got []int
+	for i := 0; i < 3; i++ {
+		q.Get(func(v int) { got = append(got, v) })
+	}
+	e.Run()
+	for i := 0; i < 3; i++ {
+		if got[i] != i {
+			t.Fatalf("got %v, want [0 1 2]", got)
+		}
+	}
+}
+
+func TestQueueGetBeforePut(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[string](e, "q", 1)
+	var got string
+	var gotAt Time
+	q.Get(func(v string) { got = v; gotAt = e.Now() })
+	e.After(5*Nanosecond, func() { q.Put("hello", nil) })
+	e.Run()
+	if got != "hello" {
+		t.Errorf("got %q, want hello", got)
+	}
+	if gotAt != Time(5*Nanosecond) {
+		t.Errorf("delivered at %v, want 5ns", gotAt)
+	}
+}
+
+func TestQueueBackpressure(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, "q", 2)
+	var accepted []Time
+	// Three puts into a capacity-2 queue: third must wait for a get.
+	for i := 0; i < 3; i++ {
+		q.Put(i, func() { accepted = append(accepted, e.Now()) })
+	}
+	e.After(10*Nanosecond, func() {
+		q.Get(func(int) {})
+	})
+	e.Run()
+	if len(accepted) != 3 {
+		t.Fatalf("accepted %d puts, want 3", len(accepted))
+	}
+	if accepted[2] != Time(10*Nanosecond) {
+		t.Errorf("third put accepted at %v, want 10ns", accepted[2])
+	}
+}
+
+func TestQueueHighWater(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, "q", 8)
+	for i := 0; i < 5; i++ {
+		q.Put(i, nil)
+	}
+	q.Get(func(int) {})
+	e.Run()
+	if q.HighWater() != 5 {
+		t.Errorf("high water = %d, want 5", q.HighWater())
+	}
+}
+
+func TestQueueCountsPutsGets(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue[int](e, "q", 4)
+	for i := 0; i < 4; i++ {
+		q.Put(i, nil)
+	}
+	for i := 0; i < 2; i++ {
+		q.Get(func(int) {})
+	}
+	e.Run()
+	if q.Puts() != 4 || q.Gets() != 2 {
+		t.Errorf("puts=%d gets=%d, want 4, 2", q.Puts(), q.Gets())
+	}
+	if q.Len() != 2 {
+		t.Errorf("len = %d, want 2", q.Len())
+	}
+}
+
+func TestQueueZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("capacity 0 did not panic")
+		}
+	}()
+	NewQueue[int](NewEngine(), "bad", 0)
+}
+
+// Property: every value put is delivered exactly once and in order,
+// regardless of the interleaving of puts and gets.
+func TestQueueDeliveryProperty(t *testing.T) {
+	f := func(nPuts uint8, capacity uint8) bool {
+		n := int(nPuts%32) + 1
+		cap := int(capacity%8) + 1
+		e := NewEngine()
+		q := NewQueue[int](e, "p", cap)
+		var got []int
+		for i := 0; i < n; i++ {
+			i := i
+			// Interleave: puts at even ns, gets at odd ns.
+			e.After(Duration(2*i)*Nanosecond, func() { q.Put(i, nil) })
+			e.After(Duration(2*i+1)*Nanosecond, func() { q.Get(func(v int) { got = append(got, v) }) })
+		}
+		e.Run()
+		if len(got) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got[i] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package sim
+
+import "fmt"
+
+// Resource models a hardware unit with a fixed number of identical servers
+// (e.g. a flash plane with one page buffer, a channel bus with one lane, a
+// DMA engine with N contexts). Acquire requests are granted FIFO.
+//
+// Resource also integrates busy time so callers can report utilization.
+type Resource struct {
+	e        *Engine
+	name     string
+	capacity int
+	busy     int
+	// waiters is a FIFO with an amortized head index: popping advances
+	// head instead of copying the slice, so long waiter queues dequeue in
+	// O(1) amortized rather than O(n).
+	waiters []func()
+	head    int
+
+	// utilization accounting
+	busyIntegral float64 // server-picoseconds of busy time
+	lastChange   Time
+	grants       uint64
+}
+
+// NewResource creates a resource with the given server count (capacity >= 1).
+func NewResource(e *Engine, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("sim: resource %q capacity %d < 1", name, capacity))
+	}
+	return &Resource{e: e, name: name, capacity: capacity}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the number of servers.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of currently busy servers.
+func (r *Resource) InUse() int { return r.busy }
+
+// QueueLen returns the number of acquire requests waiting for a server.
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.head }
+
+// Grants returns the total number of acquisitions granted so far.
+func (r *Resource) Grants() uint64 { return r.grants }
+
+func (r *Resource) account() {
+	now := r.e.Now()
+	r.busyIntegral += float64(r.busy) * float64(now-r.lastChange)
+	r.lastChange = now
+}
+
+// Acquire requests one server. fn runs (possibly immediately, possibly at a
+// later virtual time) once a server is granted. The holder must call Release
+// exactly once when done.
+func (r *Resource) Acquire(fn func()) {
+	if r.busy < r.capacity {
+		r.account()
+		r.busy++
+		r.grants++
+		fn()
+		return
+	}
+	r.waiters = append(r.waiters, fn)
+}
+
+// Release returns one server to the pool and hands it to the oldest waiter,
+// if any. Releasing an idle resource panics.
+func (r *Resource) Release() {
+	if r.busy <= 0 {
+		panic(fmt.Sprintf("sim: release of idle resource %q", r.name))
+	}
+	if r.head < len(r.waiters) {
+		// Hand the server directly to the next waiter: busy count is
+		// unchanged, but the grant still counts.
+		next := r.waiters[r.head]
+		r.waiters[r.head] = nil
+		r.head++
+		if r.head == len(r.waiters) {
+			r.waiters = r.waiters[:0]
+			r.head = 0
+		} else if r.head > 64 && r.head*2 >= len(r.waiters) {
+			// Compact once the dead prefix dominates.
+			n := copy(r.waiters, r.waiters[r.head:])
+			r.waiters = r.waiters[:n]
+			r.head = 0
+		}
+		r.grants++
+		// Run the waiter as a fresh event so deeply chained handoffs
+		// do not grow the call stack.
+		r.e.After(0, next)
+		return
+	}
+	r.account()
+	r.busy--
+}
+
+// Hold acquires a server, keeps it busy for d, releases it, and then calls
+// done (which may be nil). It is the common pattern for fixed-latency units.
+func (r *Resource) Hold(d Duration, done func()) {
+	r.Acquire(func() {
+		r.e.After(d, func() {
+			r.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// Utilization returns the fraction of server-time spent busy between
+// simulation start and now (0..1).
+func (r *Resource) Utilization() float64 {
+	r.account()
+	total := float64(r.e.Now()) * float64(r.capacity)
+	if total == 0 {
+		return 0
+	}
+	return r.busyIntegral / total
+}
+
+// Link models a bandwidth-limited, FIFO-serialized transfer medium such as a
+// flash channel bus, a DRAM interface, or a PCIe link. A transfer of n bytes
+// occupies the link for n/bandwidth seconds.
+type Link struct {
+	res          *Resource
+	bytesPerSec  float64
+	transferred  uint64
+	perByteDelay float64 // picoseconds per byte
+}
+
+// NewLink creates a link with the given bandwidth in bytes per second.
+func NewLink(e *Engine, name string, bytesPerSec float64) *Link {
+	if bytesPerSec <= 0 {
+		panic(fmt.Sprintf("sim: link %q bandwidth %v <= 0", name, bytesPerSec))
+	}
+	return &Link{
+		res:          NewResource(e, name, 1),
+		bytesPerSec:  bytesPerSec,
+		perByteDelay: float64(Second) / bytesPerSec,
+	}
+}
+
+// Bandwidth returns the link bandwidth in bytes per second.
+func (l *Link) Bandwidth() float64 { return l.bytesPerSec }
+
+// TransferTime returns how long moving n bytes takes with an idle link.
+func (l *Link) TransferTime(n int64) Duration {
+	return Duration(float64(n)*l.perByteDelay + 0.5)
+}
+
+// Transfer moves n bytes across the link and calls done when the last byte
+// arrives. Transfers queue FIFO behind in-flight ones.
+func (l *Link) Transfer(n int64, done func()) {
+	if n < 0 {
+		panic("sim: negative transfer size")
+	}
+	l.transferred += uint64(n)
+	l.res.Hold(l.TransferTime(n), done)
+}
+
+// Transferred returns total bytes moved (including queued/in-flight).
+func (l *Link) Transferred() uint64 { return l.transferred }
+
+// Utilization returns the busy fraction of the link.
+func (l *Link) Utilization() float64 { return l.res.Utilization() }
+
+// QueueLen returns the number of transfers waiting behind the in-flight one.
+func (l *Link) QueueLen() int { return l.res.QueueLen() }

@@ -1,0 +1,83 @@
+package ssd
+
+import (
+	"testing"
+
+	"repro/internal/ftl"
+	"repro/internal/sim"
+)
+
+func ftlDBID(v uint64) ftl.DBID { return ftl.DBID(v) }
+
+// TestPowerCycle exercises the §4.4 metadata path: databases created on one
+// device survive a persist + restore round trip with identical layouts.
+func TestPowerCycle(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	d, err := New(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.CreateDB("alpha", 2048, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.CreateDB("beta", 16<<10, 50_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := d.PersistMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The persist path must erase and program the reserved block.
+	stats := d.Flash.Stats()
+	if stats.BlockErases == 0 || stats.PagePrograms == 0 {
+		t.Errorf("persist did not touch flash: %+v", stats)
+	}
+
+	e2 := sim.NewEngine()
+	d2, err := Restore(e2, cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []uint64{uint64(a.ID), uint64(b.ID)} {
+		got, ok := d2.FTL.Lookup(ftlDBID(want))
+		if !ok {
+			t.Fatalf("db %d lost across power cycle", want)
+		}
+		orig, _ := d.FTL.Lookup(ftlDBID(want))
+		if got.Layout != orig.Layout || got.Name != orig.Name {
+			t.Errorf("db %d metadata changed", want)
+		}
+	}
+	// The restored device can allocate without colliding.
+	if _, err := d2.CreateDB("gamma", 2048, 1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreRejectsCorruptImage(t *testing.T) {
+	e := sim.NewEngine()
+	if _, err := Restore(e, DefaultConfig(), []byte("junk")); err == nil {
+		t.Error("corrupt metadata image accepted")
+	}
+}
+
+func TestRestoreRejectsGeometryMismatch(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	d, _ := New(e, cfg)
+	if _, err := d.CreateDB("x", 2048, 1000); err != nil {
+		t.Fatal(err)
+	}
+	img, err := d.PersistMetadata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := DefaultConfig()
+	other.Geometry.Channels = 16
+	if _, err := Restore(sim.NewEngine(), other, img); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}

@@ -1,0 +1,188 @@
+package ssd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/flash"
+	"repro/internal/sim"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if cfg.ExternalBandwidth != 3.2e9 {
+		t.Errorf("external bandwidth = %v, want 3.2e9 (P4500 measured)", cfg.ExternalBandwidth)
+	}
+	if cfg.AccelPowerBudgetW != 55 {
+		t.Errorf("accel budget = %v W, want 55 (75 W PCIe − 20 W base)", cfg.AccelPowerBudgetW)
+	}
+	if cfg.SharedScratchpadBytes != 8<<20 {
+		t.Errorf("L2 scratchpad = %d, want 8 MB", cfg.SharedScratchpadBytes)
+	}
+}
+
+func TestConfigValidateCatchesErrors(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.DRAMBandwidth = 0 },
+		func(c *Config) { c.ExternalBandwidth = -1 },
+		func(c *Config) { c.DRAMBytes = 0 },
+		func(c *Config) { c.EmbeddedCores = 0 },
+		func(c *Config) { c.AccelPowerBudgetW = 0 },
+		func(c *Config) { c.Geometry.Channels = 0 },
+		func(c *Config) { c.Timing.ReadLatency = 0 },
+	}
+	for i, mod := range mods {
+		cfg := DefaultConfig()
+		mod(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mod %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestNewDevice(t *testing.T) {
+	e := sim.NewEngine()
+	d, err := New(e, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.InternalBandwidth() != 25.6e9 {
+		t.Errorf("internal bandwidth = %v, want 25.6e9", d.InternalBandwidth())
+	}
+}
+
+func TestCreateDB(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := New(e, DefaultConfig())
+	meta, err := d.CreateDB("tir", 2048, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Layout.FeatureBytes != 2048 || meta.Layout.Features != 1<<20 {
+		t.Errorf("layout = %+v", meta.Layout)
+	}
+	if _, ok := d.FTL.Lookup(meta.ID); !ok {
+		t.Error("created DB not registered")
+	}
+}
+
+// TestStreamToHostExternalBound checks the §2.2/§3 property that drives the
+// whole paper: external streaming is limited by the PCIe interface, far below
+// the internal bandwidth.
+func TestStreamToHostExternalBound(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := New(e, DefaultConfig())
+	// 16 KB features, one per page: 32 K pages = 512 MB.
+	meta, err := d.CreateDB("estp", 16<<10, 32<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got StreamStats
+	d.StreamToHost(meta, 0, func(s StreamStats) { got = s })
+	e.Run()
+	if got.Pages != 32<<10 {
+		t.Fatalf("streamed %d pages, want %d", got.Pages, 32<<10)
+	}
+	secs := got.Duration().Seconds()
+	ideal := float64(got.Bytes) / 3.2e9
+	if secs < ideal {
+		t.Errorf("stream faster than PCIe: %.4fs < %.4fs", secs, ideal)
+	}
+	if secs > ideal*1.2 {
+		t.Errorf("stream not PCIe-bound: %.4fs vs ideal %.4fs", secs, ideal)
+	}
+	// Effective bandwidth must be far below internal bandwidth.
+	eff := float64(got.Bytes) / secs
+	if eff > d.InternalBandwidth()/4 {
+		t.Errorf("external eff %.2e too close to internal %.2e", eff, d.InternalBandwidth())
+	}
+}
+
+func TestStreamToHostWindowed(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := New(e, DefaultConfig())
+	meta, err := d.CreateDB("mir", 2048, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got StreamStats
+	d.StreamToHost(meta, 10, func(s StreamStats) { got = s })
+	e.Run()
+	if got.Pages != 10*32 {
+		t.Errorf("windowed stream read %d pages, want 320", got.Pages)
+	}
+}
+
+func TestStreamToHostEmptyDB(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := New(e, DefaultConfig())
+	meta, err := d.CreateDB("empty", 2048, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	d.StreamToHost(meta, 0, func(s StreamStats) {
+		called = true
+		if s.Pages != 0 || s.Duration() != 0 {
+			t.Errorf("empty stream stats = %+v", s)
+		}
+	})
+	e.Run()
+	if !called {
+		t.Error("done not called for empty stream")
+	}
+}
+
+// TestStreamScalesWithFewerChannels: fewer channels should not change the
+// external-bound stream time materially (PCIe still the bottleneck), until
+// internal bandwidth drops below external (Fig. 10a's flat region).
+func TestStreamFlatAcrossChannelCounts(t *testing.T) {
+	timeFor := func(channels int) float64 {
+		e := sim.NewEngine()
+		cfg := DefaultConfig()
+		cfg.Geometry.Channels = channels
+		d, err := New(e, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meta, err := d.CreateDB("x", 16<<10, 8<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got StreamStats
+		d.StreamToHost(meta, 0, func(s StreamStats) { got = s })
+		e.Run()
+		return got.Duration().Seconds()
+	}
+	t8, t32 := timeFor(8), timeFor(32)
+	if math.Abs(t8-t32)/t32 > 0.10 {
+		t.Errorf("external stream time varies with channels: 8ch=%.4fs 32ch=%.4fs", t8, t32)
+	}
+}
+
+func TestStreamRespectsFlashGeometry(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Geometry = flash.Geometry{Channels: 4, ChipsPerChannel: 2, PlanesPerChip: 2,
+		BlocksPerPlane: 8, PagesPerBlock: 16, PageBytes: 16 << 10}
+	d, err := New(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := d.CreateDB("tiny", 16<<10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got StreamStats
+	d.StreamToHost(meta, 0, func(s StreamStats) { got = s })
+	e.Run()
+	if got.Pages != 64 {
+		t.Errorf("pages = %d, want 64", got.Pages)
+	}
+	if reads := d.Flash.Stats().PageReads; reads != 64 {
+		t.Errorf("flash reads = %d, want 64", reads)
+	}
+}

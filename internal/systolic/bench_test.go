@@ -1,0 +1,28 @@
+package systolic
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func BenchmarkNetworkCostAllApps(b *testing.B) {
+	cfg := Config{Rows: 16, Cols: 64, FreqHz: 800e6, Dataflow: OutputStationary,
+		ScratchpadBytes: 512 << 10, LayerOverhead: 64}
+	apps := workload.Apps()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, a := range apps {
+			cfg.NetworkCost(a.SCN.LayerPlan())
+		}
+	}
+}
+
+func BenchmarkBestAspect(b *testing.B) {
+	tir, _ := workload.ByName("TIR")
+	plan := tir.SCN.LayerPlan()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BestAspect(1024, 800e6, OutputStationary, 64, plan)
+	}
+}

@@ -1,0 +1,68 @@
+package systolic
+
+import "fmt"
+
+// Precision selects the arithmetic width of the PE array. The paper
+// evaluates 32-bit floating point throughout ("to maintain the same accuracy
+// as the original application", §5) and names quantization and low-precision
+// operation as an extension the DeepStore architecture can absorb (§7); the
+// FP16/INT8 modes implement that extension: narrower elements let each PE
+// lane retire more MACs per cycle, shrink every on-chip stream, and — most
+// importantly for an in-storage design — shrink the feature vectors on
+// flash, cutting the dominant I/O term.
+type Precision int
+
+const (
+	// FP32 is the paper's evaluation precision.
+	FP32 Precision = iota
+	// FP16 halves element size and doubles per-PE MAC throughput.
+	FP16
+	// INT8 quarters element size and quadruples per-PE MAC throughput.
+	INT8
+)
+
+// String names the precision.
+func (p Precision) String() string {
+	switch p {
+	case FP32:
+		return "fp32"
+	case FP16:
+		return "fp16"
+	case INT8:
+		return "int8"
+	default:
+		return fmt.Sprintf("Precision(%d)", int(p))
+	}
+}
+
+// ElementBytes returns the storage size of one value.
+func (p Precision) ElementBytes() int64 {
+	switch p {
+	case FP32:
+		return 4
+	case FP16:
+		return 2
+	case INT8:
+		return 1
+	default:
+		panic(fmt.Sprintf("systolic: unknown precision %d", int(p)))
+	}
+}
+
+// MACsPerPE returns how many MACs one PE lane retires per cycle.
+func (p Precision) MACsPerPE() int64 { return 4 / p.ElementBytes() }
+
+// MACEnergyScale returns the per-MAC energy relative to FP32 (Horowitz
+// ISSCC'14 scaling: FP16 ≈ 0.35×, INT8 ≈ 0.12×).
+func (p Precision) MACEnergyScale() float64 {
+	switch p {
+	case FP32:
+		return 1
+	case FP16:
+		return 0.35
+	case INT8:
+		return 0.12
+	default:
+		panic(fmt.Sprintf("systolic: unknown precision %d", int(p)))
+	}
+}

@@ -1,0 +1,95 @@
+package systolic
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func TestPrecisionProperties(t *testing.T) {
+	cases := []struct {
+		p     Precision
+		bytes int64
+		lanes int64
+	}{
+		{FP32, 4, 1},
+		{FP16, 2, 2},
+		{INT8, 1, 4},
+	}
+	for _, c := range cases {
+		if c.p.ElementBytes() != c.bytes {
+			t.Errorf("%v element bytes = %d", c.p, c.p.ElementBytes())
+		}
+		if c.p.MACsPerPE() != c.lanes {
+			t.Errorf("%v lanes = %d", c.p, c.p.MACsPerPE())
+		}
+		if s := c.p.MACEnergyScale(); s <= 0 || s > 1 {
+			t.Errorf("%v energy scale = %v", c.p, s)
+		}
+	}
+	if FP32.String() != "fp32" || INT8.String() != "int8" {
+		t.Error("precision strings wrong")
+	}
+}
+
+func fcPlan(in, out int) []nn.LayerDims {
+	fc := nn.NewFC("fc", in, out, nn.ActNone)
+	return []nn.LayerDims{{
+		Name: "fc", Kind: nn.KindFC,
+		In: tensor.Shape{in}, Out: tensor.Shape{out},
+		FLOPs: fc.FLOPs(tensor.Shape{in}), Weights: fc.WeightCount(),
+	}}
+}
+
+// TestLowerPrecisionIsFaster: halving element width must never slow a layer
+// and should speed up compute-bound shapes.
+func TestLowerPrecisionIsFaster(t *testing.T) {
+	base := Config{Rows: 16, Cols: 64, FreqHz: 800e6, Dataflow: OutputStationary, LayerOverhead: 64}
+	plan := fcPlan(1024, 448) // MIR fc1: reduction-floor bound at FP32
+	var prev int64
+	for i, p := range []Precision{FP32, FP16, INT8} {
+		cfg := base
+		cfg.Precision = p
+		c := cfg.NetworkCost(plan).Cycles
+		if i > 0 && c > prev {
+			t.Errorf("%v slower than wider precision: %d > %d", p, c, prev)
+		}
+		prev = c
+	}
+	// INT8 quarters the reduction floor: 1024/4 + overheads.
+	cfg := base
+	cfg.Precision = INT8
+	c := cfg.NetworkCost(plan).Cycles
+	if c > 1024/2 {
+		t.Errorf("INT8 cycles = %d, want well under the FP32 floor 1024", c)
+	}
+}
+
+func TestLowerPrecisionShrinksTraffic(t *testing.T) {
+	base := Config{Rows: 16, Cols: 64, FreqHz: 800e6, Dataflow: OutputStationary, LayerOverhead: 64}
+	plan := fcPlan(512, 512)
+	f32 := base
+	i8 := base
+	i8.Precision = INT8
+	c32 := f32.NetworkCost(plan)
+	c8 := i8.NetworkCost(plan)
+	if c8.SRAMReadBytes*4 != c32.SRAMReadBytes {
+		t.Errorf("INT8 SRAM reads %d, want quarter of %d", c8.SRAMReadBytes, c32.SRAMReadBytes)
+	}
+	if c8.WeightBytes*4 != c32.WeightBytes {
+		t.Errorf("INT8 weights %d, want quarter of %d", c8.WeightBytes, c32.WeightBytes)
+	}
+}
+
+func TestPrecisionWSDataflow(t *testing.T) {
+	base := Config{Rows: 4, Cols: 32, FreqHz: 400e6, Dataflow: WeightStationary, LayerOverhead: 64}
+	plan := fcPlan(200, 200)
+	f32 := base.NetworkCost(plan).Cycles
+	i8cfg := base
+	i8cfg.Precision = INT8
+	i8 := i8cfg.NetworkCost(plan).Cycles
+	if i8 >= f32 {
+		t.Errorf("INT8 WS (%d cycles) not faster than FP32 (%d)", i8, f32)
+	}
+}

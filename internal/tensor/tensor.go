@@ -1,0 +1,259 @@
+// Package tensor provides the minimal dense-tensor machinery used by the
+// neural-network library: shapes, float32 buffers, and the arithmetic
+// primitives (GEMV, convolution loops, element-wise ops) that the similarity
+// comparison networks are built from.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape describes the dimensions of a tensor, outermost first.
+type Shape []int
+
+// Elems returns the total element count of the shape. An empty shape has one
+// element (a scalar).
+func (s Shape) Elems() int {
+	n := 1
+	for _, d := range s {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", s))
+		}
+		n *= d
+	}
+	return n
+}
+
+// Equal reports whether two shapes are identical.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the shape.
+func (s Shape) Clone() Shape {
+	c := make(Shape, len(s))
+	copy(c, s)
+	return c
+}
+
+// String renders the shape as, e.g., "[32 22 16]".
+func (s Shape) String() string { return fmt.Sprint([]int(s)) }
+
+// Tensor is a dense row-major float32 tensor.
+type Tensor struct {
+	Shape Shape
+	Data  []float32
+}
+
+// New allocates a zero tensor of the given shape.
+func New(shape ...int) *Tensor {
+	s := Shape(shape).Clone()
+	return &Tensor{Shape: s, Data: make([]float32, s.Elems())}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The length must match.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	s := Shape(shape).Clone()
+	if len(data) != s.Elems() {
+		panic(fmt.Sprintf("tensor: %d elements do not fit shape %v (%d)", len(data), s, s.Elems()))
+	}
+	return &Tensor{Shape: s, Data: data}
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Elems returns the element count.
+func (t *Tensor) Elems() int { return len(t.Data) }
+
+// Bytes returns the size of the tensor payload in bytes (float32).
+func (t *Tensor) Bytes() int64 { return int64(len(t.Data)) * 4 }
+
+// Reshape returns a view of the same data with a new shape of equal size.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	s := Shape(shape).Clone()
+	if s.Elems() != len(t.Data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d) to %v (%d)", t.Shape, len(t.Data), s, s.Elems()))
+	}
+	return &Tensor{Shape: s, Data: t.Data}
+}
+
+// At returns the element at the given indices (row-major).
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given indices.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: %d indices for rank-%d tensor", len(idx), len(t.Shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %d out of range for dim %d (size %d)", x, i, t.Shape[i]))
+		}
+		off = off*t.Shape[i] + x
+	}
+	return off
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: dot of mismatched lengths %d, %d", len(a), len(b)))
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Gemv computes y = W*x + b where W is out×in row-major, x has length in and
+// b (optional, may be nil) has length out. The result is written into y,
+// which must have length out.
+func Gemv(y []float32, w []float32, x []float32, b []float32) {
+	out := len(y)
+	in := len(x)
+	if len(w) != out*in {
+		panic(fmt.Sprintf("tensor: gemv weight length %d != %d*%d", len(w), out, in))
+	}
+	if b != nil && len(b) != out {
+		panic(fmt.Sprintf("tensor: gemv bias length %d != %d", len(b), out))
+	}
+	for o := 0; o < out; o++ {
+		row := w[o*in : (o+1)*in]
+		var s float32
+		for i := 0; i < in; i++ {
+			s += row[i] * x[i]
+		}
+		if b != nil {
+			s += b[o]
+		}
+		y[o] = s
+	}
+}
+
+// Conv2D performs a direct 2-D convolution.
+//
+// in:  H×W×C  (row-major HWC)
+// w:   K×R×S×C (filters)
+// b:   optional, length K
+// out: OH×OW×K where OH = (H+2*pad-R)/stride + 1, OW likewise with S.
+func Conv2D(out, in, w, b []float32, h, wd, c, k, r, s, stride, pad int) {
+	oh := (h+2*pad-r)/stride + 1
+	ow := (wd+2*pad-s)/stride + 1
+	if oh <= 0 || ow <= 0 {
+		panic("tensor: conv2d produces empty output")
+	}
+	if len(in) != h*wd*c {
+		panic(fmt.Sprintf("tensor: conv2d input length %d != %d", len(in), h*wd*c))
+	}
+	if len(w) != k*r*s*c {
+		panic(fmt.Sprintf("tensor: conv2d weight length %d != %d", len(w), k*r*s*c))
+	}
+	if len(out) != oh*ow*k {
+		panic(fmt.Sprintf("tensor: conv2d output length %d != %d", len(out), oh*ow*k))
+	}
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for f := 0; f < k; f++ {
+				var acc float32
+				for ry := 0; ry < r; ry++ {
+					iy := oy*stride + ry - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					for rx := 0; rx < s; rx++ {
+						ix := ox*stride + rx - pad
+						if ix < 0 || ix >= wd {
+							continue
+						}
+						inBase := (iy*wd + ix) * c
+						wBase := ((f*r+ry)*s + rx) * c
+						for ch := 0; ch < c; ch++ {
+							acc += in[inBase+ch] * w[wBase+ch]
+						}
+					}
+				}
+				if b != nil {
+					acc += b[f]
+				}
+				out[(oy*ow+ox)*k+f] = acc
+			}
+		}
+	}
+}
+
+// ReLU applies max(0, x) in place.
+func ReLU(x []float32) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// Sigmoid applies the logistic function in place.
+func Sigmoid(x []float32) {
+	for i, v := range x {
+		x[i] = float32(1 / (1 + math.Exp(-float64(v))))
+	}
+}
+
+// Softmax writes the softmax of x into x.
+func Softmax(x []float32) {
+	if len(x) == 0 {
+		return
+	}
+	max := x[0]
+	for _, v := range x[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(float64(v - max))
+		x[i] = float32(e)
+		sum += e
+	}
+	for i := range x {
+		x[i] = float32(float64(x[i]) / sum)
+	}
+}
+
+// CosineSimilarity returns the cosine of the angle between a and b, or 0 if
+// either has zero norm.
+func CosineSimilarity(a, b []float32) float32 {
+	d := Dot(a, b)
+	na := Dot(a, a)
+	nb := Dot(b, b)
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return d / float32(math.Sqrt(float64(na))*math.Sqrt(float64(nb)))
+}
+
+// ConvOutput returns the output spatial size of a convolution dimension.
+func ConvOutput(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}

@@ -1,0 +1,30 @@
+package topk_test
+
+import (
+	"fmt"
+
+	"repro/internal/topk"
+)
+
+// Example shows the §4.7.1 map-reduce pattern: per-accelerator top-K queues
+// merged into the final result.
+func Example() {
+	// Two accelerators each keep their local top-2.
+	a := topk.New(2)
+	a.Offer(topk.Entry{FeatureID: 1, Score: 0.9})
+	a.Offer(topk.Entry{FeatureID: 2, Score: 0.3})
+	a.Offer(topk.Entry{FeatureID: 3, Score: 0.7})
+
+	b := topk.New(2)
+	b.Offer(topk.Entry{FeatureID: 4, Score: 0.8})
+	b.Offer(topk.Entry{FeatureID: 5, Score: 0.2})
+
+	// The query engine reduces them to the global top-3.
+	for _, e := range topk.Merge(3, a, b).Results() {
+		fmt.Printf("feature %d score %.1f\n", e.FeatureID, e.Score)
+	}
+	// Output:
+	// feature 1 score 0.9
+	// feature 4 score 0.8
+	// feature 3 score 0.7
+}

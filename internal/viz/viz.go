@@ -1,0 +1,152 @@
+// Package viz renders experiment results as terminal charts — ASCII line
+// plots for the sweep figures (Fig. 6, 13, 14) and horizontal bar charts for
+// the comparison figures (Fig. 8, 11) — so regenerated figures can be read
+// at a glance without leaving the shell.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one sample.
+type Point struct {
+	X, Y float64
+}
+
+// LineChart renders one or more series on a shared axis grid of the given
+// dimensions (columns × rows of plot area). Each series is drawn with its
+// own marker; a legend follows the plot.
+func LineChart(title string, series []Series, width, height int) string {
+	if width < 8 || height < 3 {
+		return title + ": (chart area too small)\n"
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+
+	// Bounds over all finite points.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+				continue
+			}
+			n++
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if n == 0 {
+		return title + ": (no data)\n"
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	plot := func(p Point, m byte) {
+		col := int((p.X - minX) / (maxX - minX) * float64(width-1))
+		row := height - 1 - int((p.Y-minY)/(maxY-minY)*float64(height-1))
+		if col >= 0 && col < width && row >= 0 && row < height {
+			grid[row][col] = m
+		}
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		// Connect consecutive points with interpolated markers for a
+		// line-like appearance.
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		for i, p := range pts {
+			plot(p, m)
+			if i > 0 {
+				steps := 8
+				for k := 1; k < steps; k++ {
+					t := float64(k) / float64(steps)
+					plot(Point{
+						X: pts[i-1].X + t*(p.X-pts[i-1].X),
+						Y: pts[i-1].Y + t*(p.Y-pts[i-1].Y),
+					}, '.')
+				}
+			}
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	yLabelW := 9
+	for i, row := range grid {
+		var label string
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%8.3g", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%8.3g", minY)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(row))
+	}
+	sb.WriteString(strings.Repeat(" ", yLabelW))
+	sb.WriteString(strings.Repeat("-", width))
+	sb.WriteString("\n")
+	xAxis := fmt.Sprintf("%-*.3g%*.3g", width/2, minX, width-width/2, maxX)
+	fmt.Fprintf(&sb, "%s %s\n", strings.Repeat(" ", yLabelW), xAxis)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return sb.String()
+}
+
+// Bar is one labeled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to the given width. NaN values
+// render as "n/s" (the unsupported marker used throughout the evaluation).
+func BarChart(title string, bars []Bar, width int) string {
+	if width < 4 {
+		width = 4
+	}
+	maxV := 0.0
+	maxLabel := 0
+	for _, b := range bars {
+		if !math.IsNaN(b.Value) && b.Value > maxV {
+			maxV = b.Value
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for _, b := range bars {
+		if math.IsNaN(b.Value) {
+			fmt.Fprintf(&sb, "  %-*s | n/s\n", maxLabel, b.Label)
+			continue
+		}
+		n := 0
+		if maxV > 0 {
+			n = int(b.Value / maxV * float64(width))
+		}
+		fmt.Fprintf(&sb, "  %-*s |%s %.2f\n", maxLabel, b.Label, strings.Repeat("█", n), b.Value)
+	}
+	return sb.String()
+}

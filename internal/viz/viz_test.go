@@ -1,0 +1,91 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineChartBasic(t *testing.T) {
+	s := LineChart("speedup vs PEs", []Series{
+		{Name: "FC", Points: []Point{{128, 1}, {256, 2}, {512, 3.4}, {1024, 3.4}}},
+		{Name: "Conv", Points: []Point{{128, 1}, {256, 2}, {512, 3.9}, {1024, 7.5}}},
+	}, 40, 10)
+	if !strings.Contains(s, "speedup vs PEs") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(s, "FC") || !strings.Contains(s, "Conv") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Error("series markers missing")
+	}
+	lines := strings.Split(s, "\n")
+	if len(lines) < 13 { // title + 10 rows + axis + labels + legend
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestLineChartSkipsNaN(t *testing.T) {
+	s := LineChart("t", []Series{{Name: "a", Points: []Point{{1, math.NaN()}, {2, 5}}}}, 20, 5)
+	if strings.Contains(s, "NaN") {
+		t.Error("NaN leaked into chart")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	s := LineChart("empty", nil, 20, 5)
+	if !strings.Contains(s, "no data") {
+		t.Errorf("empty chart = %q", s)
+	}
+}
+
+func TestLineChartDegenerateRange(t *testing.T) {
+	// Single point: both ranges degenerate; must not panic or divide by 0.
+	s := LineChart("pt", []Series{{Name: "a", Points: []Point{{1, 1}}}}, 20, 5)
+	if !strings.Contains(s, "*") {
+		t.Error("single point not plotted")
+	}
+}
+
+func TestLineChartTooSmall(t *testing.T) {
+	if s := LineChart("t", nil, 2, 1); !strings.Contains(s, "too small") {
+		t.Errorf("tiny chart = %q", s)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	s := BarChart("speedup", []Bar{
+		{"TextQA", 18.5},
+		{"MIR", 8.25},
+		{"ReId", math.NaN()},
+	}, 30)
+	if !strings.Contains(s, "18.50") || !strings.Contains(s, "8.25") {
+		t.Error("values missing")
+	}
+	if !strings.Contains(s, "n/s") {
+		t.Error("NaN bar not marked n/s")
+	}
+	// The largest value gets the longest bar.
+	lines := strings.Split(s, "\n")
+	var textqaBar, mirBar int
+	for _, l := range lines {
+		n := strings.Count(l, "█")
+		if strings.Contains(l, "TextQA") {
+			textqaBar = n
+		}
+		if strings.Contains(l, "MIR") {
+			mirBar = n
+		}
+	}
+	if textqaBar <= mirBar {
+		t.Errorf("bar lengths wrong: TextQA %d vs MIR %d", textqaBar, mirBar)
+	}
+}
+
+func TestBarChartAllZero(t *testing.T) {
+	s := BarChart("z", []Bar{{"a", 0}}, 10)
+	if !strings.Contains(s, "0.00") {
+		t.Errorf("zero bar = %q", s)
+	}
+}

@@ -1,0 +1,231 @@
+// Package workload defines the five intelligent-query applications studied in
+// the paper (Table 1) and the synthetic feature databases and query traces
+// used to drive the simulator and the examples.
+//
+// The paper's applications are trained TensorFlow models over public
+// datasets (CUHK03, MagnaTagTune, Street2Shop, MSCOCO/Flickr30K, TREC QA).
+// We do not have those datasets or checkpoints; instead each application's
+// similarity comparison network (SCN) is reconstructed so that its
+// architectural characteristics — feature size, layer-family counts, total
+// FLOPs, and total weight bytes — match Table 1 (within a few percent, which
+// the tests enforce). Timing and energy in the simulator depend only on
+// those characteristics, so the substitution preserves the evaluated
+// behaviour.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// AppType classifies the query modality (Table 1 "Type" column).
+type AppType int
+
+const (
+	TypeVisual AppType = iota
+	TypeAudio
+	TypeText
+	TypeTextImage
+)
+
+// String names the application type as in Table 1.
+func (t AppType) String() string {
+	switch t {
+	case TypeVisual:
+		return "Visual"
+	case TypeAudio:
+		return "Audio"
+	case TypeText:
+		return "Text"
+	case TypeTextImage:
+		return "Text/Image"
+	default:
+		return fmt.Sprintf("AppType(%d)", int(t))
+	}
+}
+
+// Table1 holds the paper-reported characteristics of an application, used for
+// validation and for printing the Table 1 reproduction.
+type Table1 struct {
+	FeatureKB   float64 // feature vector size
+	ConvLayers  int
+	FCLayers    int
+	EWLayers    int
+	TotalFLOPs  float64 // per comparison
+	WeightBytes float64
+	Dataset     string
+}
+
+// App is one intelligent-query application.
+type App struct {
+	Name        string
+	Description string
+	Type        AppType
+	// SCN is the similarity comparison network (weights zero until
+	// InitRandom; characteristics are weight-independent).
+	SCN *nn.Network
+	// BatchSizes are the Figure 2 sweep points.
+	BatchSizes []int
+	// DefaultBatch is the §6.2 batch size (maximizes GPU utilization).
+	DefaultBatch int
+	// Paper holds the Table 1 reference values.
+	Paper Table1
+}
+
+// FeatureBytes returns the byte size of one feature vector.
+func (a *App) FeatureBytes() int64 { return a.SCN.FeatureBytes() }
+
+// String returns "Name (Type)".
+func (a *App) String() string { return fmt.Sprintf("%s (%s)", a.Name, a.Type) }
+
+// newReId reconstructs the Person Re-Identification SCN (Ahmed et al. 2015
+// style): 44 KB features (32×22×16), a subtract front end, two 3×3 conv
+// layers, and two FC layers. Table 1: 9.8M FLOPs, 10.7 MB weights.
+func newReId() *App {
+	scn := nn.MustNetwork("ReId", tensor.Shape{32, 22, 16}, nn.CombineSubtract,
+		nn.NewConv("conv1", 32, 22, 16, 16, 3, 3, 1, 1, nn.ActReLU),
+		nn.NewConv("conv2", 32, 22, 16, 12, 3, 3, 1, 1, nn.ActReLU),
+		nn.NewFC("fc1", 32*22*12, 300, nn.ActReLU),
+		nn.NewFC("fc2", 300, 64, nn.ActNone),
+	)
+	return &App{
+		Name:         "ReId",
+		Description:  "Identify the same person across a database of stored images",
+		Type:         TypeVisual,
+		SCN:          scn,
+		BatchSizes:   []int{500, 1000, 1500, 2000},
+		DefaultBatch: 2000,
+		Paper: Table1{
+			FeatureKB: 44, ConvLayers: 2, FCLayers: 2, EWLayers: 1,
+			TotalFLOPs: 9.8e6, WeightBytes: 10.7e6, Dataset: "CUHK03",
+		},
+	}
+}
+
+// newMIR reconstructs Music Information Retrieval: 2 KB features, concat
+// front end, three FC layers. Table 1: 1.05M FLOPs, 2 MB weights.
+func newMIR() *App {
+	scn := nn.MustNetwork("MIR", tensor.Shape{512}, nn.CombineConcat,
+		nn.NewFC("fc1", 1024, 448, nn.ActReLU),
+		nn.NewFC("fc2", 448, 96, nn.ActReLU),
+		nn.NewFC("fc3", 96, 2, nn.ActNone),
+	)
+	return &App{
+		Name:         "MIR",
+		Description:  "Retrieve music based on styles and instrumentations",
+		Type:         TypeAudio,
+		SCN:          scn,
+		BatchSizes:   []int{5000, 10000, 20000, 50000},
+		DefaultBatch: 50000,
+		Paper: Table1{
+			FeatureKB: 2, ConvLayers: 0, FCLayers: 3, EWLayers: 0,
+			TotalFLOPs: 1.05e6, WeightBytes: 2e6, Dataset: "MagnaTagTune",
+		},
+	}
+}
+
+// newESTP reconstructs Exact Street to Shop: 16 KB features, concat front
+// end, three FC layers. Table 1: 4.72M FLOPs, 9 MB weights.
+func newESTP() *App {
+	scn := nn.MustNetwork("ESTP", tensor.Shape{4096}, nn.CombineConcat,
+		nn.NewFC("fc1", 8192, 280, nn.ActReLU),
+		nn.NewFC("fc2", 280, 64, nn.ActReLU),
+		nn.NewFC("fc3", 64, 2, nn.ActNone),
+	)
+	return &App{
+		Name:         "ESTP",
+		Description:  "Online shopping of a garment item using a real-world photo",
+		Type:         TypeVisual,
+		SCN:          scn,
+		BatchSizes:   []int{5000, 10000, 20000, 50000},
+		DefaultBatch: 50000,
+		Paper: Table1{
+			FeatureKB: 16, ConvLayers: 0, FCLayers: 3, EWLayers: 0,
+			TotalFLOPs: 4.72e6, WeightBytes: 9e6, Dataset: "Street2Shop",
+		},
+	}
+}
+
+// newTIR reconstructs Text-based Image Retrieval exactly as §3 describes it:
+// a vector dot product and three FC layers of 512×512, 512×256, 256×2.
+// Table 1: 0.79M FLOPs, 1.5 MB weights.
+func newTIR() *App {
+	scn := nn.MustNetwork("TIR", tensor.Shape{512}, nn.CombineHadamard,
+		nn.NewFC("fc1", 512, 512, nn.ActReLU),
+		nn.NewFC("fc2", 512, 256, nn.ActReLU),
+		nn.NewFC("fc3", 256, 2, nn.ActNone),
+	)
+	return &App{
+		Name:         "TIR",
+		Description:  "Retrieve images matching a sentence description",
+		Type:         TypeTextImage,
+		SCN:          scn,
+		BatchSizes:   []int{5000, 10000, 20000, 50000},
+		DefaultBatch: 50000,
+		Paper: Table1{
+			FeatureKB: 2, ConvLayers: 0, FCLayers: 3, EWLayers: 1,
+			TotalFLOPs: 0.79e6, WeightBytes: 1.5e6, Dataset: "MSCOCO, Flickr30K",
+		},
+	}
+}
+
+// newTextQA reconstructs Text Question-and-Answer reranking: 0.8 KB features,
+// a dot-product front end, one FC layer. Table 1: 0.08M FLOPs, 0.16 MB.
+func newTextQA() *App {
+	scn := nn.MustNetwork("TextQA", tensor.Shape{200}, nn.CombineHadamard,
+		nn.NewFC("fc1", 200, 200, nn.ActSigmoid),
+	)
+	return &App{
+		Name:         "TextQA",
+		Description:  "Rerank short text pairs closely related to a question",
+		Type:         TypeText,
+		SCN:          scn,
+		BatchSizes:   []int{10000, 20000, 50000, 100000},
+		DefaultBatch: 100000,
+		Paper: Table1{
+			FeatureKB: 0.8, ConvLayers: 0, FCLayers: 1, EWLayers: 1,
+			TotalFLOPs: 0.08e6, WeightBytes: 0.16e6, Dataset: "TREC QA",
+		},
+	}
+}
+
+// Apps returns the five studied applications in Table 1 order. Each call
+// builds fresh networks (zero weights); call SCN.InitRandom for usable
+// weights.
+func Apps() []*App {
+	return []*App{newReId(), newMIR(), newESTP(), newTIR(), newTextQA()}
+}
+
+// AppNames lists the application names in Table 1 order.
+func AppNames() []string {
+	return []string{"ReId", "MIR", "ESTP", "TIR", "TextQA"}
+}
+
+// ByName returns the named application, or an error listing valid names.
+func ByName(name string) (*App, error) {
+	for _, a := range Apps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown application %q (valid: %v)", name, AppNames())
+}
+
+// QCN builds a query comparison network for the application, used by the
+// similarity-based query cache (§4.6). The paper uses the Universal Sentence
+// Encoder for TIR; we substitute a small two-branch comparison network of the
+// same structure as the SCNs, which is what the QC design requires
+// ("a QCN whose structure is similar to the SCN").
+func (a *App) QCN() *nn.Network {
+	fe := a.SCN.FeatureElems()
+	hidden := fe / 4
+	if hidden < 8 {
+		hidden = 8
+	}
+	return nn.MustNetwork(a.Name+"-QCN", tensor.Shape{fe}, nn.CombineHadamard,
+		nn.NewFC("qcn-fc1", fe, hidden, nn.ActReLU),
+		nn.NewFC("qcn-fc2", hidden, 1, nn.ActSigmoid),
+	)
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPopularityUniform(t *testing.T) {
+	tr := GenerateTrace(TraceConfig{Universe: 100, Length: 50_000, Dist: Uniform, Seed: 9})
+	p := tr.Popularity()
+	if p.Queries != 50_000 || p.Distinct != 100 {
+		t.Fatalf("stats = %+v", p)
+	}
+	// Uniform: the hottest intent carries ~1% of the trace.
+	if p.Top1 < 0.005 || p.Top1 > 0.02 {
+		t.Errorf("uniform Top1 = %.4f, want ~0.01", p.Top1)
+	}
+	// Hottest 10% of intents carry a bit over 10% of a uniform trace.
+	if p.Top10Pct < 0.09 || p.Top10Pct > 0.16 {
+		t.Errorf("uniform Top10Pct = %.3f", p.Top10Pct)
+	}
+}
+
+func TestPopularityZipfianSkew(t *testing.T) {
+	u := GenerateTrace(TraceConfig{Universe: 1000, Length: 50_000, Dist: Uniform, Seed: 3}).Popularity()
+	z := GenerateTrace(TraceConfig{Universe: 1000, Length: 50_000, Dist: Zipfian, Alpha: 0.8, Seed: 3}).Popularity()
+	if z.Top1 <= 2*u.Top1 {
+		t.Errorf("zipfian Top1 %.4f not clearly above uniform %.4f", z.Top1, u.Top1)
+	}
+	if z.Top10Pct <= u.Top10Pct {
+		t.Errorf("zipfian Top10Pct %.3f not above uniform %.3f", z.Top10Pct, u.Top10Pct)
+	}
+}
+
+func TestCacheCoverageMonotone(t *testing.T) {
+	tr := GenerateTrace(TraceConfig{Universe: 500, Length: 20_000, Dist: Zipfian, Alpha: 0.7, Seed: 5})
+	p := tr.Popularity()
+	prev := 0.0
+	for _, entries := range []int{1, 10, 50, 100, 500, 1000} {
+		c := p.CacheCoverage(entries)
+		if c < prev-1e-12 {
+			t.Errorf("coverage decreased at %d entries: %.4f < %.4f", entries, c, prev)
+		}
+		prev = c
+	}
+	// Covering every distinct intent covers the whole trace.
+	if full := p.CacheCoverage(p.Distinct); math.Abs(full-1) > 1e-9 {
+		t.Errorf("full coverage = %v, want 1", full)
+	}
+	if p.CacheCoverage(0) != 0 {
+		t.Error("zero entries cover > 0")
+	}
+}
+
+func TestPopularityEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	p := tr.Popularity()
+	if p.Queries != 0 || p.Top1 != 0 || p.CacheCoverage(10) != 0 {
+		t.Errorf("empty trace stats = %+v", p)
+	}
+}

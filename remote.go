@@ -1,0 +1,34 @@
+package deepstore
+
+import (
+	"io"
+
+	"repro/internal/proto"
+)
+
+// Remote access. The Table 2 API "internally uses new NVMe commands to
+// interact with the query engine" (§4.7.2); these wrappers expose that
+// command protocol through the facade: Serve runs a System as the device
+// side of a duplex byte stream, and Connect returns a typed client for the
+// host side. Both ends speak the NVMe-like wire encoding of internal/proto.
+
+// RemoteClient is the host-side handle to a served System.
+type RemoteClient = proto.Client
+
+// Serve runs the device side of the command protocol on rw until the stream
+// closes. Typically launched in a goroutine over one end of a net.Pipe or a
+// socket.
+func Serve(rw io.ReadWriter, sys *System) error {
+	return proto.Serve(rw, &proto.Handler{DS: sys})
+}
+
+// Connect returns a client that drives a served System over rw.
+func Connect(rw io.ReadWriter) *RemoteClient {
+	return proto.NewClient(proto.NewStream(rw))
+}
+
+// LocalClient returns a client bound directly to an in-process System — the
+// loopback transport, with the same typed API as a remote connection.
+func LocalClient(sys *System) *RemoteClient {
+	return proto.NewClient(proto.Loopback{Handler: &proto.Handler{DS: sys}})
+}

@@ -1,0 +1,65 @@
+package deepstore
+
+import (
+	"net"
+	"testing"
+)
+
+func TestRemoteServeConnect(t *testing.T) {
+	sys, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostSide, devSide := net.Pipe()
+	defer hostSide.Close()
+	go func() {
+		defer devSide.Close()
+		_ = Serve(devSide, sys)
+	}()
+
+	client := Connect(hostSide)
+	app, _ := AppByName("TextQA")
+	app.SCN.InitRandom(9)
+	db := NewFeatureDB(app, 40, 3)
+	dbID, err := client.WriteDB(db.Vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := client.LoadModelNetwork(app.SCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qid, err := client.Query(db.Vectors[5], 3, model, dbID, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.GetResults(qid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 3 {
+		t.Fatalf("%d results", len(res.IDs))
+	}
+}
+
+func TestLocalClient(t *testing.T) {
+	sys, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := LocalClient(sys)
+	app, _ := AppByName("TIR")
+	app.SCN.InitRandom(2)
+	db := NewFeatureDB(app, 30, 4)
+	dbID, err := client.WriteDB(db.Vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := client.ReadDB(dbID, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0][0] != db.Vectors[0][0] {
+		t.Error("loopback readDB mismatch")
+	}
+}
