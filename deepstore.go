@@ -174,3 +174,16 @@ func ShardedScan(n int, app *App, level Level, devCfg DeviceConfig, features, wi
 
 // ClusterResult aggregates a sharded scan.
 type ClusterResult = cluster.Result
+
+// ClusterEngines is a functional scale-out deployment: full DeepStore
+// engines each holding a contiguous shard of one materialized database,
+// with single- and batch-query fan-out and global top-K merging.
+type ClusterEngines = cluster.Engines
+
+// ClusterAnswer is one query's cluster-wide merged result.
+type ClusterAnswer = cluster.Answer
+
+// NewClusterEngines creates n DeepStore engines with identical options.
+func NewClusterEngines(n int, opts Options) (*ClusterEngines, error) {
+	return cluster.NewEngines(n, opts)
+}

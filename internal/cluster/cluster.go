@@ -9,6 +9,7 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/accel"
 	"repro/internal/energy"
@@ -35,6 +36,11 @@ func (r Result) Seconds() float64 { return r.Makespan.Seconds() }
 // ShardedScan shards `features` of the application's database across n
 // devices of the given configuration and scans every shard at the given
 // accelerator level. Shards are balanced to within one feature.
+//
+// The shards really do scan in parallel: each device owns a private
+// discrete-event engine, so the per-shard simulations run concurrently on
+// the host and the aggregate is deterministic regardless of completion
+// order (results are reduced in shard order).
 func ShardedScan(n int, app *workload.App, level accel.Level, devCfg ssd.Config, features, window int64) (Result, error) {
 	if n < 1 {
 		return Result{}, fmt.Errorf("cluster: %d devices invalid", n)
@@ -42,31 +48,44 @@ func ShardedScan(n int, app *workload.App, level accel.Level, devCfg ssd.Config,
 	if features < int64(n) {
 		return Result{}, fmt.Errorf("cluster: %d features cannot shard across %d devices", features, n)
 	}
-	var res Result
+	outs := make([]accel.ScanResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
 	for dev := 0; dev < n; dev++ {
 		share := features / int64(n)
 		if int64(dev) < features%int64(n) {
 			share++
 		}
-		e := sim.NewEngine()
-		device, err := ssd.New(e, devCfg)
-		if err != nil {
-			return Result{}, err
+		wg.Add(1)
+		go func(dev int, share int64) {
+			defer wg.Done()
+			e := sim.NewEngine()
+			device, err := ssd.New(e, devCfg)
+			if err != nil {
+				errs[dev] = err
+				return
+			}
+			meta, err := device.CreateDB(fmt.Sprintf("%s-shard%d", app.Name, dev), app.FeatureBytes(), share)
+			if err != nil {
+				errs[dev] = err
+				return
+			}
+			outs[dev], errs[dev] = accel.Scan(accel.ScanRequest{
+				Device:                 device,
+				Spec:                   accel.SpecForLevel(level, devCfg),
+				Net:                    app.SCN,
+				Layout:                 meta.Layout,
+				WindowFeaturesPerAccel: window,
+			})
+		}(dev, share)
+	}
+	wg.Wait()
+	var res Result
+	for dev := 0; dev < n; dev++ {
+		if errs[dev] != nil {
+			return Result{}, errs[dev]
 		}
-		meta, err := device.CreateDB(fmt.Sprintf("%s-shard%d", app.Name, dev), app.FeatureBytes(), share)
-		if err != nil {
-			return Result{}, err
-		}
-		out, err := accel.Scan(accel.ScanRequest{
-			Device:                 device,
-			Spec:                   accel.SpecForLevel(level, devCfg),
-			Net:                    app.SCN,
-			Layout:                 meta.Layout,
-			WindowFeaturesPerAccel: window,
-		})
-		if err != nil {
-			return Result{}, err
-		}
+		out := outs[dev]
 		res.PerDevice = append(res.PerDevice, out)
 		res.Activity.Add(out.Activity)
 		res.Features += out.Features

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ftl"
+	"repro/internal/nn"
+	"repro/internal/sim"
+	"repro/internal/topk"
+)
+
+// Engines is the functional counterpart of ShardedScan: a Fig. 10b
+// scale-out deployment of full DeepStore engines, one per simulated SSD,
+// each holding a contiguous shard of one materialized feature database.
+// A query fans out to every shard's engine (which in turn shards its scan
+// across channels — the two-level map of a multi-SSD map-reduce), and the
+// per-shard top-K queues reduce into a global answer. Batches drive each
+// engine's concurrent query path via core.DeepStore.Queries.
+type Engines struct {
+	shards []*core.DeepStore
+	dbs    []ftl.DBID
+	models []core.ModelID
+	// offsets[s] is the global index of shard s's first feature.
+	offsets []int64
+}
+
+// Answer is one query's cluster-wide result.
+type Answer struct {
+	// TopK holds the merged results with FeatureID in global database
+	// coordinates.
+	TopK []topk.Entry
+	// Makespan is the slowest shard's simulated latency — the map-reduce
+	// barrier before the final merge.
+	Makespan sim.Duration
+	// EnergyJ sums the shards' modeled energy.
+	EnergyJ float64
+}
+
+// NewEngines creates n DeepStore engines with identical options.
+func NewEngines(n int, opts core.Options) (*Engines, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: %d engines invalid", n)
+	}
+	e := &Engines{}
+	for i := 0; i < n; i++ {
+		ds, err := core.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		e.shards = append(e.shards, ds)
+	}
+	return e, nil
+}
+
+// Shards returns the number of engines.
+func (e *Engines) Shards() int { return len(e.shards) }
+
+// Engine exposes shard s's engine (for inspection and stats).
+func (e *Engines) Engine(s int) *core.DeepStore { return e.shards[s] }
+
+// WriteDB splits the features contiguously across the shards (balanced to
+// within one feature) and writes each slice to its engine.
+func (e *Engines) WriteDB(features [][]float32) error {
+	n := int64(len(e.shards))
+	if int64(len(features)) < n {
+		return fmt.Errorf("cluster: %d features cannot shard across %d engines", len(features), n)
+	}
+	e.dbs = e.dbs[:0]
+	e.offsets = e.offsets[:0]
+	var off int64
+	for s := int64(0); s < n; s++ {
+		share := int64(len(features)) / n
+		if s < int64(len(features))%n {
+			share++
+		}
+		id, err := e.shards[s].WriteDB(features[off : off+share])
+		if err != nil {
+			return err
+		}
+		e.dbs = append(e.dbs, id)
+		e.offsets = append(e.offsets, off)
+		off += share
+	}
+	return nil
+}
+
+// LoadModel registers the SCN with every shard's engine.
+func (e *Engines) LoadModel(net *nn.Network) error {
+	e.models = e.models[:0]
+	for _, ds := range e.shards {
+		id, err := ds.LoadModelNetwork(net)
+		if err != nil {
+			return err
+		}
+		e.models = append(e.models, id)
+	}
+	return nil
+}
+
+// Query runs one query across all shards and merges the answers.
+func (e *Engines) Query(qfv []float32, k int) (Answer, error) {
+	answers, err := e.Queries([][]float32{qfv}, k)
+	if err != nil {
+		return Answer{}, err
+	}
+	return answers[0], nil
+}
+
+// Queries runs a batch of queries across all shards: each shard receives
+// the whole batch through its engine's Queries entry point (keeping the
+// per-engine scoring pools busy), shards execute concurrently, and each
+// query's per-shard top-Ks are reduced with topk.Merge after remapping
+// feature IDs into global coordinates.
+func (e *Engines) Queries(qfvs [][]float32, k int) ([]Answer, error) {
+	if len(e.dbs) != len(e.shards) || len(e.models) != len(e.shards) {
+		return nil, fmt.Errorf("cluster: engines need WriteDB and LoadModel before queries")
+	}
+	if len(qfvs) == 0 {
+		return nil, fmt.Errorf("cluster: empty batch")
+	}
+	type shardOut struct {
+		results []*core.QueryResult
+		err     error
+	}
+	outs := make([]shardOut, len(e.shards))
+	var wg sync.WaitGroup
+	for s := range e.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			specs := make([]core.QuerySpec, len(qfvs))
+			for i, q := range qfvs {
+				specs[i] = core.QuerySpec{QFV: q, K: k, Model: e.models[s], DB: e.dbs[s]}
+			}
+			ids, err := e.shards[s].Queries(specs)
+			if err != nil {
+				outs[s].err = err
+				return
+			}
+			outs[s].results = make([]*core.QueryResult, len(ids))
+			for i, id := range ids {
+				res, err := e.shards[s].GetResults(id)
+				if err != nil {
+					outs[s].err = err
+					return
+				}
+				outs[s].results[i] = res
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+	}
+	answers := make([]Answer, len(qfvs))
+	for i := range qfvs {
+		queues := make([]*topk.Queue, len(e.shards))
+		for s, o := range outs {
+			q := topk.New(k)
+			for _, entry := range o.results[i].TopK {
+				entry.FeatureID += e.offsets[s]
+				q.Offer(entry)
+			}
+			queues[s] = q
+			if lat := o.results[i].Latency; lat > answers[i].Makespan {
+				answers[i].Makespan = lat
+			}
+			answers[i].EnergyJ += o.results[i].Energy.Total()
+		}
+		answers[i].TopK = topk.Merge(k, queues...).Results()
+	}
+	return answers, nil
+}

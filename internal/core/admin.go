@@ -15,6 +15,8 @@ import (
 // (wear accounted), its materialized vectors released, and subsequent
 // queries against the id fail.
 func (ds *DeepStore) DeleteDB(id ftl.DBID) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	if _, err := ds.db(id); err != nil {
 		return err
 	}
@@ -28,6 +30,8 @@ func (ds *DeepStore) DeleteDB(id ftl.DBID) error {
 // CompactFlash runs the FTL's garbage collection, relocating databases to
 // coalesce free block columns. Returns the number of columns moved.
 func (ds *DeepStore) CompactFlash() int {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	moved := ds.dev.FTL.Compact()
 	// Relocation changed physical addresses; refresh cached metadata.
 	for id, st := range ds.dbs {
@@ -41,6 +45,8 @@ func (ds *DeepStore) CompactFlash() int {
 // Checkpoint persists the FTL metadata to the reserved flash block (§4.4)
 // and returns the image a power-cycled device would restore from.
 func (ds *DeepStore) Checkpoint() ([]byte, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	img, err := ds.dev.PersistMetadata()
 	if err != nil {
 		return nil, fmt.Errorf("core: checkpoint: %w", err)

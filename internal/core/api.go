@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ftl"
 	"repro/internal/nn"
@@ -18,6 +19,8 @@ import (
 // FTL; the page programs are executed in the device model so write time and
 // wear are accounted. Returns the new database's db_id.
 func (ds *DeepStore) WriteDB(features [][]float32) (ftl.DBID, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	if len(features) == 0 {
 		return 0, fmt.Errorf("core: writeDB with no features")
 	}
@@ -50,6 +53,8 @@ func (ds *DeepStore) WriteDB(features [][]float32) (ftl.DBID, error) {
 // fit in host memory. Queries against a declared database return timing and
 // energy but no meaningful scores.
 func (ds *DeepStore) DeclareDB(featureBytes, features int64) (ftl.DBID, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	meta, err := ds.dev.CreateDB(fmt.Sprintf("db-%d", len(ds.dbs)+1), featureBytes, features)
 	if err != nil {
 		return 0, err
@@ -77,6 +82,8 @@ func (ds *DeepStore) programDB(meta *ftl.DBMeta) {
 // AppendDB appends features to an existing database (appendDB). Appended
 // features must match the database dimensionality.
 func (ds *DeepStore) AppendDB(id ftl.DBID, features [][]float32) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	st, err := ds.db(id)
 	if err != nil {
 		return err
@@ -106,6 +113,8 @@ func (ds *DeepStore) AppendDB(id ftl.DBID, features [][]float32) error {
 // ReadDB reads num features starting at start (readDB). Data crosses the
 // external interface in the device model.
 func (ds *DeepStore) ReadDB(id ftl.DBID, start, num int64) ([][]float32, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	st, err := ds.db(id)
 	if err != nil {
 		return nil, err
@@ -142,6 +151,8 @@ func (ds *DeepStore) LoadModel(data []byte) (ModelID, error) {
 // LoadModelNetwork registers an in-memory network directly (the zero-copy
 // path used by tests and examples that build models programmatically).
 func (ds *DeepStore) LoadModelNetwork(net *nn.Network) (ModelID, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	if net == nil {
 		return 0, fmt.Errorf("core: nil model")
 	}
@@ -159,6 +170,8 @@ func (ds *DeepStore) LoadModelNetwork(net *nn.Network) (ModelID, error) {
 // its accuracy, the entry capacity, and the error threshold (§4.6). A second
 // call reconfigures (and clears) the cache.
 func (ds *DeepStore) SetQC(qcn *nn.Network, qcnAccuracy float64, entries int, threshold float64) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	if qcn == nil {
 		return fmt.Errorf("core: nil QCN")
 	}
@@ -171,8 +184,14 @@ func (ds *DeepStore) SetQC(qcn *nn.Network, qcnAccuracy float64, entries int, th
 	if qcnAccuracy <= 0 || qcnAccuracy > 1 {
 		return fmt.Errorf("core: QCN accuracy %v outside (0,1]", qcnAccuracy)
 	}
+	// The cache sweep shards across goroutines for large caches, so the
+	// scorer must be concurrency-safe: each call borrows a scratch-buffer
+	// Scorer from a pool instead of sharing one or allocating per call.
+	pool := &sync.Pool{New: func() any { return qcn.Scorer() }}
 	scorer := func(a, b []float32) float64 {
-		s := float64(qcn.Score(a, b))
+		sc := pool.Get().(*nn.Scorer)
+		s := float64(sc.Score(a, b))
+		pool.Put(sc)
 		if s < 0 {
 			s = 0
 		}

@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/accel"
 	"repro/internal/energy"
@@ -40,6 +41,10 @@ type Options struct {
 	// TimingWindow bounds the per-accelerator features simulated in the
 	// event-driven model per query (0 = exact simulation).
 	TimingWindow int64
+	// SerialScoring disables the parallel functional-scoring worker pool,
+	// forcing the single-goroutine reference scan. For equivalence tests
+	// and benchmark baselines; results are identical either way.
+	SerialScoring bool
 }
 
 // DefaultOptions returns the evaluation configuration: channel-level
@@ -86,10 +91,22 @@ type Stats struct {
 }
 
 // DeepStore is one in-storage intelligent-query engine instance.
+//
+// All exported methods are safe for concurrent use. A single mutex guards
+// the engine state — the event-driven simulator and its virtual clock, the
+// model and database tables, the query table, the query cache, and the
+// aggregate stats — serializing simulated-time accounting exactly as the
+// paper's single-dispatcher query engine does (§4.7.1). Parallelism lives
+// inside a query (the sharded functional scan and the query-cache sweep),
+// not across the simulated timeline, which keeps simulated time
+// deterministic under concurrent callers.
 type DeepStore struct {
 	opts   Options
 	engine *sim.Engine
 	dev    *ssd.Device
+
+	// mu guards everything below plus the device/engine pair above.
+	mu sync.Mutex
 
 	models      map[ModelID]*nn.Network
 	nextModelID ModelID
@@ -140,10 +157,18 @@ func New(opts Options) (*DeepStore, error) {
 func (ds *DeepStore) Device() *ssd.Device { return ds.dev }
 
 // Stats returns engine counters.
-func (ds *DeepStore) Stats() Stats { return ds.stats }
+func (ds *DeepStore) Stats() Stats {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.stats
+}
 
 // Now returns the engine's virtual time.
-func (ds *DeepStore) Now() sim.Time { return ds.engine.Now() }
+func (ds *DeepStore) Now() sim.Time {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.engine.Now()
+}
 
 func (ds *DeepStore) db(id ftl.DBID) (*dbState, error) {
 	st, ok := ds.dbs[id]

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/topk"
+	"repro/internal/workload"
+)
+
+// TestScoreRangeParallelMatchesSerial: the sharded worker-pool scan returns
+// byte-identical top-K (IDs, scores, ObjectIDs, order) to the serial
+// reference across K values and ranges that do not align with channel
+// boundaries (the default geometry has 32 channels; ranges below start and
+// end mid-stripe).
+func TestScoreRangeParallelMatchesSerial(t *testing.T) {
+	const features = 2000
+	ds, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := workload.ByName("TextQA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(1)
+	db := workload.NewFeatureDB(app, features, 42)
+	dbID, err := ds.WriteDB(db.Vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ds.LoadModelNetwork(app.SCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ds.dbs[dbID]
+	net := ds.models[model]
+	q := st.vectors[17] // a real vector: scores spread across the full range
+
+	cases := []struct {
+		name       string
+		start, end int64
+	}{
+		{"full", 0, features},
+		{"mid-stripe", 7, 1953},
+		{"one-channel-span", 13, 14},
+		{"sub-stripe", 5, 29},
+		{"tail", 1999, 2000},
+	}
+	for _, k := range []int{1, 10, 100} {
+		for _, c := range cases {
+			t.Run(fmt.Sprintf("K=%d/%s", k, c.name), func(t *testing.T) {
+				serial := ds.scoreRangeSerial(net, st, q, c.start, c.end, k)
+				parallel := ds.scoreRange(net, st, q, c.start, c.end, k)
+				if len(serial) != len(parallel) {
+					t.Fatalf("parallel returned %d entries, serial %d", len(parallel), len(serial))
+				}
+				for i := range serial {
+					if serial[i] != parallel[i] {
+						t.Fatalf("entry %d differs: parallel %+v != serial %+v", i, parallel[i], serial[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestQuerySerialOptionMatchesParallel: the SerialScoring escape hatch and
+// the default pool return identical query results end to end.
+func TestQuerySerialOptionMatchesParallel(t *testing.T) {
+	run := func(serial bool) []topk.Entry {
+		opts := DefaultOptions()
+		opts.SerialScoring = serial
+		ds, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, _ := workload.ByName("TextQA")
+		app.SCN.InitRandom(1)
+		db := workload.NewFeatureDB(app, 500, 42)
+		dbID, err := ds.WriteDB(db.Vectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := ds.LoadModelNetwork(app.SCN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qid, err := ds.Query(QuerySpec{QFV: db.Vectors[3], K: 10, Model: model, DB: dbID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ds.GetResults(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TopK
+	}
+	serial := run(true)
+	parallel := run(false)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result sizes differ: %d vs %d", len(parallel), len(serial))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, parallel[i], serial[i])
+		}
+	}
+}
+
+// TestConcurrentQueries: concurrent Query/GetResults/WriteDB/Stats callers
+// race-free and fully accounted. Fails under -race on the pre-mutex engine
+// (concurrent map writes on queries, torn stats).
+func TestConcurrentQueries(t *testing.T) {
+	ds, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := workload.ByName("TextQA")
+	app.SCN.InitRandom(1)
+	db := workload.NewFeatureDB(app, 300, 7)
+	dbID, err := ds.WriteDB(db.Vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ds.LoadModelNetwork(app.SCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.SetQC(app.QCN(), 0.95, 16, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				qid, err := ds.Query(QuerySpec{QFV: db.Vectors[(w*perWorker+i)%300], K: 5, Model: model, DB: dbID})
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := ds.GetResults(qid)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res.TopK) == 0 || res.Latency <= 0 {
+					errs <- fmt.Errorf("worker %d: empty result", w)
+					return
+				}
+				ds.Stats()
+				ds.CacheStats()
+			}
+		}(w)
+	}
+	// Interleave metadata traffic on other databases.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			extra := workload.NewFeatureDB(app, 10, int64(100+i))
+			id, err := ds.WriteDB(extra.Vectors)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := ds.ReadDB(id, 0, 5); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got := ds.Stats().Queries; got != workers*perWorker {
+		t.Errorf("accounted %d queries, want %d", got, workers*perWorker)
+	}
+}
+
+// TestBatchQueriesMatchSerial: Queries returns IDs in spec order with the
+// same per-query results and the same aggregate simulated time as serial
+// submission (no cache configured, so order cannot change outcomes).
+func TestBatchQueriesMatchSerial(t *testing.T) {
+	build := func() (*DeepStore, ModelID, []QuerySpec) {
+		ds, err := New(DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, _ := workload.ByName("TextQA")
+		app.SCN.InitRandom(1)
+		db := workload.NewFeatureDB(app, 400, 21)
+		dbID, err := ds.WriteDB(db.Vectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := ds.LoadModelNetwork(app.SCN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := make([]QuerySpec, 12)
+		for i := range specs {
+			specs[i] = QuerySpec{QFV: db.Vectors[i*7%400], K: 5, Model: model, DB: dbID}
+		}
+		return ds, model, specs
+	}
+
+	dsSerial, _, specs := build()
+	serialResults := make([]*QueryResult, len(specs))
+	for i, spec := range specs {
+		qid, err := dsSerial.Query(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serialResults[i], err = dsSerial.GetResults(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dsBatch, _, specs2 := build()
+	ids, err := dsBatch.Queries(specs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(specs2) {
+		t.Fatalf("got %d ids, want %d", len(ids), len(specs2))
+	}
+	for i, id := range ids {
+		res, err := dsBatch.GetResults(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.TopK) != len(serialResults[i].TopK) {
+			t.Fatalf("query %d: batch returned %d entries, serial %d", i, len(res.TopK), len(serialResults[i].TopK))
+		}
+		for j := range res.TopK {
+			if res.TopK[j] != serialResults[i].TopK[j] {
+				t.Fatalf("query %d entry %d: batch %+v != serial %+v", i, j, res.TopK[j], serialResults[i].TopK[j])
+			}
+		}
+		if res.Latency != serialResults[i].Latency {
+			t.Errorf("query %d: batch latency %v != serial %v", i, res.Latency, serialResults[i].Latency)
+		}
+	}
+	if a, b := dsBatch.Stats().SimTime, dsSerial.Stats().SimTime; a != b {
+		t.Errorf("batch SimTime %v != serial %v", a, b)
+	}
+}

@@ -2,8 +2,12 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/accel"
+	"repro/internal/energy"
 	"repro/internal/ftl"
 	"repro/internal/nn"
 	"repro/internal/sim"
@@ -32,7 +36,19 @@ func specFor(ds *DeepStore, level accel.Level) accel.Spec {
 // cache, and on a miss maps the SCN scan across the selected accelerators
 // and reduces their per-accelerator top-K queues into the final result
 // (§4.2, §4.7.1). Returns the query_id for getResults.
+//
+// Query is safe for concurrent callers: the engine mutex serializes the
+// simulated-time accounting (the §4.7.1 dispatcher is a single embedded
+// core), while the functional scoring inside each query fans out across a
+// worker pool. The query-cache lookup and insert happen atomically with the
+// latency accounting, so concurrent queries observe a consistent cache.
 func (ds *DeepStore) Query(spec QuerySpec) (QueryID, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.queryLocked(spec)
+}
+
+func (ds *DeepStore) queryLocked(spec QuerySpec) (QueryID, error) {
 	st, err := ds.db(spec.DB)
 	if err != nil {
 		return 0, err
@@ -68,12 +84,16 @@ func (ds *DeepStore) Query(spec QuerySpec) (QueryID, error) {
 	result := &QueryResult{}
 
 	// Query-cache lookup (Algorithm 1). The QCN comparisons execute on the
-	// channel-level accelerators; their latency is charged per entry.
+	// channel-level accelerators; their latency AND energy are charged per
+	// entry (the comparisons run on real hardware either way — omitting
+	// their joules would overstate the cache's Fig. 13/14 energy win).
 	var lookupLatency sim.Duration
+	var lookupEnergy energy.Breakdown
 	if ds.qc != nil {
 		entries := ds.qc.Len()
 		cached, hit := ds.qc.Lookup(spec.QFV, ds.qcThreshold)
 		lookupLatency = ds.qcLookupLatency(entries)
+		lookupEnergy = ds.comparisonEnergy(ds.qcn, accel.LevelChannel, int64(entries))
 		if hit {
 			// Line 13: re-rank the cached entry's features against the
 			// new query with the SCN.
@@ -81,6 +101,8 @@ func (ds *DeepStore) Query(spec QuerySpec) (QueryID, error) {
 			result.TopK = ds.rerank(net, st, spec.QFV, cached.Results, spec.K)
 			result.FeaturesScanned = int64(len(cached.Results))
 			result.Latency = lookupLatency + ds.rerankLatency(net, level, int64(len(cached.Results)))
+			result.Energy = lookupEnergy
+			result.Energy.Add(ds.comparisonEnergy(net, level, int64(len(cached.Results))))
 			ds.finishQuery(result)
 			return ds.record(result), nil
 		}
@@ -93,7 +115,8 @@ func (ds *DeepStore) Query(spec QuerySpec) (QueryID, error) {
 	}
 	result.FeaturesScanned = end - start
 	result.Latency = lookupLatency + scanOut.Elapsed
-	result.Energy = ds.emodel.Energy(scanOut.Activity)
+	result.Energy = lookupEnergy
+	result.Energy.Add(ds.emodel.Energy(scanOut.Activity))
 	result.TopK = ds.scoreRange(net, st, spec.QFV, start, end, spec.K)
 
 	if ds.qc != nil {
@@ -101,6 +124,47 @@ func (ds *DeepStore) Query(spec QuerySpec) (QueryID, error) {
 	}
 	ds.finishQuery(result)
 	return ds.record(result), nil
+}
+
+// Queries submits a batch of queries and returns their IDs in spec order —
+// the multi-query entry point that keeps the scoring worker pool busy across
+// a trace. Queries execute concurrently; the engine mutex keeps every
+// query's simulated accounting atomic, so the batch's aggregate SimTime and
+// scanned-feature counts equal the serial replay's. With a query cache
+// configured, hit patterns may differ from serial submission order (as on
+// any concurrent server, LRU state depends on arrival interleaving).
+func (ds *DeepStore) Queries(specs []QuerySpec) ([]QueryID, error) {
+	ids := make([]QueryID, len(specs))
+	errs := make([]error, len(specs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1) - 1)
+				if j >= len(specs) {
+					return
+				}
+				ids[j], errs[j] = ds.Query(specs[j])
+			}
+		}()
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: batch query %d: %w", j, err)
+		}
+	}
+	return ids, nil
 }
 
 func cloneVec(v []float32) []float32 {
@@ -119,6 +183,24 @@ func (ds *DeepStore) qcLookupLatency(entries int) sim.Duration {
 	perAccel := (int64(entries) + int64(spec.Count) - 1) / int64(spec.Count)
 	secs := float64(perAccel*ds.qcnCycles) / spec.Array.FreqHz
 	return sim.FromSeconds(secs)
+}
+
+// comparisonEnergy models the energy of n network comparisons on the given
+// accelerator level: the systolic MACs plus scratchpad traffic of n forward
+// passes, converted through the engine's energy model. Used for the QCN
+// cache sweep and the SCN re-rank, which bypass the event-driven scan path.
+func (ds *DeepStore) comparisonEnergy(net *nn.Network, level accel.Level, n int64) energy.Breakdown {
+	if net == nil || n == 0 {
+		return energy.Breakdown{}
+	}
+	spec := specFor(ds, level)
+	cost := spec.Array.NetworkCost(net.LayerPlan())
+	return ds.emodel.Energy(energy.Activity{
+		MACs:      cost.MACs * n,
+		SRAMBytes: (cost.SRAMReadBytes + cost.SRAMWriteBytes) * n,
+		SRAMSize:  spec.Array.ScratchpadBytes,
+		SRAMKind:  spec.SRAMKind,
+	})
 }
 
 // rerankLatency models re-scoring the K cached features with the SCN.
@@ -144,11 +226,69 @@ func (ds *DeepStore) simulateScan(net *nn.Network, st *dbState, level accel.Leve
 	})
 }
 
-// scoreRange computes real SCN scores over the materialized vectors,
-// sharded per channel with per-shard top-K queues merged by the engine —
-// the functional map-reduce of §4.7.1. Declared (spec-only) databases
-// return an empty top-K.
+// scoreRange computes real SCN scores over the materialized vectors — the
+// functional map-reduce of §4.7.1. The feature range is sharded per channel
+// (each shard is one channel's stripe, exactly the share that channel's
+// accelerator scans), a GOMAXPROCS-bounded worker pool drains the shards —
+// each worker holding its own scratch-buffer Scorer and filling a private
+// topk.Queue — and the engine reduces the per-shard queues with topk.Merge.
+// Results are bit-identical to the serial path: every shard sees the same
+// comparisons in the same order, and the merge's (score, featureID) total
+// order is independent of shard completion order. Declared (spec-only)
+// databases return an empty top-K.
 func (ds *DeepStore) scoreRange(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) []topk.Entry {
+	if st.vectors == nil {
+		return nil
+	}
+	if ds.opts.SerialScoring {
+		return ds.scoreRangeSerial(net, st, qfv, start, end, k)
+	}
+	layout := st.meta.Layout
+	channels := layout.Geom.Channels
+	shards := make([]*topk.Queue, channels)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > channels {
+		workers = channels
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stride := int64(channels)
+	var nextShard atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scorer := net.Scorer()
+			for {
+				ch := int(nextShard.Add(1) - 1)
+				if ch >= channels {
+					return
+				}
+				q := topk.New(k)
+				// Feature i lives on channel i mod Channels (§4.4
+				// striping), so the shard walks its stripe directly.
+				first := start + ((int64(ch)-start)%stride+stride)%stride
+				for i := first; i < end; i += stride {
+					q.Offer(topk.Entry{
+						FeatureID: i,
+						Score:     scorer.Score(qfv, st.vectors[i]),
+						ObjectID:  uint64(layout.Geom.Linear(layout.FeatureAddr(i))),
+					})
+				}
+				shards[ch] = q
+			}
+		}()
+	}
+	wg.Wait()
+	return topk.Merge(k, shards...).Results()
+}
+
+// scoreRangeSerial is the single-goroutine reference implementation (the
+// pre-pool scan), kept for equivalence tests and benchmark baselines and
+// selectable via Options.SerialScoring.
+func (ds *DeepStore) scoreRangeSerial(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) []topk.Entry {
 	if st.vectors == nil {
 		return nil
 	}
@@ -157,13 +297,13 @@ func (ds *DeepStore) scoreRange(net *nn.Network, st *dbState, qfv []float32, sta
 	for i := range shards {
 		shards[i] = topk.New(k)
 	}
+	scorer := net.Scorer()
 	for i := start; i < end; i++ {
 		ch := layout.FeatureChannel(i)
-		score := net.Score(qfv, st.vectors[i])
 		shards[ch].Offer(topk.Entry{
 			FeatureID: i,
-			Score:     score,
-			ObjectID:  uint64(layout.Geom.Linear(layout.FeaturePages(i)[0])),
+			Score:     scorer.Score(qfv, st.vectors[i]),
+			ObjectID:  uint64(layout.Geom.Linear(layout.FeatureAddr(i))),
 		})
 	}
 	return topk.Merge(k, shards...).Results()
@@ -175,13 +315,14 @@ func (ds *DeepStore) rerank(net *nn.Network, st *dbState, qfv []float32, cached 
 		return cached
 	}
 	q := topk.New(k)
+	scorer := net.Scorer()
 	for _, e := range cached {
 		if e.FeatureID < 0 || e.FeatureID >= int64(len(st.vectors)) {
 			continue
 		}
 		q.Offer(topk.Entry{
 			FeatureID: e.FeatureID,
-			Score:     net.Score(qfv, st.vectors[e.FeatureID]),
+			Score:     scorer.Score(qfv, st.vectors[e.FeatureID]),
 			ObjectID:  e.ObjectID,
 		})
 	}
@@ -205,20 +346,33 @@ func (ds *DeepStore) record(r *QueryResult) QueryID {
 }
 
 // GetResults retrieves a query's top-K results (getResults), charging the
-// DMA of the results to host memory on the external link.
+// DMA of the results to host memory on the external link. The transfer's
+// elapsed time is added to the query's latency and to the engine's SimTime
+// — result delivery is part of what the host observes.
 func (ds *DeepStore) GetResults(id QueryID) (*QueryResult, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	st, ok := ds.queries[id]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown query %d", id)
 	}
 	// Each result row carries the feature vector address and score.
+	before := ds.engine.Now()
 	ds.dev.External.Transfer(int64(len(st.result.TopK))*16, nil)
 	ds.engine.Run()
-	return st.result, nil
+	dma := sim.Duration(ds.engine.Now() - before)
+	st.result.Latency += dma
+	ds.stats.SimTime += dma
+	// Return a snapshot so callers never observe a later GetResults call's
+	// DMA accounting mutating their result.
+	out := *st.result
+	return &out, nil
 }
 
 // CacheStats exposes the query cache counters (zero stats when unset).
 func (ds *DeepStore) CacheStats() (hits, misses uint64) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
 	if ds.qc == nil {
 		return 0, 0
 	}

@@ -41,7 +41,9 @@ func (ds *DeepStore) ReplayTraceOpenLoop(tr *workload.Trace, model ModelID, db f
 	interval := 1.0 / qps
 	report := OpenLoopReport{TraceReport: base, ArrivalQPS: qps}
 	// Re-run the service times through a single-server queue.
-	services := ds.lastServiceTimes
+	ds.mu.Lock()
+	services := append([]sim.Duration(nil), ds.lastServiceTimes...)
+	ds.mu.Unlock()
 	if len(services) != base.Queries {
 		return OpenLoopReport{}, fmt.Errorf("core: service times not recorded")
 	}
@@ -96,11 +98,14 @@ func (ds *DeepStore) ReplayTrace(tr *workload.Trace, model ModelID, db ftl.DBID,
 	if tr == nil || len(tr.Queries) == 0 {
 		return TraceReport{}, fmt.Errorf("core: empty trace")
 	}
+	ds.mu.Lock()
 	st, err := ds.db(db)
 	if err != nil {
+		ds.mu.Unlock()
 		return TraceReport{}, err
 	}
 	dims := int(st.meta.Layout.FeatureBytes / 4)
+	ds.mu.Unlock()
 	var report TraceReport
 	latencies := make([]sim.Duration, 0, len(tr.Queries))
 	for _, q := range tr.Queries {
@@ -122,7 +127,9 @@ func (ds *DeepStore) ReplayTrace(tr *workload.Trace, model ModelID, db ftl.DBID,
 		latencies = append(latencies, res.Latency)
 	}
 	// Keep the in-order service times for open-loop queueing analysis.
+	ds.mu.Lock()
 	ds.lastServiceTimes = append(ds.lastServiceTimes[:0], latencies...)
+	ds.mu.Unlock()
 	report.MissRate = 1 - float64(report.CacheHits)/float64(report.Queries)
 	report.MeanLatency = report.TotalLatency / sim.Duration(report.Queries)
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })

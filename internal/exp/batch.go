@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Batch-query study. The §4.7.1 engine is a map-reduce over in-storage
+// accelerators; the Go reproduction additionally fans the functional SCN
+// scoring across a host worker pool and accepts whole query batches
+// (core.DeepStore.Queries). This experiment drives the same trace through
+// ever larger submission batches and reports the simulated totals (which
+// must not depend on batch size — simulated time is serialized by the
+// engine mutex) alongside the host wall-clock, which shrinks with
+// parallelism on multi-core hosts.
+
+// BatchConfig sizes the study.
+type BatchConfig struct {
+	Features int   // materialized database size
+	Queries  int   // trace length
+	K        int   // top-K
+	Seed     int64 // trace + database seed
+	// Batches are the submission batch sizes to sweep.
+	Batches []int
+}
+
+// DefaultBatch returns a laptop-scale configuration.
+func DefaultBatch() BatchConfig {
+	return BatchConfig{Features: 4000, Queries: 64, K: 10, Seed: 7, Batches: []int{1, 8, 32}}
+}
+
+// BatchRow is one batch size's outcome.
+type BatchRow struct {
+	Batch   int
+	Queries int
+	// SimSec is the total simulated in-storage time — identical across
+	// batch sizes by construction.
+	SimSec float64
+	// EnergyJ is the total modeled energy.
+	EnergyJ float64
+	// WallSec is host execution time for the whole trace.
+	WallSec float64
+}
+
+// BatchReplay sweeps submission batch sizes over one trace and engine
+// configuration (no query cache, so per-query work is order-independent).
+func BatchReplay(cfg BatchConfig) ([]BatchRow, error) {
+	app, err := workload.ByName("TextQA")
+	if err != nil {
+		return nil, err
+	}
+	app.SCN.InitRandom(cfg.Seed)
+	db := workload.NewFeatureDB(app, cfg.Features, cfg.Seed+1)
+	trace := workload.GenerateTrace(workload.TraceConfig{
+		Universe: 64, Length: cfg.Queries, Dist: workload.Zipfian, Alpha: 0.7, Seed: cfg.Seed,
+	})
+	dims := app.SCN.FeatureElems()
+	qfvs := make([][]float32, len(trace.Queries))
+	for i, q := range trace.Queries {
+		qfvs[i] = workload.QueryVector(q, dims, cfg.Seed)
+	}
+
+	var rows []BatchRow
+	for _, batch := range cfg.Batches {
+		if batch < 1 {
+			return nil, fmt.Errorf("exp: batch size %d invalid", batch)
+		}
+		ds, err := core.New(core.DefaultOptions())
+		if err != nil {
+			return nil, err
+		}
+		dbID, err := ds.WriteDB(db.Vectors)
+		if err != nil {
+			return nil, err
+		}
+		model, err := ds.LoadModelNetwork(app.SCN)
+		if err != nil {
+			return nil, err
+		}
+		begin := ds.Stats()
+		start := time.Now()
+		for lo := 0; lo < len(qfvs); lo += batch {
+			hi := lo + batch
+			if hi > len(qfvs) {
+				hi = len(qfvs)
+			}
+			specs := make([]core.QuerySpec, hi-lo)
+			for i := range specs {
+				specs[i] = core.QuerySpec{QFV: qfvs[lo+i], K: cfg.K, Model: model, DB: dbID}
+			}
+			ids, err := ds.Queries(specs)
+			if err != nil {
+				return nil, err
+			}
+			for _, id := range ids {
+				if _, err := ds.GetResults(id); err != nil {
+					return nil, err
+				}
+			}
+		}
+		wall := time.Since(start).Seconds()
+		stats := ds.Stats()
+		rows = append(rows, BatchRow{
+			Batch:   batch,
+			Queries: int(stats.Queries - begin.Queries),
+			SimSec:  (stats.SimTime - begin.SimTime).Seconds(),
+			EnergyJ: stats.TotalJ - begin.TotalJ,
+			WallSec: wall,
+		})
+	}
+	return rows, nil
+}
+
+// CellsBatch returns the study as header and rows.
+func CellsBatch(rows []BatchRow) ([]string, [][]string) {
+	header := []string{"Batch", "Queries", "Sim total (s)", "Energy (J)", "Host wall (s)"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.Batch), fmt.Sprint(r.Queries), F(r.SimSec), F(r.EnergyJ), F(r.WallSec),
+		})
+	}
+	return header, out
+}
+
+// FormatBatch renders the study.
+func FormatBatch(rows []BatchRow) string {
+	return FormatTable(CellsBatch(rows))
+}

@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBatchReplayInvariants: the simulated totals are a property of the
+// trace and the engine, not of how the host submits it — every batch size
+// must report identical simulated time and energy, and account every query.
+func TestBatchReplayInvariants(t *testing.T) {
+	cfg := BatchConfig{Features: 600, Queries: 8, K: 5, Seed: 3, Batches: []int{1, 4}}
+	rows, err := BatchReplay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(cfg.Batches) {
+		t.Fatalf("%d rows for %d batch sizes", len(rows), len(cfg.Batches))
+	}
+	for i, r := range rows {
+		if r.Batch != cfg.Batches[i] {
+			t.Errorf("row %d: batch %d, want %d", i, r.Batch, cfg.Batches[i])
+		}
+		if r.Queries != cfg.Queries {
+			t.Errorf("batch %d accounted %d queries, want %d", r.Batch, r.Queries, cfg.Queries)
+		}
+		if r.SimSec <= 0 || r.EnergyJ <= 0 {
+			t.Errorf("batch %d: non-positive totals %+v", r.Batch, r)
+		}
+		if r.SimSec != rows[0].SimSec {
+			t.Errorf("batch %d simulated %v s, batch %d simulated %v s — batch size changed the simulation",
+				r.Batch, r.SimSec, rows[0].Batch, rows[0].SimSec)
+		}
+		if math.Abs(r.EnergyJ-rows[0].EnergyJ) > 1e-9*rows[0].EnergyJ {
+			t.Errorf("batch %d energy %v J != batch %d energy %v J",
+				r.Batch, r.EnergyJ, rows[0].Batch, rows[0].EnergyJ)
+		}
+	}
+}
+
+func TestBatchReplayRejectsBadBatch(t *testing.T) {
+	cfg := DefaultBatch()
+	cfg.Features, cfg.Queries, cfg.Batches = 64, 1, []int{0}
+	if _, err := BatchReplay(cfg); err == nil {
+		t.Error("batch size 0 accepted")
+	}
+}
+
+func TestBatchCells(t *testing.T) {
+	rows := []BatchRow{{Batch: 1, Queries: 8, SimSec: 0.5, EnergyJ: 2, WallSec: 0.01}}
+	header, cells := CellsBatch(rows)
+	if len(header) != 5 {
+		t.Fatalf("header %v", header)
+	}
+	if len(cells) != 1 || len(cells[0]) != len(header) {
+		t.Fatalf("cells %v", cells)
+	}
+	if FormatBatch(rows) == "" {
+		t.Error("empty rendering")
+	}
+}

@@ -155,6 +155,18 @@ func (l DBLayout) FeatureChannel(i int64) int {
 	return int(i % int64(l.Geom.Channels))
 }
 
+// FeatureAddr returns the first physical page of feature i — the feature's
+// ObjectID address (§4.2) — without allocating the full page list. The scan
+// hot loop uses this; FeaturePages(i)[0] is always equal to it.
+func (l DBLayout) FeatureAddr(i int64) flash.PageAddr {
+	ch := l.FeatureChannel(i)
+	slot := i / int64(l.Geom.Channels)
+	if fp := l.FeaturesPerPage(); fp > 0 {
+		return l.ChannelPageAddr(ch, slot/int64(fp))
+	}
+	return l.ChannelPageAddr(ch, slot*int64(l.PagesPerFeature()))
+}
+
 // FeaturePages returns the physical pages holding feature i, in read order.
 func (l DBLayout) FeaturePages(i int64) []flash.PageAddr {
 	ch := l.FeatureChannel(i)

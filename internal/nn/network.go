@@ -106,35 +106,11 @@ func (n *Network) FeatureElems() int { return n.FeatureShape.Elems() }
 func (n *Network) FeatureBytes() int64 { return int64(n.FeatureShape.Elems()) * 4 }
 
 // Score runs a forward pass comparing qfv against dfv and returns the
-// similarity score: the first element of the final layer output.
+// similarity score: the first element of the final layer output. It is a
+// convenience wrapper over Scorer for one-off comparisons; hot loops should
+// hold a per-worker Scorer to reuse its scratch buffers across calls.
 func (n *Network) Score(qfv, dfv []float32) float32 {
-	fe := n.FeatureElems()
-	if len(qfv) != fe || len(dfv) != fe {
-		panic(fmt.Sprintf("nn: network %q wants %d-element features, got %d and %d",
-			n.Name, fe, len(qfv), len(dfv)))
-	}
-	var x *tensor.Tensor
-	switch n.Combine {
-	case CombineHadamard:
-		x = tensor.New(fe)
-		for i := 0; i < fe; i++ {
-			x.Data[i] = qfv[i] * dfv[i]
-		}
-	case CombineSubtract:
-		// Preserve the feature's spatial shape for conv stacks (ReId).
-		x = tensor.New(n.FeatureShape...)
-		for i := 0; i < fe; i++ {
-			x.Data[i] = qfv[i] - dfv[i]
-		}
-	case CombineConcat:
-		x = tensor.New(2 * fe)
-		copy(x.Data[:fe], qfv)
-		copy(x.Data[fe:], dfv)
-	}
-	for _, l := range n.Layers {
-		x = l.Forward(x)
-	}
-	return x.Data[0]
+	return n.Scorer().Score(qfv, dfv)
 }
 
 // FLOPsPerComparison returns the total FLOPs of one query-to-feature

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Scorer is a reusable forward-pass context for one network: the combine
+// output and every layer's output tensor are allocated once and reused
+// across Score calls, eliminating the per-comparison allocations that
+// dominate the functional scan's hot loop.
+//
+// A Scorer is NOT safe for concurrent use — it is per-worker state. The
+// parallel query engine creates one Scorer per worker goroutine (the
+// software analogue of each accelerator's private scratchpad); Network
+// itself stays immutable and may be shared by any number of Scorers.
+type Scorer struct {
+	net  *Network
+	comb *tensor.Tensor
+	// outs[i] receives Layers[i]'s output.
+	outs []*tensor.Tensor
+}
+
+// Scorer returns a fresh scratch-buffer scorer for the network. Buffers are
+// sized from the validated layer plan, so Score never allocates.
+func (n *Network) Scorer() *Scorer {
+	s := &Scorer{net: n, comb: tensor.New(n.combinedShape()...)}
+	shape := n.combinedShape()
+	for _, l := range n.Layers {
+		shape = l.OutputShape(shape)
+		s.outs = append(s.outs, tensor.New(shape...))
+	}
+	return s
+}
+
+// Network returns the network this scorer executes.
+func (s *Scorer) Network() *Network { return s.net }
+
+// bufferedLayer is implemented by layers that can write their output into a
+// caller-owned tensor instead of allocating a fresh one. All built-in layers
+// implement it; Scorer falls back to Layer.Forward otherwise.
+type bufferedLayer interface {
+	forwardInto(dst, in *tensor.Tensor)
+}
+
+// Score runs one comparison through the reused buffers and returns the
+// similarity score. Results are bit-identical to Network.Score: the same
+// arithmetic runs in the same order, only the destination storage differs.
+func (s *Scorer) Score(qfv, dfv []float32) float32 {
+	n := s.net
+	fe := n.FeatureElems()
+	if len(qfv) != fe || len(dfv) != fe {
+		panic(fmt.Sprintf("nn: network %q wants %d-element features, got %d and %d",
+			n.Name, fe, len(qfv), len(dfv)))
+	}
+	x := s.comb
+	switch n.Combine {
+	case CombineHadamard:
+		for i := 0; i < fe; i++ {
+			x.Data[i] = qfv[i] * dfv[i]
+		}
+	case CombineSubtract:
+		for i := 0; i < fe; i++ {
+			x.Data[i] = qfv[i] - dfv[i]
+		}
+	case CombineConcat:
+		copy(x.Data[:fe], qfv)
+		copy(x.Data[fe:], dfv)
+	}
+	for i, l := range n.Layers {
+		if bl, ok := l.(bufferedLayer); ok {
+			bl.forwardInto(s.outs[i], x)
+			x = s.outs[i]
+		} else {
+			x = l.Forward(x)
+		}
+	}
+	return x.Data[0]
+}
+
+// forwardInto implements bufferedLayer. Gemv overwrites dst fully, so the
+// reused buffer needs no clearing.
+func (l *FC) forwardInto(dst, in *tensor.Tensor) {
+	tensor.Gemv(dst.Data, l.W, in.Data, l.B)
+	l.Act.apply(dst.Data)
+}
+
+// forwardInto implements bufferedLayer. Conv2D overwrites dst fully.
+func (l *Conv) forwardInto(dst, in *tensor.Tensor) {
+	tensor.Conv2D(dst.Data, in.Data, l.Wt, l.B, l.H, l.W, l.C, l.K, l.R, l.S, l.Stride, l.Pad)
+	l.Act.apply(dst.Data)
+}
+
+// forwardInto implements bufferedLayer.
+func (l *Elementwise) forwardInto(dst, in *tensor.Tensor) {
+	switch l.Op {
+	case EWAdd:
+		for i := range dst.Data {
+			dst.Data[i] = in.Data[i] + l.Operand[i]
+		}
+	case EWSub:
+		for i := range dst.Data {
+			dst.Data[i] = in.Data[i] - l.Operand[i]
+		}
+	case EWMul, EWScale:
+		for i := range dst.Data {
+			dst.Data[i] = in.Data[i] * l.Operand[i]
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// The workload model zoo lives in internal/workload, which imports nn; to
+// avoid an import cycle the scorer tests build representative networks of
+// every combine op and layer family here.
+func testNetworks(t *testing.T) []*Network {
+	t.Helper()
+	nets := []*Network{
+		MustNetwork("fc-hadamard", shape(64), CombineHadamard,
+			NewFC("fc1", 64, 32, ActReLU),
+			NewFC("fc2", 32, 1, ActSigmoid)),
+		MustNetwork("fc-concat", shape(48), CombineConcat,
+			NewFC("fc1", 96, 24, ActReLU),
+			NewFC("fc2", 24, 1, ActNone)),
+		MustNetwork("ew-stack", shape(32), CombineSubtract,
+			NewElementwise("scale", 32, EWScale),
+			NewFC("out", 32, 1, ActSigmoid)),
+		MustNetwork("conv-subtract", Shape3(8, 8, 4), CombineSubtract,
+			NewConv("c1", 8, 8, 4, 8, 3, 3, 1, 1, ActReLU),
+			NewFC("out", 8*8*8, 1, ActSigmoid)),
+	}
+	for i, n := range nets {
+		n.InitRandom(int64(100 + i))
+	}
+	return nets
+}
+
+func shape(n int) []int { return []int{n} }
+
+// Shape3 builds an HWC feature shape.
+func Shape3(h, w, c int) []int { return []int{h, w, c} }
+
+// TestScorerMatchesScore: the scratch-buffer forward pass is bit-identical
+// to Network.Score across combine ops and layer families.
+func TestScorerMatchesScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, net := range testNetworks(t) {
+		sc := net.Scorer()
+		fe := net.FeatureElems()
+		for trial := 0; trial < 20; trial++ {
+			q := make([]float32, fe)
+			d := make([]float32, fe)
+			for i := range q {
+				q[i] = rng.Float32()*2 - 1
+				d[i] = rng.Float32()*2 - 1
+			}
+			want := net.Score(q, d)
+			got := sc.Score(q, d)
+			if got != want {
+				t.Fatalf("%s trial %d: scorer %v != score %v", net.Name, trial, got, want)
+			}
+		}
+	}
+}
+
+// TestScorerReuseIsClean: reusing the buffers across calls with different
+// inputs never leaks state between comparisons.
+func TestScorerReuseIsClean(t *testing.T) {
+	for _, net := range testNetworks(t) {
+		sc := net.Scorer()
+		fe := net.FeatureElems()
+		a := make([]float32, fe)
+		b := make([]float32, fe)
+		for i := range a {
+			a[i] = float32(i%7) * 0.1
+			b[i] = float32(i%5) * -0.2
+		}
+		first := sc.Score(a, b)
+		// Interleave a different comparison, then repeat the first.
+		sc.Score(b, a)
+		if again := sc.Score(a, b); again != first {
+			t.Errorf("%s: repeated comparison %v != first %v", net.Name, again, first)
+		}
+	}
+}
+
+// TestScorersAreIndependent: concurrent scorers over one shared network
+// produce the same results as serial scoring (run with -race).
+func TestScorersAreIndependent(t *testing.T) {
+	net := MustNetwork("shared", shape(128), CombineHadamard,
+		NewFC("fc1", 128, 64, ActReLU),
+		NewFC("fc2", 64, 1, ActSigmoid))
+	net.InitRandom(3)
+	const workers = 8
+	const per = 50
+	inputs := make([][]float32, workers*per)
+	rng := rand.New(rand.NewSource(4))
+	for i := range inputs {
+		v := make([]float32, 128)
+		for j := range v {
+			v[j] = rng.Float32()
+		}
+		inputs[i] = v
+	}
+	q := inputs[0]
+	want := make([]float32, len(inputs))
+	ref := net.Scorer()
+	for i, d := range inputs {
+		want[i] = ref.Score(q, d)
+	}
+	got := make([]float32, len(inputs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sc := net.Scorer()
+			for i := w * per; i < (w+1)*per; i++ {
+				got[i] = sc.Score(q, inputs[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("input %d: concurrent %v != serial %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestScorerPanicsOnBadDims: the wrapper keeps Score's contract.
+func TestScorerPanicsOnBadDims(t *testing.T) {
+	net := MustNetwork("strict", shape(16), CombineHadamard, NewFC("out", 16, 1, ActNone))
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched feature length did not panic")
+		}
+	}()
+	net.Scorer().Score(make([]float32, 16), make([]float32, 8))
+}

@@ -8,11 +8,16 @@ package qcache
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/topk"
 )
 
-// Scorer computes the QCN similarity of two queries in [0, 1].
+// Scorer computes the QCN similarity of two queries in [0, 1]. Lookups over
+// large caches shard the sweep across goroutines, so a Scorer must be safe
+// for concurrent calls (stateless, or backed by per-call scratch state such
+// as a sync.Pool of nn Scorers).
 type Scorer[Q any] func(a, b Q) float64
 
 // Entry is one cached query with its top-K results (the TopKFV/ObjectID
@@ -78,26 +83,29 @@ func (c *Cache[Q]) Capacity() int { return c.capacity }
 // Stats returns a snapshot of the counters.
 func (c *Cache[Q]) Stats() Stats { return c.stats }
 
+// parallelSweepMin is the cache size at which Lookup shards the QCN sweep
+// across goroutines. Below it, goroutine startup outweighs the comparisons.
+const parallelSweepMin = 256
+
 // Lookup runs Algorithm 1: score the query against every cached entry,
 // take the entry with the maximum confidence-weighted score, and hit when
 // the score's complement is within the threshold. On a hit the entry is
 // promoted (LRU) and its results returned; the caller re-ranks them against
 // the new query with the SCN (line 13 of Algorithm 1).
+//
+// For caches of parallelSweepMin entries or more the sweep is sharded
+// across a GOMAXPROCS-bounded set of goroutines — the software analogue of
+// the per-channel accelerators executing the QCN comparisons (§4.6). The
+// selected entry is identical to the serial sweep's: shards keep their
+// first-seen maximum, and the reduction breaks score ties toward the lower
+// index, which is exactly the serial first-strictly-greater rule.
 func (c *Cache[Q]) Lookup(q Q, threshold float64) (Entry[Q], bool) {
 	if threshold < 0 || threshold > 1 {
 		panic(fmt.Sprintf("qcache: threshold %v outside [0,1]", threshold))
 	}
 	c.stats.Lookups++
-	maxIndex := -1
-	maxScore := 0.0
-	for i := range c.entries {
-		c.stats.Comparisons++
-		s := c.score(q, c.entries[i].Query) * c.qcnAcc
-		if s > maxScore {
-			maxScore = s
-			maxIndex = i
-		}
-	}
+	maxIndex, maxScore := c.sweep(q)
+	c.stats.Comparisons += uint64(len(c.entries))
 	if maxIndex >= 0 && (1-maxScore) <= threshold {
 		c.stats.Hits++
 		e := c.entries[maxIndex]
@@ -106,6 +114,70 @@ func (c *Cache[Q]) Lookup(q Q, threshold float64) (Entry[Q], bool) {
 	}
 	c.stats.Misses++
 	return Entry[Q]{}, false
+}
+
+// sweep returns the index and confidence-weighted score of the best-matching
+// entry (-1 when the cache is empty or no entry scores above zero).
+func (c *Cache[Q]) sweep(q Q) (int, float64) {
+	return c.sweepWith(q, runtime.GOMAXPROCS(0))
+}
+
+// sweepWith is sweep with an explicit worker count, so the sharded path is
+// exercisable regardless of the host's core count.
+func (c *Cache[Q]) sweepWith(q Q, workers int) (int, float64) {
+	n := len(c.entries)
+	if n < parallelSweepMin || workers < 2 {
+		return c.sweepRange(q, 0, n)
+	}
+	if workers > n {
+		workers = n
+	}
+	type best struct {
+		idx   int
+		score float64
+	}
+	results := make([]best, workers)
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			idx, score := c.sweepRange(q, lo, hi)
+			results[w] = best{idx: idx, score: score}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Chunks are reduced in index order with a strictly-greater rule, so a
+	// cross-chunk score tie keeps the earlier (lower-index) entry — the
+	// same winner the serial first-strictly-greater sweep picks.
+	maxIndex, maxScore := -1, 0.0
+	for _, r := range results {
+		if r.idx >= 0 && r.score > maxScore {
+			maxScore = r.score
+			maxIndex = r.idx
+		}
+	}
+	return maxIndex, maxScore
+}
+
+// sweepRange is the serial sweep over entries[lo:hi]: the first entry with a
+// strictly greater weighted score wins.
+func (c *Cache[Q]) sweepRange(q Q, lo, hi int) (int, float64) {
+	maxIndex, maxScore := -1, 0.0
+	for i := lo; i < hi; i++ {
+		s := c.score(q, c.entries[i].Query) * c.qcnAcc
+		if s > maxScore {
+			maxScore = s
+			maxIndex = i
+		}
+	}
+	return maxIndex, maxScore
 }
 
 func (c *Cache[Q]) promote(i int) {

@@ -1,0 +1,86 @@
+package qcache
+
+import "testing"
+
+// buildSweepCache fills a cache past parallelSweepMin so the sharded sweep
+// path engages. Insert prepends, so entry index i holds query n-1-i.
+func buildSweepCache(n int, score Scorer[int]) *Cache[int] {
+	c := New[int](n, 1.0, score)
+	for q := 0; q < n; q++ {
+		c.Insert(q, nil)
+	}
+	return c
+}
+
+// TestSweepParallelMatchesSerial: the sharded sweep picks exactly the entry
+// the serial first-strictly-greater sweep picks, across worker counts and
+// scoring landscapes — including all-tied scores, where the lowest index
+// must win even when the tie spans chunk boundaries.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	const n = parallelSweepMin + 37 // not a multiple of any worker count
+	scorers := map[string]Scorer[int]{
+		// A single sharp peak in the middle of the index space.
+		"peak": func(a, b int) float64 {
+			if b == 123 {
+				return 0.99
+			}
+			return 0.2
+		},
+		// Every entry ties: serial keeps the first strictly-greater hit,
+		// which is index 0.
+		"all-tied": func(a, b int) float64 { return 0.5 },
+		// Deterministic pseudo-random landscape with repeated values.
+		"hashed": func(a, b int) float64 {
+			return float64((b*2654435761)%97) / 100
+		},
+		// Nothing scores above zero: sweep must report no candidate.
+		"all-zero": func(a, b int) float64 { return 0 },
+	}
+	for name, score := range scorers {
+		t.Run(name, func(t *testing.T) {
+			c := buildSweepCache(n, score)
+			wantIdx, wantScore := c.sweepRange(0, 0, n)
+			for _, workers := range []int{2, 3, 4, 8, 16} {
+				gotIdx, gotScore := c.sweepWith(0, workers)
+				if gotIdx != wantIdx || gotScore != wantScore {
+					t.Errorf("workers=%d: sweep = (%d, %v), serial = (%d, %v)",
+						workers, gotIdx, gotScore, wantIdx, wantScore)
+				}
+			}
+		})
+	}
+}
+
+// TestLookupCountsComparisons: every lookup charges one QCN execution per
+// cached entry regardless of whether the sweep runs serial or sharded.
+func TestLookupCountsComparisons(t *testing.T) {
+	const n = parallelSweepMin + 10
+	c := buildSweepCache(n, func(a, b int) float64 { return 0.1 })
+	for i := 1; i <= 3; i++ {
+		c.Lookup(0, 0.05)
+		if got, want := c.Stats().Comparisons, uint64(i*n); got != want {
+			t.Fatalf("after %d lookups: comparisons = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestLookupLargeCacheHit: end-to-end hit through the sharded sweep path —
+// the matching entry is found and promoted exactly as in the small-cache
+// serial path.
+func TestLookupLargeCacheHit(t *testing.T) {
+	const n = parallelSweepMin + 4
+	c := buildSweepCache(n, intScorer)
+	// Query 0 was inserted first, so it sits at the highest index — the last
+	// chunk of a sharded sweep.
+	if _, hit := c.Lookup(0, 0.05); !hit {
+		t.Fatal("exact match in large cache missed")
+	}
+	// The hit promoted query 0 to the front; an immediate re-lookup must
+	// find it again.
+	if _, hit := c.Lookup(0, 0.05); !hit {
+		t.Fatal("promoted entry missed on re-lookup")
+	}
+	if s := c.Stats(); s.Hits != 2 || s.Misses != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}

@@ -5,6 +5,12 @@
 // lower-priority tags down, and drops the minimum — exactly the structure
 // modeled here. The query engine merges per-accelerator queues into the
 // final top-K (§4.7.1).
+//
+// A Queue is not safe for concurrent use; the parallel scan gives every
+// worker its own queue and reduces them with Merge. Because entries are
+// totally ordered (Score descending, FeatureID ascending on ties), the
+// merged result is independent of both offer order and merge order — the
+// property the engine's parallel/serial equivalence tests rely on.
 package topk
 
 import "fmt"

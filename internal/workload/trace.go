@@ -94,7 +94,13 @@ func newZipfSampler(rng *rand.Rand, n int64, alpha float64) *zipfSampler {
 // sample returns a rank in [0, n).
 func (z *zipfSampler) sample() int64 {
 	u := z.rng.Float64()
-	return int64(sort.SearchFloat64s(z.cdf, u))
+	r := int64(sort.SearchFloat64s(z.cdf, u))
+	// Floating-point normalization can leave cdf[n-1] fractionally below 1;
+	// a draw above it would return n and index out of range downstream.
+	if r >= int64(len(z.cdf)) {
+		r = int64(len(z.cdf)) - 1
+	}
+	return r
 }
 
 // GenerateTrace builds a deterministic query trace.

@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestZipfSamplerClampsToUniverse is the regression test for the inverse-CDF
+// boundary bug: floating-point normalization can leave cdf[n-1] below 1, and
+// a draw above it made sort.SearchFloat64s return n — an out-of-range rank
+// that panicked downstream in GenerateTrace's perm lookup. The truncated CDF
+// here exaggerates that gap so roughly half the draws land above the final
+// entry and must be clamped to n-1.
+func TestZipfSamplerClampsToUniverse(t *testing.T) {
+	z := &zipfSampler{cdf: []float64{0.25, 0.5}, rng: rand.New(rand.NewSource(1))}
+	for i := 0; i < 10_000; i++ {
+		if r := z.sample(); r < 0 || r > 1 {
+			t.Fatalf("draw %d: rank %d outside [0, 2)", i, r)
+		}
+	}
+}
+
+// TestZipfSamplerInRange: a properly constructed sampler stays inside the
+// universe for every draw and every paper alpha.
+func TestZipfSamplerInRange(t *testing.T) {
+	for _, alpha := range []float64{0.7, 0.8} {
+		rng := rand.New(rand.NewSource(7))
+		z := newZipfSampler(rng, 5, alpha)
+		for i := 0; i < 50_000; i++ {
+			if r := z.sample(); r < 0 || r >= 5 {
+				t.Fatalf("alpha=%v draw %d: rank %d outside [0, 5)", alpha, i, r)
+			}
+		}
+	}
+}
+
+// TestGenerateTraceZipfianInUniverse: end to end, every Zipfian trace entry
+// carries a semantic ID inside the configured universe.
+func TestGenerateTraceZipfianInUniverse(t *testing.T) {
+	tr := GenerateTrace(TraceConfig{
+		Universe: 17, Length: 5000, Dist: Zipfian, Alpha: 0.7, MaxJitter: 0.05, Seed: 3,
+	})
+	for _, q := range tr.Queries {
+		if q.SemanticID < 0 || q.SemanticID >= 17 {
+			t.Fatalf("query %d: semantic ID %d outside universe", q.ID, q.SemanticID)
+		}
+	}
+}
