@@ -214,21 +214,25 @@ func BenchmarkAblationPrecision(b *testing.B) {
 }
 
 // BenchmarkScoreRange measures one full-database query on a 100k-feature
-// TextQA database with the SCN scan running serially versus fanned across
-// the per-channel worker pool (Options.SerialScoring). On hosts with
-// GOMAXPROCS >= 4 the parallel sub-benchmark runs >= 3x faster; both
-// variants return bit-identical results (see core's equivalence tests).
+// TIR database (1.5 MB of FC weights per comparison — the weight-streaming
+// regime of the §2–§3 scan) across the three scan implementations: the
+// serial reference, the per-feature worker pool, and the batched GEMM path
+// (the default). Batched runs >= 2x faster than per-feature at equal worker
+// count — the weight matrices stream from memory once per batch instead of
+// once per feature — and all three return bit-identical results (see core's
+// equivalence tests). Reported metrics: features/sec and ns/feature of the
+// functional scan.
 func BenchmarkScoreRange(b *testing.B) {
 	const features = 100_000
-	setup := func(b *testing.B, serial bool) (*System, QuerySpec) {
+	setup := func(b *testing.B, mode ScanMode) (*System, QuerySpec) {
 		b.Helper()
 		opts := DefaultOptions()
-		opts.SerialScoring = serial
+		opts.Scan = mode
 		sys, err := New(opts)
 		if err != nil {
 			b.Fatal(err)
 		}
-		app, err := AppByName("TextQA")
+		app, err := AppByName("TIR")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -245,11 +249,12 @@ func BenchmarkScoreRange(b *testing.B) {
 		return sys, QuerySpec{QFV: db.Vectors[0], K: 10, Model: model, DB: dbID}
 	}
 	for _, mode := range []struct {
-		name   string
-		serial bool
-	}{{"serial", true}, {"parallel", false}} {
+		name string
+		scan ScanMode
+	}{{"serial", ScanSerial}, {"parallel", ScanPerFeature}, {"batched", ScanBatched}} {
 		b.Run(mode.name, func(b *testing.B) {
-			sys, spec := setup(b, mode.serial)
+			sys, spec := setup(b, mode.scan)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				qid, err := sys.Query(spec)
@@ -260,6 +265,10 @@ func BenchmarkScoreRange(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
+			perQuery := b.Elapsed().Seconds() / float64(b.N)
+			b.ReportMetric(float64(features)/perQuery, "features/s")
+			b.ReportMetric(perQuery*1e9/float64(features), "ns/feature")
 		})
 	}
 }

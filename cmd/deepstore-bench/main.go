@@ -8,10 +8,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/accel"
@@ -19,6 +22,10 @@ import (
 	"repro/internal/report"
 	"repro/internal/viz"
 )
+
+// lastScanRows captures the scan experiment's rows so main can emit the
+// -scanjson artifact without running the study twice.
+var lastScanRows []exp.ScanRow
 
 // experiment couples an id with the code that produces its tables, and an
 // optional terminal-chart rendering for the sweep/comparison figures.
@@ -231,6 +238,16 @@ func experiments() []experiment {
 			return []report.Table{{Name: "batch", Header: h, Rows: c}},
 				exp.FormatBatch(rows), nil
 		}},
+		{name: "scan", run: func(int64) ([]report.Table, string, error) {
+			rows, err := exp.ScanBench(exp.DefaultScan())
+			if err != nil {
+				return nil, "", err
+			}
+			lastScanRows = rows
+			h, c := exp.CellsScan(rows)
+			return []report.Table{{Name: "scan", Header: h, Rows: c}},
+				exp.FormatScan(rows), nil
+		}},
 		{name: "recall", run: func(int64) ([]report.Table, string, error) {
 			rows, err := exp.QCRecall(exp.DefaultRecall())
 			if err != nil {
@@ -267,10 +284,43 @@ func experiments() []experiment {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,recall,ablations")
+	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,scan,recall,ablations")
 	window := flag.Int64("window", exp.DefaultWindow, "features per accelerator simulated before extrapolation (0 = exact)")
 	formatFlag := flag.String("format", "text", "output format: text, csv, markdown, chart")
+	scanJSON := flag.String("scanjson", "", "write the scan experiment's rows as JSON to this file (e.g. BENCH_scan.json); implies running scan")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the experiments) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepstore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "deepstore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "deepstore-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live-heap picture
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "deepstore-bench: %v\n", err)
+			}
+		}()
+	}
 
 	chartMode := *formatFlag == "chart"
 	var format report.Format
@@ -292,6 +342,9 @@ func main() {
 		for _, n := range strings.Split(*expFlag, ",") {
 			want[strings.TrimSpace(n)] = true
 		}
+	}
+	if *scanJSON != "" {
+		want["scan"] = true
 	}
 
 	ran := 0
@@ -335,5 +388,17 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "deepstore-bench: no runnable experiments in %q\n", *expFlag)
 		os.Exit(1)
+	}
+	if *scanJSON != "" && lastScanRows != nil {
+		data, err := json.MarshalIndent(lastScanRows, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepstore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*scanJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "deepstore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "deepstore-bench: wrote %s\n", *scanJSON)
 	}
 }

@@ -109,8 +109,9 @@ func (e *Engines) Query(qfv []float32, k int) (Answer, error) {
 }
 
 // Queries runs a batch of queries across all shards: each shard receives
-// the whole batch through its engine's Queries entry point (keeping the
-// per-engine scoring pools busy), shards execute concurrently, and each
+// the whole batch through its engine's Queries entry point (each engine
+// scores through its pooled batched-GEMM scan, so the fan-out keeps every
+// shard's BatchScorer pool busy), shards execute concurrently, and each
 // query's per-shard top-Ks are reduced with topk.Merge after remapping
 // feature IDs into global coordinates.
 func (e *Engines) Queries(qfvs [][]float32, k int) ([]Answer, error) {
@@ -119,6 +120,16 @@ func (e *Engines) Queries(qfvs [][]float32, k int) ([]Answer, error) {
 	}
 	if len(qfvs) == 0 {
 		return nil, fmt.Errorf("cluster: empty batch")
+	}
+	// Build every shard's spec list up front: the fan-out goroutines only
+	// read their slice, keeping spec construction off the scoring path.
+	shardSpecs := make([][]core.QuerySpec, len(e.shards))
+	for s := range e.shards {
+		specs := make([]core.QuerySpec, len(qfvs))
+		for i, q := range qfvs {
+			specs[i] = core.QuerySpec{QFV: q, K: k, Model: e.models[s], DB: e.dbs[s]}
+		}
+		shardSpecs[s] = specs
 	}
 	type shardOut struct {
 		results []*core.QueryResult
@@ -130,11 +141,7 @@ func (e *Engines) Queries(qfvs [][]float32, k int) ([]Answer, error) {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			specs := make([]core.QuerySpec, len(qfvs))
-			for i, q := range qfvs {
-				specs[i] = core.QuerySpec{QFV: q, K: k, Model: e.models[s], DB: e.dbs[s]}
-			}
-			ids, err := e.shards[s].Queries(specs)
+			ids, err := e.shards[s].Queries(shardSpecs[s])
 			if err != nil {
 				outs[s].err = err
 				return

@@ -166,6 +166,12 @@ func (ds *DeepStore) LoadModelNetwork(net *nn.Network) (ModelID, error) {
 	return id, nil
 }
 
+// qcSweepCtx is one cache-sweep call's batched-QCN scratch.
+type qcSweepCtx struct {
+	bs     *nn.BatchScorer
+	scores []float32
+}
+
 // SetQC configures the similarity-based query cache (setQC): the QCN model,
 // its accuracy, the entry capacity, and the error threshold (§4.6). A second
 // call reconfigures (and clears) the cache.
@@ -201,6 +207,29 @@ func (ds *DeepStore) SetQC(qcn *nn.Network, qcnAccuracy float64, entries int, th
 		return s
 	}
 	ds.qc = qcache.New[[]float32](entries, qcnAccuracy, scorer)
+	// The sweep itself runs batched: gather a slab of cached queries and
+	// push them through one GEMM-backed ScoreBatch call instead of one QCN
+	// forward per entry. Scores (and the clamping) match the scalar scorer
+	// bit for bit, so the cache's hit decisions are unchanged.
+	batch := ds.scoreBatch()
+	bpool := &sync.Pool{New: func() any {
+		return &qcSweepCtx{bs: qcn.BatchScorer(batch), scores: make([]float32, batch)}
+	}}
+	ds.qc.SetBatchScorer(func(dst []float64, q []float32, qs [][]float32) {
+		c := bpool.Get().(*qcSweepCtx)
+		c.bs.ScoreBatch(c.scores[:len(qs)], q, qs)
+		for i := range qs {
+			s := float64(c.scores[i])
+			if s < 0 {
+				s = 0
+			}
+			if s > 1 {
+				s = 1
+			}
+			dst[i] = s
+		}
+		bpool.Put(c)
+	}, batch)
 	ds.qcn = qcn
 	ds.qcThreshold = threshold
 	// QCN executions are offloaded to the channel-level accelerators

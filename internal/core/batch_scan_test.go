@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ftl"
+	"repro/internal/topk"
+	"repro/internal/workload"
+)
+
+// buildEngine writes a feature database for the named app and loads its SCN,
+// returning everything the scan-level tests need.
+func buildEngine(t *testing.T, opts Options, appName string, features int) (*DeepStore, *workload.FeatureDB, ModelID, ftl.DBID) {
+	t.Helper()
+	ds, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := workload.ByName(appName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(1)
+	db := workload.NewFeatureDB(app, features, 42)
+	dbID, err := ds.WriteDB(db.Vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ds.LoadModelNetwork(app.SCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, db, model, dbID
+}
+
+// TestScoreRangeBatchedConvApp: the batched scan matches the serial
+// reference on a convolutional SCN (ReId: subtract front end, two padded
+// conv layers through the im2col path) over unaligned sub-ranges.
+func TestScoreRangeBatchedConvApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ReId forward passes are slow")
+	}
+	ds, _, model, dbID := buildEngine(t, DefaultOptions(), "ReId", 150)
+	st := ds.dbs[dbID]
+	net := ds.models[model]
+	q := st.vectors[9]
+	for _, c := range []struct {
+		name       string
+		start, end int64
+	}{
+		{"full", 0, 150},
+		{"mid-stripe", 3, 141},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			serial := ds.scoreRangeSerial(net, st, q, c.start, c.end, 10)
+			batched := ds.scoreRangeBatched(net, st, q, c.start, c.end, 10)
+			if len(serial) != len(batched) {
+				t.Fatalf("batched returned %d entries, serial %d", len(batched), len(serial))
+			}
+			for i := range serial {
+				if serial[i] != batched[i] {
+					t.Fatalf("entry %d differs: batched %+v != serial %+v", i, batched[i], serial[i])
+				}
+			}
+		})
+	}
+}
+
+// TestQueryScanModesMatch: end-to-end Query results are identical across
+// every Options.Scan mode and across batch sizes (1, 7, and the default 64)
+// — batch geometry must never leak into results.
+func TestQueryScanModesMatch(t *testing.T) {
+	run := func(mode ScanMode, batch int) []topk.Entry {
+		opts := DefaultOptions()
+		opts.Scan = mode
+		opts.ScoreBatch = batch
+		ds, _, model, dbID := buildEngine(t, opts, "TextQA", 500)
+		qfv := ds.dbs[dbID].vectors[3]
+		qid, err := ds.Query(QuerySpec{QFV: qfv, K: 10, Model: model, DB: dbID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ds.GetResults(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TopK
+	}
+	want := run(ScanSerial, 0)
+	for _, c := range []struct {
+		name  string
+		mode  ScanMode
+		batch int
+	}{
+		{"per-feature", ScanPerFeature, 0},
+		{"batched/B=default", ScanBatched, 0},
+		{"batched/B=1", ScanBatched, 1},
+		{"batched/B=7", ScanBatched, 7},
+		{"batched/B=64", ScanBatched, 64},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			got := run(c.mode, c.batch)
+			if len(got) != len(want) {
+				t.Fatalf("returned %d entries, serial %d", len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("entry %d differs: %+v != serial %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRerankBatchedMatchesScalar: the pooled batched rerank scores cached
+// entries exactly as a per-feature Scorer walk would, including entries
+// whose feature IDs fall outside the database (dropped, not scored).
+func TestRerankBatchedMatchesScalar(t *testing.T) {
+	ds, _, model, dbID := buildEngine(t, DefaultOptions(), "TextQA", 300)
+	st := ds.dbs[dbID]
+	net := ds.models[model]
+	qfv := st.vectors[5]
+	cached := ds.scoreRangeSerial(net, st, st.vectors[7], 0, 300, 40)
+	cached = append(cached, topk.Entry{FeatureID: -1}, topk.Entry{FeatureID: 300})
+
+	want := topk.New(10)
+	scorer := net.Scorer()
+	for _, e := range cached {
+		if e.FeatureID < 0 || e.FeatureID >= int64(len(st.vectors)) {
+			continue
+		}
+		want.Offer(topk.Entry{
+			FeatureID: e.FeatureID,
+			Score:     scorer.Score(qfv, st.vectors[e.FeatureID]),
+			ObjectID:  e.ObjectID,
+		})
+	}
+	wantRes := want.Results()
+	got := ds.rerank(net, st, qfv, cached, 10)
+	if len(got) != len(wantRes) {
+		t.Fatalf("rerank returned %d entries, want %d", len(got), len(wantRes))
+	}
+	for i := range wantRes {
+		if wantRes[i] != got[i] {
+			t.Fatalf("entry %d differs: %+v != %+v", i, got[i], wantRes[i])
+		}
+	}
+}
+
+// TestScoreRangeBatchedAllocSteady: once the batchCtx pool is warm, the
+// batched scan's allocations are per-shard bookkeeping (queues, goroutines)
+// — they must not grow with the number of features scored.
+func TestScoreRangeBatchedAllocSteady(t *testing.T) {
+	ds, _, model, dbID := buildEngine(t, DefaultOptions(), "TextQA", 2000)
+	st := ds.dbs[dbID]
+	net := ds.models[model]
+	q := st.vectors[17]
+	ds.scoreRangeBatched(net, st, q, 0, 2000, 10) // warm the pool
+	small := testing.AllocsPerRun(5, func() { ds.scoreRangeBatched(net, st, q, 0, 200, 10) })
+	large := testing.AllocsPerRun(5, func() { ds.scoreRangeBatched(net, st, q, 0, 2000, 10) })
+	// 1800 extra features → ~29 extra GEMM batches; allow a little noise
+	// from the scheduler but nothing proportional to the feature count.
+	if large-small > 8 {
+		t.Errorf("allocs grew with range: %v for 200 features vs %v for 2000", small, large)
+	}
+}

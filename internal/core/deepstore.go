@@ -30,6 +30,43 @@ type ModelID uint64
 // QueryID identifies a submitted query (query/getResults, Table 2).
 type QueryID uint64
 
+// ScanMode selects the functional-scoring implementation for the miss-path
+// scan. All modes produce identical top-K results (see DESIGN.md "Compute
+// kernels" on the ordering guarantee); they differ only in throughput.
+type ScanMode int
+
+const (
+	// ScanBatched (the default) packs each channel stripe's features into
+	// per-worker GEMM batches, so every FC layer runs as cache-blocked
+	// matrix-matrix compute instead of one Gemv per feature.
+	ScanBatched ScanMode = iota
+	// ScanPerFeature scores one feature at a time across the worker pool —
+	// the pre-GEMM parallel path, kept as a benchmark baseline.
+	ScanPerFeature
+	// ScanSerial is the single-goroutine reference scan.
+	ScanSerial
+)
+
+// String names the scan mode.
+func (m ScanMode) String() string {
+	switch m {
+	case ScanBatched:
+		return "batched"
+	case ScanPerFeature:
+		return "per-feature"
+	case ScanSerial:
+		return "serial"
+	default:
+		return fmt.Sprintf("ScanMode(%d)", int(m))
+	}
+}
+
+// DefaultScoreBatch is the features-per-batch used by the batched scan when
+// Options.ScoreBatch is zero. 64 rows are enough to amortize each weight
+// panel's memory traffic while keeping per-worker scratch small (see
+// DESIGN.md on batch-size selection).
+const DefaultScoreBatch = 64
+
 // Options configures a DeepStore instance.
 type Options struct {
 	// Device is the simulated SSD configuration; zero value means
@@ -44,7 +81,15 @@ type Options struct {
 	// SerialScoring disables the parallel functional-scoring worker pool,
 	// forcing the single-goroutine reference scan. For equivalence tests
 	// and benchmark baselines; results are identical either way.
+	// Deprecated: equivalent to Scan: ScanSerial, which takes precedence
+	// semantics-wise (SerialScoring forces serial regardless of Scan).
 	SerialScoring bool
+	// Scan selects the functional-scoring implementation; the zero value is
+	// ScanBatched. Results are identical across modes.
+	Scan ScanMode
+	// ScoreBatch is the feature count per GEMM batch on the batched path
+	// (0 = DefaultScoreBatch). Results do not depend on it.
+	ScoreBatch int
 }
 
 // DefaultOptions returns the evaluation configuration: channel-level
@@ -122,6 +167,10 @@ type DeepStore struct {
 	qcThreshold float64
 	qcnCycles   int64
 
+	// pools hands out per-worker batched-scoring contexts; keyed by
+	// network, safe for concurrent use without holding mu.
+	pools batchPools
+
 	emodel energy.Model
 	stats  Stats
 
@@ -140,7 +189,7 @@ func New(opts Options) (*DeepStore, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DeepStore{
+	ds := &DeepStore{
 		opts:        opts,
 		engine:      e,
 		dev:         dev,
@@ -150,7 +199,26 @@ func New(opts Options) (*DeepStore, error) {
 		queries:     make(map[QueryID]*queryState),
 		nextQueryID: 1,
 		emodel:      energy.DefaultModel(),
-	}, nil
+	}
+	ds.pools.batch = ds.scoreBatch()
+	return ds, nil
+}
+
+// scanMode resolves the effective scan implementation, honoring the legacy
+// SerialScoring flag.
+func (ds *DeepStore) scanMode() ScanMode {
+	if ds.opts.SerialScoring {
+		return ScanSerial
+	}
+	return ds.opts.Scan
+}
+
+// scoreBatch resolves the effective features-per-batch for the batched scan.
+func (ds *DeepStore) scoreBatch() int {
+	if ds.opts.ScoreBatch > 0 {
+		return ds.opts.ScoreBatch
+	}
+	return DefaultScoreBatch
 }
 
 // Device exposes the underlying simulated SSD (for inspection and tests).

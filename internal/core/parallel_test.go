@@ -9,11 +9,11 @@ import (
 	"repro/internal/workload"
 )
 
-// TestScoreRangeParallelMatchesSerial: the sharded worker-pool scan returns
-// byte-identical top-K (IDs, scores, ObjectIDs, order) to the serial
-// reference across K values and ranges that do not align with channel
-// boundaries (the default geometry has 32 channels; ranges below start and
-// end mid-stripe).
+// TestScoreRangeParallelMatchesSerial: both parallel scans — the per-feature
+// worker pool and the batched GEMM path — return byte-identical top-K (IDs,
+// scores, ObjectIDs, order) to the serial reference across K values and
+// ranges that do not align with channel boundaries (the default geometry has
+// 32 channels; ranges below start and end mid-stripe).
 func TestScoreRangeParallelMatchesSerial(t *testing.T) {
 	const features = 2000
 	ds, err := New(DefaultOptions())
@@ -52,13 +52,18 @@ func TestScoreRangeParallelMatchesSerial(t *testing.T) {
 		for _, c := range cases {
 			t.Run(fmt.Sprintf("K=%d/%s", k, c.name), func(t *testing.T) {
 				serial := ds.scoreRangeSerial(net, st, q, c.start, c.end, k)
-				parallel := ds.scoreRange(net, st, q, c.start, c.end, k)
-				if len(serial) != len(parallel) {
-					t.Fatalf("parallel returned %d entries, serial %d", len(parallel), len(serial))
+				impls := map[string][]topk.Entry{
+					"per-feature": ds.scoreRangePerFeature(net, st, q, c.start, c.end, k),
+					"batched":     ds.scoreRangeBatched(net, st, q, c.start, c.end, k),
 				}
-				for i := range serial {
-					if serial[i] != parallel[i] {
-						t.Fatalf("entry %d differs: parallel %+v != serial %+v", i, parallel[i], serial[i])
+				for name, got := range impls {
+					if len(serial) != len(got) {
+						t.Fatalf("%s returned %d entries, serial %d", name, len(got), len(serial))
+					}
+					for i := range serial {
+						if serial[i] != got[i] {
+							t.Fatalf("%s entry %d differs: %+v != serial %+v", name, i, got[i], serial[i])
+						}
 					}
 				}
 			})

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/nn"
+)
+
+// batchCtx is one worker's batched-scoring context: a BatchScorer plus the
+// gather/scatter scratch the scan loop fills between GEMM calls — the
+// feature-vector slots, their feature IDs and object IDs, and the score
+// output. Everything is sized to the engine's score batch at construction,
+// so a worker that holds a batchCtx scores its whole stripe without
+// allocating.
+type batchCtx struct {
+	bs     *nn.BatchScorer
+	dfvs   [][]float32
+	ids    []int64
+	objs   []uint64
+	scores []float32
+}
+
+// reset drops the feature-vector references so pooled contexts do not pin
+// database memory between queries.
+func (c *batchCtx) reset() {
+	for i := range c.dfvs {
+		c.dfvs[i] = nil
+	}
+}
+
+// batchPools hands out per-worker batchCtxs, one sync.Pool per network (a
+// BatchScorer's scratch is shaped by its network, so contexts cannot be
+// shared across models). Get/put are called from scan workers without the
+// engine mutex; the map is guarded by its own mutex and the pools themselves
+// are concurrency-safe.
+type batchPools struct {
+	mu    sync.Mutex
+	batch int
+	pools map[*nn.Network]*sync.Pool
+}
+
+func (p *batchPools) get(net *nn.Network) *batchCtx {
+	p.mu.Lock()
+	if p.pools == nil {
+		p.pools = make(map[*nn.Network]*sync.Pool)
+	}
+	pool, ok := p.pools[net]
+	if !ok {
+		b := p.batch
+		pool = &sync.Pool{New: func() any {
+			return &batchCtx{
+				bs:     net.BatchScorer(b),
+				dfvs:   make([][]float32, b),
+				ids:    make([]int64, b),
+				objs:   make([]uint64, b),
+				scores: make([]float32, b),
+			}
+		}}
+		p.pools[net] = pool
+	}
+	p.mu.Unlock()
+	return pool.Get().(*batchCtx)
+}
+
+func (p *batchPools) put(net *nn.Network, c *batchCtx) {
+	c.reset()
+	p.mu.Lock()
+	pool := p.pools[net]
+	p.mu.Unlock()
+	pool.Put(c)
+}

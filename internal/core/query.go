@@ -229,20 +229,101 @@ func (ds *DeepStore) simulateScan(net *nn.Network, st *dbState, level accel.Leve
 // scoreRange computes real SCN scores over the materialized vectors — the
 // functional map-reduce of §4.7.1. The feature range is sharded per channel
 // (each shard is one channel's stripe, exactly the share that channel's
-// accelerator scans), a GOMAXPROCS-bounded worker pool drains the shards —
-// each worker holding its own scratch-buffer Scorer and filling a private
-// topk.Queue — and the engine reduces the per-shard queues with topk.Merge.
-// Results are bit-identical to the serial path: every shard sees the same
-// comparisons in the same order, and the merge's (score, featureID) total
+// accelerator scans), a GOMAXPROCS-bounded worker pool drains the shards,
+// and the engine reduces the per-shard queues with topk.Merge. All scan
+// modes produce identical top-K results: every shard sees the same
+// comparisons in the same stripe order, batched scores match per-feature
+// scores (see nn.BatchScorer), and the merge's (score, featureID) total
 // order is independent of shard completion order. Declared (spec-only)
 // databases return an empty top-K.
 func (ds *DeepStore) scoreRange(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) []topk.Entry {
 	if st.vectors == nil {
 		return nil
 	}
-	if ds.opts.SerialScoring {
+	switch ds.scanMode() {
+	case ScanSerial:
 		return ds.scoreRangeSerial(net, st, qfv, start, end, k)
+	case ScanPerFeature:
+		return ds.scoreRangePerFeature(net, st, qfv, start, end, k)
+	default:
+		return ds.scoreRangeBatched(net, st, qfv, start, end, k)
 	}
+}
+
+// scoreRangeBatched is the default scan: each worker pulls channel stripes
+// and gathers stripe features into its pooled batchCtx, scoring a whole
+// batch per nn.BatchScorer call (cache-blocked GEMM) and offering the
+// entries to the shard queue in stripe order — so ordering, and therefore
+// the merged top-K, is identical to the per-feature walk.
+func (ds *DeepStore) scoreRangeBatched(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) []topk.Entry {
+	layout := st.meta.Layout
+	channels := layout.Geom.Channels
+	shards := make([]*topk.Queue, channels)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > channels {
+		workers = channels
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stride := int64(channels)
+	var nextShard atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := ds.pools.get(net)
+			defer ds.pools.put(net, ctx)
+			for {
+				ch := int(nextShard.Add(1) - 1)
+				if ch >= channels {
+					return
+				}
+				q := topk.New(k)
+				// Feature i lives on channel i mod Channels (§4.4
+				// striping), so the shard walks its stripe directly.
+				first := start + ((int64(ch)-start)%stride+stride)%stride
+				n := 0
+				for i := first; i < end; i += stride {
+					ctx.dfvs[n] = st.vectors[i]
+					ctx.ids[n] = i
+					ctx.objs[n] = uint64(layout.Geom.Linear(layout.FeatureAddr(i)))
+					n++
+					if n == len(ctx.dfvs) {
+						ctx.flush(q, qfv, n)
+						n = 0
+					}
+				}
+				ctx.flush(q, qfv, n)
+				shards[ch] = q
+			}
+		}()
+	}
+	wg.Wait()
+	return topk.Merge(k, shards...).Results()
+}
+
+// flush scores the gathered features in one batched call and offers the
+// entries in gather order.
+func (c *batchCtx) flush(q *topk.Queue, qfv []float32, n int) {
+	if n == 0 {
+		return
+	}
+	c.bs.ScoreBatch(c.scores[:n], qfv, c.dfvs[:n])
+	for j := 0; j < n; j++ {
+		q.Offer(topk.Entry{
+			FeatureID: c.ids[j],
+			Score:     c.scores[j],
+			ObjectID:  c.objs[j],
+		})
+	}
+}
+
+// scoreRangePerFeature scores one feature per nn.Scorer call across the
+// worker pool — the pre-GEMM parallel path, kept as a benchmark baseline
+// and selectable via Options.Scan.
+func (ds *DeepStore) scoreRangePerFeature(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) []topk.Entry {
 	layout := st.meta.Layout
 	channels := layout.Geom.Channels
 	shards := make([]*topk.Queue, channels)
@@ -309,23 +390,31 @@ func (ds *DeepStore) scoreRangeSerial(net *nn.Network, st *dbState, qfv []float3
 	return topk.Merge(k, shards...).Results()
 }
 
-// rerank re-scores cached top-K features against the new query.
+// rerank re-scores cached top-K features against the new query, batching
+// the cached entries through the same pooled GEMM path the scan uses (a hit
+// re-scores tens of features — one or two batches).
 func (ds *DeepStore) rerank(net *nn.Network, st *dbState, qfv []float32, cached []topk.Entry, k int) []topk.Entry {
 	if st.vectors == nil {
 		return cached
 	}
 	q := topk.New(k)
-	scorer := net.Scorer()
+	ctx := ds.pools.get(net)
+	defer ds.pools.put(net, ctx)
+	n := 0
 	for _, e := range cached {
 		if e.FeatureID < 0 || e.FeatureID >= int64(len(st.vectors)) {
 			continue
 		}
-		q.Offer(topk.Entry{
-			FeatureID: e.FeatureID,
-			Score:     scorer.Score(qfv, st.vectors[e.FeatureID]),
-			ObjectID:  e.ObjectID,
-		})
+		ctx.dfvs[n] = st.vectors[e.FeatureID]
+		ctx.ids[n] = e.FeatureID
+		ctx.objs[n] = e.ObjectID
+		n++
+		if n == len(ctx.dfvs) {
+			ctx.flush(q, qfv, n)
+			n = 0
+		}
 	}
+	ctx.flush(q, qfv, n)
 	return q.Results()
 }
 

@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Scan-path trajectory study. PR 1 parallelized the per-feature scan across
+// a worker pool; this PR collapses each worker's stripe into cache-blocked
+// GEMM batches (tensor.Gemm via nn.BatchScorer). ScanBench drives the same
+// queries through all three implementations and reports host-side scan
+// throughput — the artifact that tracks the functional engine's compute
+// trajectory across PRs. Simulated (in-storage) time is identical across
+// modes by construction; only the host wall-clock differs.
+
+// ScanConfig sizes the study.
+type ScanConfig struct {
+	App      string // workload application (TIR: the weight-streaming regime)
+	Features int    // materialized database size
+	Queries  int    // timed full-range queries per mode
+	K        int    // top-K
+	Seed     int64  // database + query seed
+}
+
+// DefaultScan returns a laptop-scale configuration (a few seconds per mode).
+func DefaultScan() ScanConfig {
+	return ScanConfig{App: "TIR", Features: 20_000, Queries: 3, K: 10, Seed: 7}
+}
+
+// ScanRow is one scan implementation's measured throughput.
+type ScanRow struct {
+	Mode        string  `json:"mode"`
+	Features    int     `json:"features"`
+	Queries     int     `json:"queries"`
+	WallSec     float64 `json:"wall_sec"`
+	FeaturesSec float64 `json:"features_per_sec"`
+	NsFeature   float64 `json:"ns_per_feature"`
+	// SpeedupVsSerial is FeaturesSec relative to the serial reference row.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+}
+
+// ScanBench measures full-database query wall-clock under each scan mode on
+// one shared database and model. Every mode scores Queries×Features
+// comparisons and returns identical top-K results; rows report throughput in
+// features scored per second and nanoseconds per feature.
+func ScanBench(cfg ScanConfig) ([]ScanRow, error) {
+	if cfg.Features < 1 || cfg.Queries < 1 || cfg.K < 1 {
+		return nil, fmt.Errorf("exp: scan config %+v invalid", cfg)
+	}
+	app, err := workload.ByName(cfg.App)
+	if err != nil {
+		return nil, err
+	}
+	app.SCN.InitRandom(cfg.Seed)
+	db := workload.NewFeatureDB(app, cfg.Features, cfg.Seed+1)
+
+	modes := []struct {
+		name string
+		scan core.ScanMode
+	}{
+		{"serial", core.ScanSerial},
+		{"parallel", core.ScanPerFeature},
+		{"batched", core.ScanBatched},
+	}
+	var rows []ScanRow
+	for _, m := range modes {
+		opts := core.DefaultOptions()
+		opts.Scan = m.scan
+		ds, err := core.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		dbID, err := ds.WriteDB(db.Vectors)
+		if err != nil {
+			return nil, err
+		}
+		model, err := ds.LoadModelNetwork(app.SCN)
+		if err != nil {
+			return nil, err
+		}
+		spec := core.QuerySpec{QFV: db.Vectors[0], K: cfg.K, Model: model, DB: dbID}
+		// Warm the scoring pools so steady state is what's timed.
+		if _, err := ds.Query(spec); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for q := 0; q < cfg.Queries; q++ {
+			if _, err := ds.Query(spec); err != nil {
+				return nil, err
+			}
+		}
+		wall := time.Since(start).Seconds()
+		scored := float64(cfg.Queries) * float64(cfg.Features)
+		rows = append(rows, ScanRow{
+			Mode:        m.name,
+			Features:    cfg.Features,
+			Queries:     cfg.Queries,
+			WallSec:     wall,
+			FeaturesSec: scored / wall,
+			NsFeature:   wall * 1e9 / scored,
+		})
+	}
+	serial := rows[0].FeaturesSec
+	for i := range rows {
+		rows[i].SpeedupVsSerial = rows[i].FeaturesSec / serial
+	}
+	return rows, nil
+}
+
+// CellsScan returns the study as header and rows.
+func CellsScan(rows []ScanRow) ([]string, [][]string) {
+	header := []string{"Scan", "Features", "Queries", "Wall (s)", "Features/s", "ns/feature", "vs serial"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Mode, fmt.Sprint(r.Features), fmt.Sprint(r.Queries),
+			F(r.WallSec), F(r.FeaturesSec), F(r.NsFeature), F(r.SpeedupVsSerial) + "x",
+		})
+	}
+	return header, out
+}
+
+// FormatScan renders the study.
+func FormatScan(rows []ScanRow) string {
+	return FormatTable(CellsScan(rows))
+}

@@ -1,0 +1,194 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// BatchScorer is the batched counterpart of Scorer: it packs up to MaxBatch
+// database feature vectors into one activation matrix (one row per feature)
+// and pushes the whole stack forward as matrix-matrix products, so every FC
+// layer runs as one cache-blocked tensor.Gemm instead of B memory-latency-
+// bound Gemv calls, amortizing the weight traffic — the dominant cost of the
+// §2–§3 scan — across the batch. Convolutions lower to im2col + Gemm per
+// row (a single sample's patch matrix is already matrix-shaped work).
+//
+// All scratch (activation matrices, im2col buffer) is allocated once at
+// construction and reused, so steady-state ScoreBatch calls are
+// allocation-free. Like Scorer, a BatchScorer is NOT safe for concurrent
+// use — it is per-worker state; the Network stays immutable and shared.
+//
+// Determinism: row b of every activation matrix goes through exactly the
+// arithmetic Scorer.Score applies to dfvs[b], in the same order (Gemm
+// accumulates each output strictly in Gemv's order; im2col padding taps add
+// exact zeros). Scores are therefore bit-identical to the per-feature path
+// for FC/element-wise stacks, and equal up to the sign of a zero for padded
+// convolutions — see DESIGN.md "Compute kernels".
+type BatchScorer struct {
+	net *Network
+	max int
+	// comb is the combined activation matrix, max×combElems.
+	comb []float32
+	// bufs[i] receives Layers[i]'s output, max×outElems[i].
+	bufs [][]float32
+	// inShapes[i]/inElems[i]/outElems[i] describe Layers[i]'s per-row IO.
+	inShapes []tensor.Shape
+	inElems  []int
+	outElems []int
+	// col is the im2col patch scratch, sized for the largest conv layer.
+	col []float32
+}
+
+// batchedLayer is implemented by layers that can process a rows×inElems
+// activation matrix in one call. col is the caller's im2col scratch. All
+// built-in layers implement it; BatchScorer falls back to a row-at-a-time
+// Layer.Forward otherwise.
+type batchedLayer interface {
+	forwardRows(dst, in []float32, rows int, col []float32)
+}
+
+// BatchScorer returns a batched scorer processing up to maxBatch features
+// per call. Memory scales with maxBatch × the widest activation; 64 is a
+// good default (see DESIGN.md on batch-size selection).
+func (n *Network) BatchScorer(maxBatch int) *BatchScorer {
+	if maxBatch < 1 {
+		panic(fmt.Sprintf("nn: batch scorer for %q needs maxBatch >= 1, got %d", n.Name, maxBatch))
+	}
+	s := &BatchScorer{net: n, max: maxBatch}
+	shape := n.combinedShape()
+	s.comb = make([]float32, maxBatch*shape.Elems())
+	colLen := 0
+	for _, l := range n.Layers {
+		s.inShapes = append(s.inShapes, shape.Clone())
+		s.inElems = append(s.inElems, shape.Elems())
+		shape = l.OutputShape(shape)
+		s.outElems = append(s.outElems, shape.Elems())
+		s.bufs = append(s.bufs, make([]float32, maxBatch*shape.Elems()))
+		if cv, ok := l.(*Conv); ok {
+			rows, patch := tensor.Im2colLen(cv.H, cv.W, cv.R, cv.S, cv.C, cv.Stride, cv.Pad)
+			if rows*patch > colLen {
+				colLen = rows * patch
+			}
+		}
+	}
+	if colLen > 0 {
+		s.col = make([]float32, colLen)
+	}
+	return s
+}
+
+// Network returns the network this scorer executes.
+func (s *BatchScorer) Network() *Network { return s.net }
+
+// MaxBatch returns the largest dfv count one ScoreBatch call accepts.
+func (s *BatchScorer) MaxBatch() int { return s.max }
+
+// ScoreBatch scores qfv against every vector in dfvs, writing scores[i] =
+// Score(qfv, dfvs[i]). len(dfvs) must not exceed MaxBatch and scores must
+// have at least len(dfvs) elements. Partial batches use the leading rows of
+// the scratch matrices, so ragged tails (range ends, small caches) cost
+// only their own rows.
+func (s *BatchScorer) ScoreBatch(scores []float32, qfv []float32, dfvs [][]float32) {
+	rows := len(dfvs)
+	if rows == 0 {
+		return
+	}
+	if rows > s.max {
+		panic(fmt.Sprintf("nn: batch of %d exceeds scorer capacity %d", rows, s.max))
+	}
+	if len(scores) < rows {
+		panic(fmt.Sprintf("nn: %d scores for batch of %d", len(scores), rows))
+	}
+	n := s.net
+	fe := n.FeatureElems()
+	if len(qfv) != fe {
+		panic(fmt.Sprintf("nn: network %q wants %d-element features, got %d", n.Name, fe, len(qfv)))
+	}
+	ce := fe
+	if n.Combine == CombineConcat {
+		ce = 2 * fe
+	}
+	for b, dfv := range dfvs {
+		if len(dfv) != fe {
+			panic(fmt.Sprintf("nn: network %q wants %d-element features, dfv %d has %d",
+				n.Name, fe, b, len(dfv)))
+		}
+		row := s.comb[b*ce : (b+1)*ce]
+		switch n.Combine {
+		case CombineHadamard:
+			for i := 0; i < fe; i++ {
+				row[i] = qfv[i] * dfv[i]
+			}
+		case CombineSubtract:
+			for i := 0; i < fe; i++ {
+				row[i] = qfv[i] - dfv[i]
+			}
+		case CombineConcat:
+			copy(row[:fe], qfv)
+			copy(row[fe:], dfv)
+		}
+	}
+	in, inElems := s.comb, ce
+	for li, l := range n.Layers {
+		out := s.bufs[li][:rows*s.outElems[li]]
+		if bl, ok := l.(batchedLayer); ok {
+			bl.forwardRows(out, in[:rows*inElems], rows, s.col)
+		} else {
+			// Fallback for layers outside the built-in families: run each
+			// row through the single-sample path.
+			for b := 0; b < rows; b++ {
+				t := tensor.FromSlice(in[b*inElems:(b+1)*inElems], s.inShapes[li]...)
+				copy(out[b*s.outElems[li]:(b+1)*s.outElems[li]], l.Forward(t).Data)
+			}
+		}
+		in, inElems = out, s.outElems[li]
+	}
+	for b := 0; b < rows; b++ {
+		scores[b] = in[b*inElems]
+	}
+}
+
+// forwardRows implements batchedLayer: one blocked GEMM over the whole
+// batch — the per-feature Gemv calls collapse into matrix-matrix compute
+// that reuses each weight row across every batched feature.
+func (l *FC) forwardRows(dst, in []float32, rows int, _ []float32) {
+	tensor.Gemm(dst, in, l.W, l.B, rows, l.Out, l.In)
+	l.Act.apply(dst)
+}
+
+// forwardRows implements batchedLayer. Each sample lowers to an im2col
+// patch matrix and one GEMM; the patch scratch is reused across rows.
+func (l *Conv) forwardRows(dst, in []float32, rows int, col []float32) {
+	inLen := l.H * l.W * l.C
+	pr, patch := tensor.Im2colLen(l.H, l.W, l.R, l.S, l.C, l.Stride, l.Pad)
+	outLen := pr * l.K
+	col = col[:pr*patch]
+	for b := 0; b < rows; b++ {
+		tensor.Conv2DIm2col(dst[b*outLen:(b+1)*outLen], in[b*inLen:(b+1)*inLen],
+			l.Wt, l.B, col, l.H, l.W, l.C, l.K, l.R, l.S, l.Stride, l.Pad)
+	}
+	l.Act.apply(dst)
+}
+
+// forwardRows implements batchedLayer: the operand vector repeats per row.
+func (l *Elementwise) forwardRows(dst, in []float32, rows int, _ []float32) {
+	for b := 0; b < rows; b++ {
+		drow := dst[b*l.N : (b+1)*l.N]
+		irow := in[b*l.N : (b+1)*l.N]
+		switch l.Op {
+		case EWAdd:
+			for i := range drow {
+				drow[i] = irow[i] + l.Operand[i]
+			}
+		case EWSub:
+			for i := range drow {
+				drow[i] = irow[i] - l.Operand[i]
+			}
+		case EWMul, EWScale:
+			for i := range drow {
+				drow[i] = irow[i] * l.Operand[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// batchTestNets mirrors the Table 1 layer mix: a Hadamard FC net with
+// sigmoid (TextQA-shaped), a concat FC stack (MIR-shaped), and a subtract
+// conv net with padding (ReId-shaped, exercising the im2col path).
+func batchTestNets() []*Network {
+	fcSig := MustNetwork("fc-sigmoid", tensor.Shape{96}, CombineHadamard,
+		NewFC("fc1", 96, 96, ActSigmoid),
+	)
+	concat := MustNetwork("concat-stack", tensor.Shape{64}, CombineConcat,
+		NewFC("fc1", 128, 48, ActReLU),
+		NewFC("fc2", 48, 16, ActReLU),
+		NewFC("fc3", 16, 2, ActNone),
+	)
+	conv := MustNetwork("conv-subtract", tensor.Shape{9, 7, 4}, CombineSubtract,
+		NewConv("conv1", 9, 7, 4, 6, 3, 3, 1, 1, ActReLU),
+		NewConv("conv2", 9, 7, 6, 4, 3, 3, 2, 1, ActReLU),
+		NewFC("fc1", 5*4*4, 10, ActReLU),
+		NewFC("fc2", 10, 1, ActNone),
+	)
+	ew := MustNetwork("ew-mid", tensor.Shape{32}, CombineHadamard,
+		NewElementwise("scale", 32, EWScale),
+		NewFC("fc", 32, 4, ActSigmoid),
+	)
+	nets := []*Network{fcSig, concat, conv, ew}
+	for i, n := range nets {
+		n.InitRandom(int64(i + 1))
+	}
+	return nets
+}
+
+func randVec(rng *rand.Rand, n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = rng.Float32()*2 - 1
+	}
+	return v
+}
+
+// TestScoreBatchMatchesScorer: across batch sizes 1, 7, and 64 (smaller
+// than, straddling, and equal to the scorer capacity) every batched score
+// equals the per-feature Scorer's — bit-identical for FC stacks, and equal
+// as float values for padded conv nets (only the sign of a zero may
+// differ, which IEEE comparison treats as equal).
+func TestScoreBatchMatchesScorer(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, net := range batchTestNets() {
+		fe := net.FeatureElems()
+		qfv := randVec(rng, fe)
+		pool := make([][]float32, 64)
+		for i := range pool {
+			pool[i] = randVec(rng, fe)
+		}
+		ref := net.Scorer()
+		for _, b := range []int{1, 7, 64} {
+			t.Run(fmt.Sprintf("%s/B=%d", net.Name, b), func(t *testing.T) {
+				bs := net.BatchScorer(64)
+				scores := make([]float32, b)
+				bs.ScoreBatch(scores, qfv, pool[:b])
+				for i := 0; i < b; i++ {
+					want := ref.Score(qfv, pool[i])
+					if scores[i] != want {
+						t.Fatalf("feature %d: batched %v (bits %x) != scorer %v (bits %x)",
+							i, scores[i], math.Float32bits(scores[i]), want, math.Float32bits(want))
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestScoreBatchChunksMatch: scoring one pool as a single 64-batch and as
+// ragged chunks (7 at a time) through the same reused scorer gives the same
+// scores — chunk boundaries carry no state.
+func TestScoreBatchChunksMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := batchTestNets()[1]
+	fe := net.FeatureElems()
+	qfv := randVec(rng, fe)
+	pool := make([][]float32, 64)
+	for i := range pool {
+		pool[i] = randVec(rng, fe)
+	}
+	bs := net.BatchScorer(64)
+	whole := make([]float32, 64)
+	bs.ScoreBatch(whole, qfv, pool)
+	chunked := make([]float32, 64)
+	for lo := 0; lo < 64; lo += 7 {
+		hi := lo + 7
+		if hi > 64 {
+			hi = 64
+		}
+		bs.ScoreBatch(chunked[lo:hi], qfv, pool[lo:hi])
+	}
+	for i := range whole {
+		if whole[i] != chunked[i] {
+			t.Fatalf("feature %d: whole-batch %v != chunked %v", i, whole[i], chunked[i])
+		}
+	}
+}
+
+// oddLayer is a layer outside the built-in families (no batchedLayer
+// implementation), forcing ScoreBatch's row-at-a-time fallback.
+type oddLayer struct{ FC }
+
+func (l *oddLayer) Forward(in *tensor.Tensor) *tensor.Tensor { return l.FC.Forward(in) }
+
+// TestScoreBatchFallback: a custom layer without forwardRows still scores
+// through the per-row Layer.Forward fallback and matches Network.Score.
+func TestScoreBatchFallback(t *testing.T) {
+	inner := NewFC("odd", 32, 8, ActReLU)
+	net := MustNetwork("fallback", tensor.Shape{32}, CombineHadamard,
+		&oddLayer{*inner},
+		NewFC("head", 8, 1, ActNone),
+	)
+	net.InitRandom(3)
+	rng := rand.New(rand.NewSource(9))
+	qfv := randVec(rng, 32)
+	pool := make([][]float32, 5)
+	for i := range pool {
+		pool[i] = randVec(rng, 32)
+	}
+	bs := net.BatchScorer(8)
+	scores := make([]float32, len(pool))
+	bs.ScoreBatch(scores, qfv, pool)
+	for i := range pool {
+		if want := net.Score(qfv, pool[i]); scores[i] != want {
+			t.Fatalf("feature %d: fallback batched %v != %v", i, scores[i], want)
+		}
+	}
+}
+
+// TestScoreBatchAllocFree: steady-state ScoreBatch calls allocate nothing —
+// the property that keeps the scan's hot loop off the garbage collector.
+func TestScoreBatchAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, net := range batchTestNets() {
+		fe := net.FeatureElems()
+		qfv := randVec(rng, fe)
+		pool := make([][]float32, 32)
+		for i := range pool {
+			pool[i] = randVec(rng, fe)
+		}
+		bs := net.BatchScorer(32)
+		scores := make([]float32, 32)
+		bs.ScoreBatch(scores, qfv, pool) // warm up
+		if n := testing.AllocsPerRun(10, func() { bs.ScoreBatch(scores, qfv, pool) }); n != 0 {
+			t.Errorf("%s: ScoreBatch allocates %v times per call", net.Name, n)
+		}
+	}
+}
+
+// TestScoreBatchValidation: capacity and shape misuse panic rather than
+// corrupt scratch.
+func TestScoreBatchValidation(t *testing.T) {
+	net := batchTestNets()[0]
+	bs := net.BatchScorer(2)
+	qfv := make([]float32, net.FeatureElems())
+	dfv := make([]float32, net.FeatureElems())
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("over capacity", func() {
+		bs.ScoreBatch(make([]float32, 3), qfv, [][]float32{dfv, dfv, dfv})
+	})
+	mustPanic("short scores", func() {
+		bs.ScoreBatch(make([]float32, 1), qfv, [][]float32{dfv, dfv})
+	})
+	mustPanic("bad qfv", func() {
+		bs.ScoreBatch(make([]float32, 1), qfv[:3], [][]float32{dfv})
+	})
+	mustPanic("bad dfv", func() {
+		bs.ScoreBatch(make([]float32, 1), qfv, [][]float32{dfv[:3]})
+	})
+	mustPanic("zero capacity", func() { net.BatchScorer(0) })
+	// Empty batches are a no-op, not an error.
+	bs.ScoreBatch(nil, qfv, nil)
+}

@@ -32,6 +32,43 @@ func BenchmarkSCNForward(b *testing.B) {
 	}
 }
 
+// BenchmarkScoreBatch pits the per-feature Scorer against the batched GEMM
+// path on the TIR geometry (1.5 MB of FC weights — the weight-streaming
+// regime the batch amortizes). ns/op is per 64-feature batch in both modes.
+func BenchmarkScoreBatch(b *testing.B) {
+	n := benchNetwork()
+	q := make([]float32, 512)
+	pool := make([][]float32, 64)
+	for i := range q {
+		q[i] = float32(i%7) / 7
+	}
+	for p := range pool {
+		pool[p] = make([]float32, 512)
+		for i := range pool[p] {
+			pool[p][i] = float32((i+p)%5) / 5
+		}
+	}
+	b.Run("scorer", func(b *testing.B) {
+		sc := n.Scorer()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, d := range pool {
+				sc.Score(q, d)
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		bs := n.BatchScorer(64)
+		scores := make([]float32, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bs.ScoreBatch(scores, q, pool)
+		}
+	})
+}
+
 func BenchmarkModelMarshal(b *testing.B) {
 	n := benchNetwork()
 	b.ResetTimer()

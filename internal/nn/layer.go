@@ -134,14 +134,14 @@ func (l *FC) FLOPs(in tensor.Shape) int64 { return 2 * int64(l.In) * int64(l.Out
 // WeightCount implements Layer.
 func (l *FC) WeightCount() int64 { return int64(l.In)*int64(l.Out) + int64(l.Out) }
 
-// Forward implements Layer.
+// Forward implements Layer. It is the allocating wrapper over the pooled
+// forwardInto path Scorer uses; both run identical arithmetic.
 func (l *FC) Forward(in *tensor.Tensor) *tensor.Tensor {
 	if in.Elems() != l.In {
 		panic(fmt.Sprintf("nn: fc %q expects %d inputs, got %d", l.LayerName, l.In, in.Elems()))
 	}
 	out := tensor.New(l.Out)
-	tensor.Gemv(out.Data, l.W, in.Data, l.B)
-	l.Act.apply(out.Data)
+	l.forwardInto(out, in)
 	return out
 }
 
@@ -212,12 +212,12 @@ func (l *Conv) WeightCount() int64 {
 	return int64(l.K)*int64(l.R)*int64(l.S)*int64(l.C) + int64(l.K)
 }
 
-// Forward implements Layer.
+// Forward implements Layer. It is the allocating wrapper over the pooled
+// forwardInto path Scorer uses; both run identical arithmetic.
 func (l *Conv) Forward(in *tensor.Tensor) *tensor.Tensor {
 	shape := l.OutputShape(in.Shape)
 	out := tensor.New(shape...)
-	tensor.Conv2D(out.Data, in.Data, l.Wt, l.B, l.H, l.W, l.C, l.K, l.R, l.S, l.Stride, l.Pad)
-	l.Act.apply(out.Data)
+	l.forwardInto(out, in)
 	return out
 }
 
@@ -304,26 +304,14 @@ func (l *Elementwise) WeightCount() int64 {
 	return 0
 }
 
-// Forward implements Layer.
+// Forward implements Layer. It is the allocating wrapper over the pooled
+// forwardInto path Scorer uses; both run identical arithmetic.
 func (l *Elementwise) Forward(in *tensor.Tensor) *tensor.Tensor {
 	if in.Elems() != l.N {
 		panic(fmt.Sprintf("nn: elementwise %q expects %d inputs, got %d", l.LayerName, l.N, in.Elems()))
 	}
 	out := tensor.New(l.N)
-	switch l.Op {
-	case EWAdd:
-		for i := range out.Data {
-			out.Data[i] = in.Data[i] + l.Operand[i]
-		}
-	case EWSub:
-		for i := range out.Data {
-			out.Data[i] = in.Data[i] - l.Operand[i]
-		}
-	case EWMul, EWScale:
-		for i := range out.Data {
-			out.Data[i] = in.Data[i] * l.Operand[i]
-		}
-	}
+	l.forwardInto(out, in)
 	return out
 }
 

@@ -20,6 +20,14 @@ import (
 // as a sync.Pool of nn Scorers).
 type Scorer[Q any] func(a, b Q) float64
 
+// BatchScorer scores q against a batch of cached queries in one call,
+// writing scores[i] ∈ [0, 1] for batch[i] — installed via SetBatchScorer so
+// the sweep runs as batched GEMM instead of one QCN forward per entry. Each
+// score must equal what the scalar Scorer returns for the same pair (the
+// sweep's selection rule assumes they are interchangeable). Like Scorer, it
+// must be safe for concurrent calls.
+type BatchScorer[Q any] func(scores []float64, q Q, batch []Q)
+
 // Entry is one cached query with its top-K results (the TopKFV/ObjectID
 // fields of Fig. 7).
 type Entry[Q any] struct {
@@ -55,9 +63,21 @@ type Cache[Q any] struct {
 	// score by it before thresholding.
 	qcnAcc float64
 	score  Scorer[Q]
+	// batchScore, when set, replaces per-entry score calls in the sweep;
+	// batch/scratch size its per-call gather buffers.
+	batchScore BatchScorer[Q]
+	batch      int
+	scratch    sync.Pool
 	// entries[0] is most recently used.
 	entries []Entry[Q]
 	stats   Stats
+}
+
+// sweepScratch is one sweep shard's gather/score buffers, pooled so
+// steady-state lookups allocate nothing.
+type sweepScratch[Q any] struct {
+	qs     []Q
+	scores []float64
 }
 
 // New creates a cache of the given capacity. qcnAcc must be in (0, 1].
@@ -72,6 +92,26 @@ func New[Q any](capacity int, qcnAcc float64, score Scorer[Q]) *Cache[Q] {
 		panic("qcache: nil scorer")
 	}
 	return &Cache[Q]{capacity: capacity, qcnAcc: qcnAcc, score: score}
+}
+
+// SetBatchScorer installs a batched sweep scorer: lookups gather up to
+// batch cached queries per bs call instead of calling the scalar Scorer per
+// entry. The selected entry is unchanged — batches are walked in index
+// order and the per-batch maximum keeps the serial first-strictly-greater
+// rule. Pass a nil bs to revert to the scalar sweep.
+func (c *Cache[Q]) SetBatchScorer(bs BatchScorer[Q], batch int) {
+	if bs == nil {
+		c.batchScore = nil
+		return
+	}
+	if batch < 1 {
+		panic(fmt.Sprintf("qcache: batch %d < 1", batch))
+	}
+	c.batchScore = bs
+	c.batch = batch
+	c.scratch = sync.Pool{New: func() any {
+		return &sweepScratch[Q]{qs: make([]Q, batch), scores: make([]float64, batch)}
+	}}
 }
 
 // Len returns the number of cached entries.
@@ -167,8 +207,13 @@ func (c *Cache[Q]) sweepWith(q Q, workers int) (int, float64) {
 }
 
 // sweepRange is the serial sweep over entries[lo:hi]: the first entry with a
-// strictly greater weighted score wins.
+// strictly greater weighted score wins. With a batch scorer installed the
+// range is scored batch-at-a-time in index order, which preserves the same
+// first-strictly-greater winner.
 func (c *Cache[Q]) sweepRange(q Q, lo, hi int) (int, float64) {
+	if c.batchScore != nil && hi > lo {
+		return c.sweepRangeBatched(q, lo, hi)
+	}
 	maxIndex, maxScore := -1, 0.0
 	for i := lo; i < hi; i++ {
 		s := c.score(q, c.entries[i].Query) * c.qcnAcc
@@ -177,6 +222,36 @@ func (c *Cache[Q]) sweepRange(q Q, lo, hi int) (int, float64) {
 			maxIndex = i
 		}
 	}
+	return maxIndex, maxScore
+}
+
+func (c *Cache[Q]) sweepRangeBatched(q Q, lo, hi int) (int, float64) {
+	sc := c.scratch.Get().(*sweepScratch[Q])
+	maxIndex, maxScore := -1, 0.0
+	for i := lo; i < hi; {
+		n := hi - i
+		if n > c.batch {
+			n = c.batch
+		}
+		for j := 0; j < n; j++ {
+			sc.qs[j] = c.entries[i+j].Query
+		}
+		c.batchScore(sc.scores[:n], q, sc.qs[:n])
+		for j := 0; j < n; j++ {
+			if s := sc.scores[j] * c.qcnAcc; s > maxScore {
+				maxScore = s
+				maxIndex = i + j
+			}
+		}
+		i += n
+	}
+	// Drop query references before pooling so the scratch does not pin
+	// evicted entries.
+	var zero Q
+	for j := range sc.qs {
+		sc.qs[j] = zero
+	}
+	c.scratch.Put(sc)
 	return maxIndex, maxScore
 }
 

@@ -1,0 +1,234 @@
+package tensor
+
+import "fmt"
+
+// Batched matrix kernels. The SCN scan is GEMM-shaped work (§2–§3: FC and
+// CONV MACs over every database feature), but a per-feature Gemv streams the
+// whole weight matrix from memory once per comparison and carries a single
+// serial accumulator chain. Gemm amortizes weight traffic across a batch of
+// feature rows and breaks the dependency chain with a register-blocked
+// micro-kernel, while keeping every output's reduction order identical to
+// Gemv so batched scores stay bit-comparable to the serial reference.
+//
+// Blocking scheme (see DESIGN.md "Compute kernels"):
+//
+//   - the K dimension is cut into gemmKC-element panels so one 2-row panel
+//     of A plus one 4-row panel of W (6·gemmKC·4 B = 12 KiB) stay
+//     L1-resident while the micro-kernel streams them;
+//   - the M dimension is cut into gemmMC-row blocks so the W panel is
+//     reused across many A rows before eviction;
+//   - the inner gemm2x4 micro-kernel holds a 2×4 tile of C in eight scalar
+//     accumulators, issuing 8 MACs per 6 loads with 8 independent
+//     dependency chains (the loop-unrolled inner product). 2×4 is the
+//     sweet spot for amd64's 16 XMM registers: 8 accumulators plus 6
+//     streamed operands fit without spilling, where a 4×4 tile's 16
+//     accumulators spill to the stack and run ~1.6× slower.
+//
+// Determinism: every output element accumulates its K products strictly in
+// increasing-k order into one accumulator (KC panels resume from the stored
+// partial sum), and the bias is added after the full reduction — exactly
+// Gemv's ((((0 + a₀w₀) + a₁w₁) + …) + b) association. Gemm is therefore
+// bit-identical to repeated Gemv for finite inputs.
+const (
+	gemmMR = 2   // A rows per micro-tile
+	gemmNR = 4   // W rows (C columns) per micro-tile
+	gemmKC = 512 // K panel (floats) kept hot in L1
+	gemmMC = 256 // M block over which one W panel is reused
+)
+
+// Gemm computes C = A·Wᵀ + bias: A is m×k row-major (one activation row per
+// batched feature), W is n×k row-major (one weight row per output, the same
+// layout Gemv takes), C is m×n row-major, and bias (optional, may be nil)
+// has length n. Row i of C equals Gemv(W, row i of A, bias) bit for bit.
+func Gemm(c, a, w, bias []float32, m, n, k int) {
+	if m < 0 || n < 0 || k < 0 {
+		panic(fmt.Sprintf("tensor: gemm dims %d×%d×%d negative", m, n, k))
+	}
+	if len(a) != m*k {
+		panic(fmt.Sprintf("tensor: gemm A length %d != %d*%d", len(a), m, k))
+	}
+	if len(w) != n*k {
+		panic(fmt.Sprintf("tensor: gemm W length %d != %d*%d", len(w), n, k))
+	}
+	if len(c) != m*n {
+		panic(fmt.Sprintf("tensor: gemm C length %d != %d*%d", len(c), m, n))
+	}
+	if bias != nil && len(bias) != n {
+		panic(fmt.Sprintf("tensor: gemm bias length %d != %d", len(bias), n))
+	}
+	if k == 0 {
+		// No reduction: Gemv would write bias (or zero) directly.
+		for i := range c {
+			c[i] = 0
+		}
+	}
+	for k0 := 0; k0 < k; k0 += gemmKC {
+		kb := k - k0
+		if kb > gemmKC {
+			kb = gemmKC
+		}
+		first := k0 == 0
+		for i0 := 0; i0 < m; i0 += gemmMC {
+			mb := m - i0
+			if mb > gemmMC {
+				mb = gemmMC
+			}
+			for i := i0; i < i0+mb; i += gemmMR {
+				ir := i0 + mb - i
+				if ir > gemmMR {
+					ir = gemmMR
+				}
+				for j := 0; j < n; j += gemmNR {
+					jr := n - j
+					if jr > gemmNR {
+						jr = gemmNR
+					}
+					if ir == gemmMR && jr == gemmNR {
+						gemm2x4(c, a, w, i, j, k0, kb, n, k, first)
+					} else {
+						gemmTail(c, a, w, i, j, ir, jr, k0, kb, n, k, first)
+					}
+				}
+			}
+		}
+	}
+	if bias != nil {
+		for i := 0; i < m; i++ {
+			row := c[i*n : (i+1)*n]
+			for j, b := range bias {
+				row[j] += b
+			}
+		}
+	}
+}
+
+// gemm2x4 is the register micro-kernel: a 2×4 tile of C accumulated over one
+// K panel. The eight accumulators live in registers across the k loop, so
+// each k step issues 8 MACs for 6 loads and the reduction chains stay
+// independent (vs Gemv's single serial chain).
+func gemm2x4(c, a, w []float32, i, j, k0, kb, n, k int, first bool) {
+	a0 := a[i*k+k0 : i*k+k0+kb]
+	// Reslicing every operand to a0's length lets the compiler eliminate
+	// the bounds checks inside the hot loop (p ranges over a0, and each
+	// slice's length provably equals len(a0)).
+	a1 := a[(i+1)*k+k0:][:len(a0)]
+	w0 := w[j*k+k0:][:len(a0)]
+	w1 := w[(j+1)*k+k0:][:len(a0)]
+	w2 := w[(j+2)*k+k0:][:len(a0)]
+	w3 := w[(j+3)*k+k0:][:len(a0)]
+	var c00, c01, c02, c03 float32
+	var c10, c11, c12, c13 float32
+	if !first {
+		r0 := c[i*n+j:]
+		r1 := c[(i+1)*n+j:]
+		c00, c01, c02, c03 = r0[0], r0[1], r0[2], r0[3]
+		c10, c11, c12, c13 = r1[0], r1[1], r1[2], r1[3]
+	}
+	for p := range a0 {
+		av0, av1 := a0[p], a1[p]
+		wv0, wv1, wv2, wv3 := w0[p], w1[p], w2[p], w3[p]
+		c00 += av0 * wv0
+		c01 += av0 * wv1
+		c02 += av0 * wv2
+		c03 += av0 * wv3
+		c10 += av1 * wv0
+		c11 += av1 * wv1
+		c12 += av1 * wv2
+		c13 += av1 * wv3
+	}
+	r0 := c[i*n+j:]
+	r1 := c[(i+1)*n+j:]
+	r0[0], r0[1], r0[2], r0[3] = c00, c01, c02, c03
+	r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
+}
+
+// gemmTail handles the ragged edges of non-multiple-of-4 tiles with the same
+// sequential per-output accumulation order as the micro-kernel.
+func gemmTail(c, a, w []float32, i, j, ir, jr, k0, kb, n, k int, first bool) {
+	for r := 0; r < ir; r++ {
+		arow := a[(i+r)*k+k0 : (i+r)*k+k0+kb]
+		for cn := 0; cn < jr; cn++ {
+			wrow := w[(j+cn)*k+k0:][:len(arow)]
+			var s float32
+			if !first {
+				s = c[(i+r)*n+j+cn]
+			}
+			for p := range arow {
+				s += arow[p] * wrow[p]
+			}
+			c[(i+r)*n+j+cn] = s
+		}
+	}
+}
+
+// Im2colLen returns the patch-matrix dimensions of a convolution: rows
+// (output positions OH·OW) and the length of each patch row (R·S·C).
+func Im2colLen(h, w, r, s, c, stride, pad int) (rows, patch int) {
+	return ConvOutput(h, r, stride, pad) * ConvOutput(w, s, stride, pad), r * s * c
+}
+
+// Im2col lowers an H×W×C input to the (OH·OW)×(R·S·C) patch matrix: row
+// (oy·OW+ox) holds the receptive field of output position (oy, ox) in
+// (ry, rx, ch) order, with out-of-bounds (padding) taps written as zero.
+// The layout matches Conv weights K×(R·S·C), so the convolution becomes
+// Gemm(out, col, w, b, OH·OW, K, R·S·C).
+func Im2col(col, in []float32, h, w, c, r, s, stride, pad int) {
+	oh := ConvOutput(h, r, stride, pad)
+	ow := ConvOutput(w, s, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic("tensor: im2col produces empty output")
+	}
+	if len(in) != h*w*c {
+		panic(fmt.Sprintf("tensor: im2col input length %d != %d", len(in), h*w*c))
+	}
+	if len(col) != oh*ow*r*s*c {
+		panic(fmt.Sprintf("tensor: im2col patch length %d != %d", len(col), oh*ow*r*s*c))
+	}
+	idx := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			for ry := 0; ry < r; ry++ {
+				iy := oy*stride + ry - pad
+				if iy < 0 || iy >= h {
+					zeroFill(col[idx : idx+s*c])
+					idx += s * c
+					continue
+				}
+				for rx := 0; rx < s; rx++ {
+					ix := ox*stride + rx - pad
+					if ix < 0 || ix >= w {
+						zeroFill(col[idx : idx+c])
+					} else {
+						copy(col[idx:idx+c], in[(iy*w+ix)*c:(iy*w+ix)*c+c])
+					}
+					idx += c
+				}
+			}
+		}
+	}
+}
+
+func zeroFill(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Conv2DIm2col performs the same convolution as Conv2D by lowering the input
+// to a patch matrix (in col, caller-owned scratch of Im2colLen size) and
+// running one Gemm, turning the per-position dot products into cache-blocked
+// matrix compute. The patch row order (ry, rx, ch) matches Conv2D's
+// accumulation order; padding taps contribute exact ±0 terms, so results
+// equal the direct loop's (identical non-zero reduction order — any
+// difference is confined to the sign of a zero, which compares equal).
+func Conv2DIm2col(out, in, w, b, col []float32, h, wd, c, k, r, s, stride, pad int) {
+	rows, patch := Im2colLen(h, wd, r, s, c, stride, pad)
+	if len(w) != k*patch {
+		panic(fmt.Sprintf("tensor: conv2d weight length %d != %d", len(w), k*patch))
+	}
+	if len(out) != rows*k {
+		panic(fmt.Sprintf("tensor: conv2d output length %d != %d", len(out), rows*k))
+	}
+	Im2col(col, in, h, wd, c, r, s, stride, pad)
+	Gemm(out, col, w, b, rows, k, patch)
+}

@@ -1,0 +1,178 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// ordered maps a float32 onto a monotone integer line where adjacent
+// representable values differ by 1 and +0/-0 coincide, so ULP distance is a
+// plain subtraction.
+func ordered(f float32) int64 {
+	u := math.Float32bits(f)
+	if u&0x80000000 != 0 {
+		return -int64(u & 0x7fffffff)
+	}
+	return int64(u)
+}
+
+func ulpDiff(a, b float32) int64 {
+	d := ordered(a) - ordered(b)
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func randSlice(rng *rand.Rand, n int) []float32 {
+	x := make([]float32, n)
+	for i := range x {
+		x[i] = rng.Float32()*2 - 1
+	}
+	return x
+}
+
+// TestGemmMatchesGemv: every row of Gemm's output is bit-identical to a
+// Gemv over the same weights — across shapes that are not multiples of the
+// register tile or the KC panel, with and without bias.
+func TestGemmMatchesGemv(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1},
+		{1, 7, 3},
+		{3, 5, 7},
+		{4, 4, 512},   // exact tile, exact KC panel
+		{5, 9, 513},   // one past the KC panel
+		{7, 2, 1030},  // two panels + ragged edges
+		{64, 33, 129}, // MR-aligned rows, odd columns
+		{33, 65, 700},
+	}
+	for _, sh := range shapes {
+		for _, withBias := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%dx%dx%d/bias=%v", sh.m, sh.n, sh.k, withBias), func(t *testing.T) {
+				a := randSlice(rng, sh.m*sh.k)
+				w := randSlice(rng, sh.n*sh.k)
+				var bias []float32
+				if withBias {
+					bias = randSlice(rng, sh.n)
+				}
+				c := make([]float32, sh.m*sh.n)
+				Gemm(c, a, w, bias, sh.m, sh.n, sh.k)
+				ref := make([]float32, sh.n)
+				for i := 0; i < sh.m; i++ {
+					Gemv(ref, w, a[i*sh.k:(i+1)*sh.k], bias)
+					for j := range ref {
+						got, want := c[i*sh.n+j], ref[j]
+						if math.Float32bits(got) != math.Float32bits(want) {
+							t.Fatalf("C[%d,%d] = %x, Gemv gives %x (%v vs %v)",
+								i, j, math.Float32bits(got), math.Float32bits(want), got, want)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGemmDegenerate: zero-sized dimensions behave like repeated Gemv —
+// k=0 reduces to the bias (or zero), m=0 and n=0 touch nothing.
+func TestGemmDegenerate(t *testing.T) {
+	bias := []float32{1, 2, 3}
+	c := []float32{9, 9, 9, 9, 9, 9}
+	Gemm(c, nil, nil, bias, 2, 3, 0)
+	want := []float32{1, 2, 3, 1, 2, 3}
+	for i := range c {
+		if c[i] != want[i] {
+			t.Fatalf("k=0: C = %v, want %v", c, want)
+		}
+	}
+	Gemm(nil, nil, randSlice(rand.New(rand.NewSource(1)), 6), nil, 0, 2, 3)
+	Gemm(nil, randSlice(rand.New(rand.NewSource(1)), 6), nil, nil, 2, 0, 3)
+}
+
+// TestConv2DIm2colMatchesDirect: the im2col+GEMM lowering equals the direct
+// convolution loop within 2 ULP (in practice exactly, up to the sign of a
+// zero) across odd geometries: pad>0, stride>1, non-square kernels, channel
+// counts that straddle the register tile.
+func TestConv2DIm2colMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []struct{ h, w, c, k, r, s, stride, pad int }{
+		{5, 5, 1, 1, 3, 3, 1, 0},
+		{8, 6, 3, 5, 3, 3, 1, 1},   // pad > 0
+		{9, 9, 4, 7, 3, 3, 2, 1},   // stride > 1 with pad
+		{7, 11, 2, 3, 1, 5, 2, 2},  // non-square kernel, wide pad
+		{32, 22, 16, 12, 3, 3, 1, 1}, // the ReId conv geometry
+		{6, 6, 5, 4, 5, 5, 3, 0},   // stride 3
+	}
+	for _, cs := range cases {
+		t.Run(fmt.Sprintf("h%dw%dc%dk%dr%ds%d-st%d-pad%d",
+			cs.h, cs.w, cs.c, cs.k, cs.r, cs.s, cs.stride, cs.pad), func(t *testing.T) {
+			in := randSlice(rng, cs.h*cs.w*cs.c)
+			w := randSlice(rng, cs.k*cs.r*cs.s*cs.c)
+			b := randSlice(rng, cs.k)
+			rows, patch := Im2colLen(cs.h, cs.w, cs.r, cs.s, cs.c, cs.stride, cs.pad)
+			direct := make([]float32, rows*cs.k)
+			Conv2D(direct, in, w, b, cs.h, cs.w, cs.c, cs.k, cs.r, cs.s, cs.stride, cs.pad)
+			lowered := make([]float32, rows*cs.k)
+			col := make([]float32, rows*patch)
+			Conv2DIm2col(lowered, in, w, b, col, cs.h, cs.w, cs.c, cs.k, cs.r, cs.s, cs.stride, cs.pad)
+			for i := range direct {
+				if d := ulpDiff(lowered[i], direct[i]); d > 2 {
+					t.Fatalf("out[%d] = %v, direct gives %v (%d ULP apart)", i, lowered[i], direct[i], d)
+				}
+			}
+		})
+	}
+}
+
+// TestGemmAllocFree: the kernel allocates nothing — scratch is caller-owned,
+// which is what lets the scan's steady state stay allocation-free.
+func TestGemmAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randSlice(rng, 13*700)
+	w := randSlice(rng, 9*700)
+	bias := randSlice(rng, 9)
+	c := make([]float32, 13*9)
+	if n := testing.AllocsPerRun(10, func() { Gemm(c, a, w, bias, 13, 9, 700) }); n != 0 {
+		t.Fatalf("Gemm allocates %v times per call", n)
+	}
+	in := randSlice(rng, 8*6*3)
+	cw := randSlice(rng, 5*3*3*3)
+	cb := randSlice(rng, 5)
+	rows, patch := Im2colLen(8, 6, 3, 3, 3, 1, 1)
+	out := make([]float32, rows*5)
+	col := make([]float32, rows*patch)
+	if n := testing.AllocsPerRun(10, func() {
+		Conv2DIm2col(out, in, cw, cb, col, 8, 6, 3, 5, 3, 3, 1, 1)
+	}); n != 0 {
+		t.Fatalf("Conv2DIm2col allocates %v times per call", n)
+	}
+}
+
+// BenchmarkGemmVsGemv pits one 64-row batch through the blocked kernel
+// against 64 repeated Gemv calls on the TextQA fc1 geometry — the per-query
+// hot loop this kernel replaces.
+func BenchmarkGemmVsGemv(b *testing.B) {
+	const m, n, k = 64, 200, 200
+	rng := rand.New(rand.NewSource(1))
+	a := randSlice(rng, m*k)
+	w := randSlice(rng, n*k)
+	bias := randSlice(rng, n)
+	c := make([]float32, m*n)
+	b.Run("gemm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Gemm(c, a, w, bias, m, n, k)
+		}
+	})
+	b.Run("gemv", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < m; r++ {
+				Gemv(c[r*n:(r+1)*n], w, a[r*k:(r+1)*k], bias)
+			}
+		}
+	})
+}
