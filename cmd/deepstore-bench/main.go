@@ -27,6 +27,9 @@ import (
 // -scanjson artifact without running the study twice.
 var lastScanRows []exp.ScanRow
 
+// lastFaultsRows likewise captures the fault sweep for -faultsjson.
+var lastFaultsRows []exp.FaultsRow
+
 // experiment couples an id with the code that produces its tables, and an
 // optional terminal-chart rendering for the sweep/comparison figures.
 type experiment struct {
@@ -248,6 +251,16 @@ func experiments() []experiment {
 			return []report.Table{{Name: "scan", Header: h, Rows: c}},
 				exp.FormatScan(rows), nil
 		}},
+		{name: "faults", run: func(int64) ([]report.Table, string, error) {
+			rows, err := exp.FaultSweep(exp.DefaultFaults())
+			if err != nil {
+				return nil, "", err
+			}
+			lastFaultsRows = rows
+			h, c := exp.CellsFaults(rows)
+			return []report.Table{{Name: "faults", Header: h, Rows: c}},
+				exp.FormatFaults(rows), nil
+		}},
 		{name: "recall", run: func(int64) ([]report.Table, string, error) {
 			rows, err := exp.QCRecall(exp.DefaultRecall())
 			if err != nil {
@@ -284,10 +297,11 @@ func experiments() []experiment {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,scan,recall,ablations")
+	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,scan,faults,recall,ablations")
 	window := flag.Int64("window", exp.DefaultWindow, "features per accelerator simulated before extrapolation (0 = exact)")
 	formatFlag := flag.String("format", "text", "output format: text, csv, markdown, chart")
 	scanJSON := flag.String("scanjson", "", "write the scan experiment's rows as JSON to this file (e.g. BENCH_scan.json); implies running scan")
+	faultsJSON := flag.String("faultsjson", "", "write the fault sweep's rows as JSON to this file (e.g. BENCH_faults.json); implies running faults")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the experiments) to this file")
 	flag.Parse()
@@ -346,6 +360,9 @@ func main() {
 	if *scanJSON != "" {
 		want["scan"] = true
 	}
+	if *faultsJSON != "" {
+		want["faults"] = true
+	}
 
 	ran := 0
 	for _, e := range experiments() {
@@ -389,16 +406,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "deepstore-bench: no runnable experiments in %q\n", *expFlag)
 		os.Exit(1)
 	}
-	if *scanJSON != "" && lastScanRows != nil {
-		data, err := json.MarshalIndent(lastScanRows, "", "  ")
+	writeJSON := func(path string, rows any) {
+		data, err := json.MarshalIndent(rows, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "deepstore-bench: %v\n", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*scanJSON, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "deepstore-bench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "deepstore-bench: wrote %s\n", *scanJSON)
+		fmt.Fprintf(os.Stderr, "deepstore-bench: wrote %s\n", path)
+	}
+	if *scanJSON != "" && lastScanRows != nil {
+		writeJSON(*scanJSON, lastScanRows)
+	}
+	if *faultsJSON != "" && lastFaultsRows != nil {
+		writeJSON(*faultsJSON, lastFaultsRows)
 	}
 }

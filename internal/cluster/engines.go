@@ -1,14 +1,26 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
-	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/ftl"
 	"repro/internal/nn"
 	"repro/internal/sim"
 	"repro/internal/topk"
+)
+
+// Sentinel errors distinguishing why a shard is missing from an answer.
+var (
+	// ErrShardTimeout marks a shard that had not reported when the
+	// Tolerance.ShardTimeout expired.
+	ErrShardTimeout = errors.New("cluster: shard timed out")
+	// ErrShardSkipped marks a straggler whose answer was not awaited
+	// because the quorum had already been reached.
+	ErrShardSkipped = errors.New("cluster: shard skipped after quorum")
 )
 
 // Engines is the functional counterpart of ShardedScan: a Fig. 10b
@@ -24,6 +36,55 @@ type Engines struct {
 	models []core.ModelID
 	// offsets[s] is the global index of shard s's first feature.
 	offsets []int64
+
+	tol   Tolerance
+	inj   *fault.Injector
+	calls uint64 // Queries invocations, for per-call fault streams
+}
+
+// Tolerance configures the cluster's degraded-operation policy and its
+// deterministic fault injection. The zero value waits for every shard and
+// injects nothing — today's behavior, bit for bit.
+type Tolerance struct {
+	// ShardTimeout caps the wall-clock wait for shard answers (0 = wait
+	// forever). Shards that miss it are reported as ErrShardTimeout and the
+	// query degrades to the shards that did answer.
+	ShardTimeout time.Duration
+	// Quorum answers as soon as this many shards have reported healthy
+	// results (0 = all shards). Stragglers are reported as ErrShardSkipped.
+	// A query that cannot reach quorum fails outright.
+	Quorum int
+	// FaultRate is each shard's injected whole-shard failure probability
+	// per Queries call, drawn deterministically from FaultSeed.
+	FaultRate float64
+	// FaultSeed roots the injection stream: call c, shard s draws from
+	// Fork("call<c>-shard<s>"), so the failure schedule is a pure function
+	// of the seed and the call sequence.
+	FaultSeed int64
+	// DelayRate/Delay stall a shard's fan-out goroutine (wall clock) before
+	// it executes, modeling a slow device; drawn from the same stream.
+	DelayRate float64
+	Delay     time.Duration
+}
+
+// SetTolerance installs the degraded-operation policy.
+func (e *Engines) SetTolerance(t Tolerance) error {
+	if t.FaultRate < 0 || t.FaultRate > 1 || t.DelayRate < 0 || t.DelayRate > 1 {
+		return fmt.Errorf("cluster: rate outside [0, 1] in %+v", t)
+	}
+	if t.Quorum < 0 || t.Quorum > len(e.shards) {
+		return fmt.Errorf("cluster: quorum %d invalid for %d shards", t.Quorum, len(e.shards))
+	}
+	if t.ShardTimeout < 0 || t.Delay < 0 {
+		return fmt.Errorf("cluster: negative duration in %+v", t)
+	}
+	e.tol = t
+	if t.FaultRate > 0 || t.DelayRate > 0 {
+		e.inj = fault.New(t.FaultSeed)
+	} else {
+		e.inj = nil
+	}
+	return nil
 }
 
 // Answer is one query's cluster-wide result.
@@ -31,11 +92,20 @@ type Answer struct {
 	// TopK holds the merged results with FeatureID in global database
 	// coordinates.
 	TopK []topk.Entry
-	// Makespan is the slowest shard's simulated latency — the map-reduce
-	// barrier before the final merge.
+	// Makespan is the slowest contributing shard's simulated latency — the
+	// map-reduce barrier before the final merge.
 	Makespan sim.Duration
-	// EnergyJ sums the shards' modeled energy.
+	// EnergyJ sums the contributing shards' modeled energy.
 	EnergyJ float64
+
+	// Degraded reports that the answer covers only a subset of the shards
+	// (failures, timeouts, or quorum-skipped stragglers).
+	Degraded bool
+	// FailedShards lists the non-contributing shard indices in shard order.
+	FailedShards []int
+	// ShardErrs joins the per-shard failures (errors.Join); nil when every
+	// shard contributed.
+	ShardErrs error
 }
 
 // NewEngines creates n DeepStore engines with identical options.
@@ -114,6 +184,12 @@ func (e *Engines) Query(qfv []float32, k int) (Answer, error) {
 // shard's BatchScorer pool busy), shards execute concurrently, and each
 // query's per-shard top-Ks are reduced with topk.Merge after remapping
 // feature IDs into global coordinates.
+//
+// Degraded operation (SetTolerance): shard errors no longer destroy the
+// query. Every failure is collected, and as long as one shard — or the
+// configured quorum — answers, the batch returns the healthy shards' merge
+// with Degraded set and the failures joined in ShardErrs. Only a cluster
+// with no healthy answer (or a missed quorum) returns an error.
 func (e *Engines) Queries(qfvs [][]float32, k int) ([]Answer, error) {
 	if len(e.dbs) != len(e.shards) || len(e.models) != len(e.shards) {
 		return nil, fmt.Errorf("cluster: engines need WriteDB and LoadModel before queries")
@@ -121,6 +197,8 @@ func (e *Engines) Queries(qfvs [][]float32, k int) ([]Answer, error) {
 	if len(qfvs) == 0 {
 		return nil, fmt.Errorf("cluster: empty batch")
 	}
+	e.calls++
+	call := e.calls - 1
 	// Build every shard's spec list up front: the fan-out goroutines only
 	// read their slice, keeping spec construction off the scoring path.
 	shardSpecs := make([][]core.QuerySpec, len(e.shards))
@@ -132,53 +210,150 @@ func (e *Engines) Queries(qfvs [][]float32, k int) ([]Answer, error) {
 		shardSpecs[s] = specs
 	}
 	type shardOut struct {
+		s       int
 		results []*core.QueryResult
 		err     error
 	}
-	outs := make([]shardOut, len(e.shards))
-	var wg sync.WaitGroup
+	// Buffered so stragglers skipped by quorum or timeout can still finish
+	// and send without leaking a goroutine.
+	ch := make(chan shardOut, len(e.shards))
 	for s := range e.shards {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			ids, err := e.shards[s].Queries(shardSpecs[s])
-			if err != nil {
-				outs[s].err = err
+		// Fault draws happen on the caller, in shard order, so the schedule
+		// is deterministic regardless of goroutine interleaving.
+		var injected error
+		var delay time.Duration
+		if e.inj != nil {
+			inj := e.inj.Forkf("call%d-shard%d", call, s)
+			if inj.Hit(e.tol.FaultRate) {
+				injected = fmt.Errorf("cluster: shard %d: %w", s, fault.ErrInjected)
+			}
+			if inj.Hit(e.tol.DelayRate) {
+				delay = e.tol.Delay
+				if delay <= 0 {
+					delay = time.Millisecond
+				}
+			}
+		}
+		go func(s int, injected error, delay time.Duration) {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			if injected != nil {
+				ch <- shardOut{s: s, err: injected}
 				return
 			}
-			outs[s].results = make([]*core.QueryResult, len(ids))
+			ids, err := e.shards[s].Queries(shardSpecs[s])
+			if err != nil {
+				ch <- shardOut{s: s, err: fmt.Errorf("cluster: shard %d: %w", s, err)}
+				return
+			}
+			results := make([]*core.QueryResult, len(ids))
 			for i, id := range ids {
 				res, err := e.shards[s].GetResults(id)
 				if err != nil {
-					outs[s].err = err
+					ch <- shardOut{s: s, err: fmt.Errorf("cluster: shard %d: %w", s, err)}
 					return
 				}
-				outs[s].results[i] = res
+				results[i] = res
 			}
-		}(s)
+			ch <- shardOut{s: s, results: results}
+		}(s, injected, delay)
 	}
-	wg.Wait()
-	for _, o := range outs {
-		if o.err != nil {
-			return nil, o.err
+
+	// Collect until every shard reports, the quorum of healthy answers is
+	// reached, or the shard timeout expires.
+	outs := make([]*shardOut, len(e.shards))
+	quorum := len(e.shards)
+	if e.tol.Quorum > 0 && e.tol.Quorum < quorum {
+		quorum = e.tol.Quorum
+	}
+	var timeout <-chan time.Time
+	if e.tol.ShardTimeout > 0 {
+		timer := time.NewTimer(e.tol.ShardTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	reported, healthy := 0, 0
+	timedOut := false
+collect:
+	for reported < len(e.shards) && healthy < quorum {
+		select {
+		case o := <-ch:
+			outs[o.s] = &o
+			reported++
+			if o.err == nil {
+				healthy++
+			}
+		case <-timeout:
+			timedOut = true
+			break collect
 		}
 	}
+	// Scoop shards that finished concurrently with the quorum/timeout
+	// decision; their answers are free.
+drain:
+	for reported < len(e.shards) {
+		select {
+		case o := <-ch:
+			outs[o.s] = &o
+			reported++
+			if o.err == nil {
+				healthy++
+			}
+		default:
+			break drain
+		}
+	}
+
+	var failed []int
+	var shardErrs []error
+	for s := range e.shards {
+		switch {
+		case outs[s] == nil && timedOut:
+			failed = append(failed, s)
+			shardErrs = append(shardErrs, fmt.Errorf("shard %d: %w after %v", s, ErrShardTimeout, e.tol.ShardTimeout))
+		case outs[s] == nil:
+			failed = append(failed, s)
+			shardErrs = append(shardErrs, fmt.Errorf("shard %d: %w", s, ErrShardSkipped))
+		case outs[s].err != nil:
+			failed = append(failed, s)
+			shardErrs = append(shardErrs, outs[s].err)
+		}
+	}
+	joined := errors.Join(shardErrs...)
+	if healthy == 0 {
+		return nil, fmt.Errorf("cluster: no healthy shard answered: %w", joined)
+	}
+	if e.tol.Quorum > 0 && healthy < e.tol.Quorum {
+		return nil, fmt.Errorf("cluster: quorum not met (%d healthy of %d required): %w",
+			healthy, e.tol.Quorum, joined)
+	}
+
 	answers := make([]Answer, len(qfvs))
 	for i := range qfvs {
-		queues := make([]*topk.Queue, len(e.shards))
-		for s, o := range outs {
+		var queues []*topk.Queue
+		for s := range e.shards {
+			o := outs[s]
+			if o == nil || o.err != nil {
+				continue
+			}
 			q := topk.New(k)
 			for _, entry := range o.results[i].TopK {
 				entry.FeatureID += e.offsets[s]
 				q.Offer(entry)
 			}
-			queues[s] = q
+			queues = append(queues, q)
 			if lat := o.results[i].Latency; lat > answers[i].Makespan {
 				answers[i].Makespan = lat
 			}
 			answers[i].EnergyJ += o.results[i].Energy.Total()
 		}
 		answers[i].TopK = topk.Merge(k, queues...).Results()
+		if len(failed) > 0 {
+			answers[i].Degraded = true
+			answers[i].FailedShards = failed
+			answers[i].ShardErrs = joined
+		}
 	}
 	return answers, nil
 }

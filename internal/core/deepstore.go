@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/energy"
+	"repro/internal/flash"
 	"repro/internal/ftl"
 	"repro/internal/nn"
 	"repro/internal/qcache"
@@ -223,6 +224,15 @@ func (ds *DeepStore) scoreBatch() int {
 
 // Device exposes the underlying simulated SSD (for inspection and tests).
 func (ds *DeepStore) Device() *ssd.Device { return ds.dev }
+
+// FlashStats snapshots the device's flash activity counters — including the
+// read-retry and read-failure counts of the fault model (Options.Device.
+// FlashFaults) — under the engine lock, so it is consistent with SimTime.
+func (ds *DeepStore) FlashStats() flash.Stats {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.dev.Flash.Stats()
+}
 
 // Stats returns engine counters.
 func (ds *DeepStore) Stats() Stats {

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestFlashFaultsSlowQueries: with the read-error model enabled, query
+// latency grows by the retry rounds charged to the simulated clock, the
+// engine surfaces the retry counters, and answers are unchanged — flash
+// read-retry is a timing fault, not a data fault.
+func TestFlashFaultsSlowQueries(t *testing.T) {
+	app, err := workload.ByName("TextQA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(5)
+	db := workload.NewFeatureDB(app, 600, 11)
+	q := workload.NewFeatureDB(app, 1, 12).Vectors[0]
+
+	run := func(rate float64, seed int64) (*QueryResult, *DeepStore) {
+		t.Helper()
+		opts := DefaultOptions()
+		opts.Device.FlashFaults.ReadErrorRate = rate
+		opts.Device.FlashFaults.Seed = seed
+		ds, err := New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbID, err := ds.WriteDB(db.Vectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := ds.LoadModelNetwork(app.SCN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qid, err := ds.Query(QuerySpec{QFV: q, K: 5, Model: model, DB: dbID})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ds.GetResults(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, ds
+	}
+
+	clean, cleanDS := run(0, 0)
+	faulty, faultyDS := run(0.3, 21)
+	again, _ := run(0.3, 21)
+
+	if got := faultyDS.FlashStats(); got.ReadRetries == 0 {
+		t.Fatal("30% read-error rate injected no retries")
+	}
+	if cs := cleanDS.FlashStats(); cs.ReadRetries != 0 || cs.ReadFailures != 0 {
+		t.Errorf("clean engine recorded retries: %+v", cs)
+	}
+	if faulty.Latency <= clean.Latency {
+		t.Errorf("faulted latency %v not above clean latency %v", faulty.Latency, clean.Latency)
+	}
+	if faulty.Latency != again.Latency {
+		t.Errorf("same fault seed gave latencies %v and %v", faulty.Latency, again.Latency)
+	}
+	if len(faulty.TopK) != len(clean.TopK) {
+		t.Fatalf("row counts differ: %d vs %d", len(faulty.TopK), len(clean.TopK))
+	}
+	for i := range clean.TopK {
+		if clean.TopK[i] != faulty.TopK[i] {
+			t.Fatalf("rank %d differs under flash faults: %+v vs %+v", i, clean.TopK[i], faulty.TopK[i])
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package exp
+
+import "testing"
+
+// TestFaultSweep: the zero rate stays clean, rising rates degrade queries,
+// and the sweep is deterministic under its fixed seed.
+func TestFaultSweep(t *testing.T) {
+	cfg := FaultsConfig{Shards: 4, Features: 400, Queries: 24, K: 5, Seed: 7,
+		Rates: []float64{0, 0.10}}
+	rows, err := FaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows for %d rates", len(rows), len(cfg.Rates))
+	}
+	clean, faulty := rows[0], rows[1]
+	if clean.Degraded != 0 || clean.ShardFailures != 0 || clean.Errors != 0 {
+		t.Errorf("zero rate produced faults: %+v", clean)
+	}
+	if faulty.Degraded == 0 {
+		t.Errorf("10%% rate degraded no queries over %d calls: %+v", cfg.Queries, faulty)
+	}
+	if faulty.ShardFailures < faulty.Degraded {
+		t.Errorf("fewer shard failures (%d) than degraded queries (%d)", faulty.ShardFailures, faulty.Degraded)
+	}
+	for _, r := range rows {
+		if r.P50Ms <= 0 || r.P99Ms < r.P50Ms {
+			t.Errorf("rate %v: latency percentiles inconsistent: %+v", r.Rate, r)
+		}
+	}
+
+	again, err := FaultSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if rows[i] != again[i] {
+			t.Errorf("row %d not deterministic: %+v vs %+v", i, rows[i], again[i])
+		}
+	}
+
+	header, cells := CellsFaults(rows)
+	if len(header) != 7 || len(cells) != len(rows) {
+		t.Errorf("cells shape: %d header cols, %d rows", len(header), len(cells))
+	}
+	if FormatFaults(rows) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestFaultSweepValidation(t *testing.T) {
+	if _, err := FaultSweep(FaultsConfig{Shards: 0, Queries: 1}); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := FaultSweep(FaultsConfig{Shards: 1, Queries: 0}); err == nil {
+		t.Error("zero queries accepted")
+	}
+}
+
+func TestPercentileMs(t *testing.T) {
+	if got := percentileMs(nil, 50); got != 0 {
+		t.Errorf("empty sample p50 = %v", got)
+	}
+	sorted := []float64{0.001, 0.002, 0.003, 0.004}
+	if got := percentileMs(sorted, 50); got != 3 {
+		t.Errorf("p50 = %v ms, want 3", got)
+	}
+	if got := percentileMs(sorted, 99); got != 4 {
+		t.Errorf("p99 = %v ms, want 4", got)
+	}
+}

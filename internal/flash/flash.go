@@ -8,6 +8,7 @@ package flash
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -150,6 +151,64 @@ type Stats struct {
 	PagePrograms uint64
 	BlockErases  uint64
 	BusBytes     uint64
+	// ReadRetries counts re-sensed array reads under the fault model; each
+	// retry held its plane for an extra retry latency on the simulated clock.
+	ReadRetries uint64
+	// ReadFailures counts reads whose retry budget was exhausted; the page
+	// is still delivered (ECC/RAID recovery is assumed), but the failure is
+	// surfaced here for reliability accounting.
+	ReadFailures uint64
+}
+
+// ReadFaults configures the deterministic read-error / read-retry model of
+// the array (real NAND re-senses a page at adjusted reference voltages when
+// the first read fails ECC, charging one extra array-read time per retry).
+// The zero value disables injection.
+type ReadFaults struct {
+	// ErrorRate is the per-attempt probability that a sense fails.
+	ErrorRate float64
+	// MaxRetries bounds the re-sense attempts after the first read
+	// (0 = DefaultReadRetries when ErrorRate > 0).
+	MaxRetries int
+	// RetryLatency is the extra plane-busy time charged per retry
+	// (0 = the array-read latency).
+	RetryLatency sim.Duration
+	// Inj supplies the seeded random stream; required when ErrorRate > 0.
+	Inj *fault.Injector
+}
+
+// DefaultReadRetries is the read-retry budget when ReadFaults.MaxRetries
+// is zero.
+const DefaultReadRetries = 3
+
+func (f ReadFaults) active() bool { return f.ErrorRate > 0 && f.Inj != nil }
+
+func (f ReadFaults) maxRetries() int {
+	if f.MaxRetries > 0 {
+		return f.MaxRetries
+	}
+	return DefaultReadRetries
+}
+
+func (f ReadFaults) retryLatency(t Timing) sim.Duration {
+	if f.RetryLatency > 0 {
+		return f.RetryLatency
+	}
+	return t.ReadLatency
+}
+
+// Validate reports fault-model configuration errors.
+func (f ReadFaults) Validate() error {
+	if f.ErrorRate < 0 || f.ErrorRate >= 1 {
+		return fmt.Errorf("flash: read-error rate %v outside [0, 1)", f.ErrorRate)
+	}
+	if f.ErrorRate > 0 && f.Inj == nil {
+		return fmt.Errorf("flash: read faults enabled without an injector")
+	}
+	if f.MaxRetries < 0 || f.RetryLatency < 0 {
+		return fmt.Errorf("flash: negative read-fault parameter")
+	}
+	return nil
 }
 
 // Array is the event-driven flash array model.
@@ -164,7 +223,8 @@ type Array struct {
 	// transfer only one page at a time even with multi-plane reads.
 	buses []*sim.Link // one per channel
 
-	stats Stats
+	faults ReadFaults
+	stats  Stats
 }
 
 // NewArray builds a flash array on the given engine.
@@ -201,6 +261,45 @@ func (a *Array) Timing() Timing { return a.timing }
 // Stats returns a snapshot of activity counters.
 func (a *Array) Stats() Stats { return a.stats }
 
+// SetReadFaults installs (or, with a zero value, removes) the read-error /
+// read-retry model. Call before issuing reads; the schedule is deterministic
+// in the injector seed because the event engine serializes draws.
+func (a *Array) SetReadFaults(f ReadFaults) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	a.faults = f
+	return nil
+}
+
+// sense performs the array read (cell → page buffer) on an already-acquired
+// plane, charging read-retry rounds to the simulated clock when the fault
+// model is enabled, then calls done with the plane still held.
+func (a *Array) sense(done func()) {
+	var attempt func(try int)
+	attempt = func(try int) {
+		d := a.timing.ReadLatency
+		if try > 0 {
+			d = a.faults.retryLatency(a.timing)
+		}
+		a.e.After(d, func() {
+			if a.faults.active() && a.faults.Inj.Hit(a.faults.ErrorRate) {
+				if try < a.faults.maxRetries() {
+					a.stats.ReadRetries++
+					attempt(try + 1)
+					return
+				}
+				// Retry budget exhausted: the read completes anyway —
+				// recovery via ECC/parity is outside the timing model —
+				// but the failure is counted.
+				a.stats.ReadFailures++
+			}
+			done()
+		})
+	}
+	attempt(0)
+}
+
 // Bus returns the channel bus link for utilization inspection or for
 // modeling non-page traffic (e.g. weight broadcast to chip accelerators).
 func (a *Array) Bus(channel int) *sim.Link { return a.buses[channel] }
@@ -219,7 +318,7 @@ func (a *Array) ReadPage(addr PageAddr, done func()) {
 	a.stats.PageReads++
 	pl := a.plane(addr)
 	pl.Acquire(func() {
-		a.e.After(a.timing.ReadLatency, func() {
+		a.sense(func() {
 			// The page buffer is free for the next array read as soon as
 			// the data is handed to the channel transfer; SSDs overlap
 			// array reads with bus transfers via the per-plane buffer.
@@ -236,7 +335,14 @@ func (a *Array) ReadPage(addr PageAddr, done func()) {
 func (a *Array) ReadPageToBuffer(addr PageAddr, done func()) {
 	a.stats.PageReads++
 	pl := a.plane(addr)
-	pl.Hold(a.timing.ReadLatency, done)
+	pl.Acquire(func() {
+		a.sense(func() {
+			pl.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
 }
 
 // ProgramPage programs one page: the plane is busy for the program latency

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 )
 
@@ -216,5 +217,95 @@ func TestParallelReadScalingProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestReadFaultsChargeSimulatedTime: with a certain (rate-1 equivalent via
+// forced schedule) failure, every retry holds the plane for one more
+// array-read time, and the retry budget bounds the stall.
+func TestReadFaultsChargeSimulatedTime(t *testing.T) {
+	e := sim.NewEngine()
+	a, _ := NewArray(e, smallGeometry(), DefaultTiming())
+	err := a.SetReadFaults(ReadFaults{ErrorRate: 0.999999999, MaxRetries: 3, Inj: fault.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneAt sim.Time
+	a.ReadPage(PageAddr{}, func() { doneAt = e.Now() })
+	e.Run()
+	// First sense + 3 retries, then the bus transfer.
+	want := sim.Time(4*53*sim.Microsecond) + sim.Time(sim.FromSeconds(16384.0/800e6))
+	if doneAt != want {
+		t.Errorf("faulted read done at %v, want %v", doneAt, want)
+	}
+	s := a.Stats()
+	if s.ReadRetries != 3 || s.ReadFailures != 1 {
+		t.Errorf("retries = %d failures = %d, want 3 and 1", s.ReadRetries, s.ReadFailures)
+	}
+}
+
+// TestReadFaultsDeterministic: the same seed produces the same retry count
+// and the same finish time; different seeds may differ, zero rate is
+// bit-identical to an unfaulted array.
+func TestReadFaultsDeterministic(t *testing.T) {
+	run := func(rate float64, seed int64) (sim.Time, Stats) {
+		e := sim.NewEngine()
+		g := smallGeometry()
+		a, _ := NewArray(e, g, DefaultTiming())
+		if rate > 0 {
+			if err := a.SetReadFaults(ReadFaults{ErrorRate: rate, Inj: fault.New(seed)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := int64(0); i < 64; i++ {
+			a.ReadPage(g.FromLinear(i%g.TotalPages()), nil)
+		}
+		return e.Run(), a.Stats()
+	}
+	end1, s1 := run(0.3, 7)
+	end2, s2 := run(0.3, 7)
+	if end1 != end2 || s1 != s2 {
+		t.Errorf("same seed diverged: %v/%v vs %v/%v", end1, s1, end2, s2)
+	}
+	if s1.ReadRetries == 0 {
+		t.Error("30% error rate injected no retries over 64 reads")
+	}
+	clean, cs := run(0, 0)
+	base, bs := run(0, 99)
+	if clean != base || cs != bs {
+		t.Error("zero-rate runs differ")
+	}
+	if end1 <= clean {
+		t.Errorf("faulted run (%v) not slower than clean run (%v)", end1, clean)
+	}
+}
+
+// TestReadPageToBufferFaults: the chip-accelerator read path (no bus) also
+// charges retries.
+func TestReadPageToBufferFaults(t *testing.T) {
+	e := sim.NewEngine()
+	a, _ := NewArray(e, smallGeometry(), DefaultTiming())
+	if err := a.SetReadFaults(ReadFaults{ErrorRate: 0.999999999, MaxRetries: 2, Inj: fault.New(3)}); err != nil {
+		t.Fatal(err)
+	}
+	var doneAt sim.Time
+	a.ReadPageToBuffer(PageAddr{}, func() { doneAt = e.Now() })
+	e.Run()
+	if want := sim.Time(3 * 53 * sim.Microsecond); doneAt != want {
+		t.Errorf("buffer read done at %v, want %v", doneAt, want)
+	}
+}
+
+func TestReadFaultsValidation(t *testing.T) {
+	e := sim.NewEngine()
+	a, _ := NewArray(e, smallGeometry(), DefaultTiming())
+	if err := a.SetReadFaults(ReadFaults{ErrorRate: 1.5, Inj: fault.New(0)}); err == nil {
+		t.Error("rate ≥ 1 accepted")
+	}
+	if err := a.SetReadFaults(ReadFaults{ErrorRate: 0.5}); err == nil {
+		t.Error("missing injector accepted")
+	}
+	if err := a.SetReadFaults(ReadFaults{}); err != nil {
+		t.Errorf("zero value rejected: %v", err)
 	}
 }

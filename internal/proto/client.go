@@ -2,8 +2,11 @@ package proto
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"repro/internal/accel"
 	"repro/internal/core"
@@ -34,6 +37,11 @@ func (l Loopback) Submit(c Command) (Completion, error) {
 // Stream is a wire transport over any duplex byte stream (net.Conn,
 // net.Pipe, …): commands and completions travel in their NVMe-like wire
 // encoding, one request in flight at a time.
+//
+// A Stream is NOT safe for concurrent Submit calls — the shared bufio.Writer
+// and the in-order completion read assume strict request-response use. The
+// Client's mutex provides that serialization; drive a shared Stream through
+// one Client (or add external locking).
 type Stream struct {
 	rw io.ReadWriter
 	bw *bufio.Writer
@@ -84,28 +92,170 @@ func Serve(rw io.ReadWriter, h *Handler) error {
 	}
 }
 
+// ErrDeadlineExceeded marks a command attempt that did not complete within
+// the client's per-command deadline.
+var ErrDeadlineExceeded = errors.New("proto: command deadline exceeded")
+
+// RetryPolicy governs the client's handling of transport failures. The zero
+// value submits each command exactly once with no deadline — the historical
+// behavior.
+//
+// Retries apply only to idempotent operations (readDB, query, getResults):
+// re-submitting one of those after a lost frame re-executes a pure read or
+// re-issues the same scan. Mutating operations (writeDB, appendDB,
+// loadModel, setQC) are never retried — the client cannot know whether the
+// device executed a command whose completion was lost, so their transport
+// errors surface to the caller, who owns the resubmission decision.
+type RetryPolicy struct {
+	// MaxAttempts caps total submissions per idempotent command
+	// (≤ 1 means a single attempt).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the first retry; each further retry
+	// doubles it (exponential backoff) up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff bounds the backoff growth (0 = no cap).
+	MaxBackoff time.Duration
+	// Deadline bounds each attempt's round trip (0 = wait forever).
+	// An attempt that exceeds it fails with ErrDeadlineExceeded.
+	Deadline time.Duration
+}
+
+// DefaultRetryPolicy returns a policy suited to the fault-injection
+// experiments: four attempts, 1 ms base backoff capped at 50 ms, and a
+// one-second per-attempt deadline.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  50 * time.Millisecond,
+		Deadline:    time.Second,
+	}
+}
+
+// backoff returns the sleep before retry attempt n (n ≥ 1).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseBackoff
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 1; i < n; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			return p.MaxBackoff
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// retryable reports whether an operation may be transparently re-submitted
+// after a transport failure.
+func retryable(op Opcode) bool {
+	switch op {
+	case OpReadDB, OpQuery, OpGetResults:
+		return true
+	}
+	return false
+}
+
 // Client is the host-side library: typed wrappers that build commands and
 // decode completions, mirroring the Table 2 API over any transport.
+//
+// Concurrency contract: a Client is safe for concurrent use. A mutex
+// serializes submissions — one command is in flight at a time, matching a
+// single-depth NVMe submission queue — so concurrent callers never
+// interleave frames on a shared Stream or observe another caller's CID.
+// Retry backoff and deadline waits happen while holding the lock, keeping
+// the transport strictly request-response.
 type Client struct {
 	T Transport
+	// Retry configures deadlines and idempotent-command retries; the zero
+	// value means one attempt, no deadline.
+	Retry RetryPolicy
 
+	mu      sync.Mutex
 	nextCID uint16
+	// straggler holds the result channel of an attempt abandoned by a
+	// deadline; the next submission drains it (discarding the late
+	// completion) before touching the transport again.
+	straggler chan submitOutcome
+}
+
+type submitOutcome struct {
+	cpl Completion
+	err error
 }
 
 // NewClient builds a client over a transport.
 func NewClient(t Transport) *Client { return &Client{T: t} }
 
+// NewResilientClient builds a client with the given retry policy.
+func NewResilientClient(t Transport, policy RetryPolicy) *Client {
+	return &Client{T: t, Retry: policy}
+}
+
 func (c *Client) submit(cmd Command) (Completion, error) {
-	c.nextCID++
-	cmd.CID = c.nextCID
-	cpl, err := c.T.Submit(cmd)
-	if err != nil {
-		return Completion{}, err
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	attempts := 1
+	if retryable(cmd.Op) && c.Retry.MaxAttempts > 1 {
+		attempts = c.Retry.MaxAttempts
 	}
-	if cpl.CID != cmd.CID {
-		return Completion{}, fmt.Errorf("proto: completion CID %d for command %d", cpl.CID, cmd.CID)
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			time.Sleep(c.Retry.backoff(a - 1))
+		}
+		c.nextCID++
+		cmd.CID = c.nextCID
+		cpl, err := c.attempt(cmd)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if cpl.CID != cmd.CID {
+			lastErr = fmt.Errorf("proto: completion CID %d for command %d", cpl.CID, cmd.CID)
+			continue
+		}
+		// A decoded completion is the device's definitive answer; status
+		// errors are never retried.
+		return cpl, cpl.Err()
 	}
-	return cpl, cpl.Err()
+	if attempts > 1 {
+		return Completion{}, fmt.Errorf("proto: %s failed after %d attempts: %w", cmd.Op, attempts, lastErr)
+	}
+	return Completion{}, lastErr
+}
+
+// attempt runs one transport round trip, bounded by the per-command
+// deadline. On expiry the in-flight attempt is abandoned — its eventual
+// result is drained and discarded before the next attempt — and
+// ErrDeadlineExceeded is returned.
+func (c *Client) attempt(cmd Command) (Completion, error) {
+	if c.straggler != nil {
+		out := <-c.straggler
+		c.straggler = nil
+		_ = out // late completion of an abandoned attempt: discard
+	}
+	if c.Retry.Deadline <= 0 {
+		return c.T.Submit(cmd)
+	}
+	ch := make(chan submitOutcome, 1)
+	go func() {
+		cpl, err := c.T.Submit(cmd)
+		ch <- submitOutcome{cpl, err}
+	}()
+	timer := time.NewTimer(c.Retry.Deadline)
+	defer timer.Stop()
+	select {
+	case out := <-ch:
+		return out.cpl, out.err
+	case <-timer.C:
+		c.straggler = ch
+		return Completion{}, fmt.Errorf("%w: %s after %v", ErrDeadlineExceeded, cmd.Op, c.Retry.Deadline)
+	}
 }
 
 // WriteDB creates a feature database (writeDB).

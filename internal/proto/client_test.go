@@ -1,7 +1,9 @@
 package proto
 
 import (
+	"fmt"
 	"net"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -89,6 +91,63 @@ func TestClientEndToEnd(t *testing.T) {
 				t.Fatal(err)
 			}
 			if _, err := client.Query(q, 5, model, dbID, 0, 0, nil); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestClientConcurrentCallers shares one client — and therefore one Stream
+// with its single bufio.Writer — across goroutines. The client mutex must
+// serialize submissions so frames never interleave; run under -race this
+// also proves the CID counter and writer are not raced.
+func TestClientConcurrentCallers(t *testing.T) {
+	for _, useStream := range []bool{false, true} {
+		name := "loopback"
+		if useStream {
+			name = "stream"
+		}
+		t.Run(name, func(t *testing.T) {
+			client, app := newEngineClient(t, useStream)
+			db := workload.NewFeatureDB(app, 96, 5)
+			dbID, err := client.WriteDB(db.Vectors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model, err := client.LoadModelNetwork(app.SCN)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const workers, perWorker = 6, 4
+			errs := make(chan error, workers*perWorker)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						q := workload.NewFeatureDB(app, 1, int64(100+w*perWorker+i)).Vectors[0]
+						qid, err := client.Query(q, 3, model, dbID, 0, 0, nil)
+						if err != nil {
+							errs <- err
+							return
+						}
+						res, err := client.GetResults(qid)
+						if err != nil {
+							errs <- err
+							return
+						}
+						if len(res.IDs) != 3 {
+							errs <- fmt.Errorf("query returned %d rows, want 3", len(res.IDs))
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
 				t.Fatal(err)
 			}
 		})

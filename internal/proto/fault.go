@@ -1,0 +1,138 @@
+package proto
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// ErrFrameDropped marks a command or completion frame lost to injected
+// faults; it wraps fault.ErrInjected.
+var ErrFrameDropped = fmt.Errorf("proto: frame dropped: %w", fault.ErrInjected)
+
+// FaultConfig sets the per-command probabilities of the injected wire
+// faults. Rates are independent; each Submit draws them in a fixed order
+// (delay, drop, truncate, corrupt) so a schedule is reproducible from the
+// injector seed alone.
+type FaultConfig struct {
+	// DropRate loses the command frame before it reaches the device; the
+	// command never executes and Submit returns ErrFrameDropped.
+	DropRate float64
+	// TruncateRate cuts the completion frame mid-wire at a random offset;
+	// Submit returns the decoder's error (io.ErrUnexpectedEOF).
+	TruncateRate float64
+	// CorruptRate flips one random bit of the completion frame, then
+	// re-decodes it: header damage surfaces as a decode or CID error,
+	// payload damage passes through as silently corrupted data — exactly
+	// the spectrum a real link fault produces.
+	CorruptRate float64
+	// DelayRate stalls the round trip by Delay before submission.
+	DelayRate float64
+	// Delay is the injected stall (wall clock, since transports run in
+	// host time); 0 with a positive DelayRate means 1ms.
+	Delay time.Duration
+}
+
+// FaultStats counts the faults a FaultyTransport has injected.
+type FaultStats struct {
+	Submits     uint64
+	Drops       uint64
+	Truncations uint64
+	Corruptions uint64
+	Delays      uint64
+}
+
+// FaultyTransport wraps a Transport with seeded, deterministic wire faults:
+// dropped, truncated, corrupted, and delayed frames. It is the protocol
+// half of the fault model — pair it with a resilient Client (RetryPolicy)
+// to exercise the retry and deadline paths, or with a bare client to assert
+// that faults surface.
+//
+// Dropped frames are lost before the inner transport runs, so a retried
+// command after a drop is a genuine first execution. Truncation and
+// corruption act on the completion's real wire encoding after the inner
+// transport executed the command — the case where retrying a non-idempotent
+// command would double-execute, which is why the Client refuses to.
+type FaultyTransport struct {
+	T   Transport
+	Cfg FaultConfig
+	Inj *fault.Injector
+
+	mu    sync.Mutex
+	stats FaultStats
+}
+
+// NewFaultyTransport wraps t with the given fault schedule. A nil injector
+// or an all-zero config injects nothing (the wrapper is then transparent).
+func NewFaultyTransport(t Transport, cfg FaultConfig, inj *fault.Injector) *FaultyTransport {
+	return &FaultyTransport{T: t, Cfg: cfg, Inj: inj}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (ft *FaultyTransport) Stats() FaultStats {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return ft.stats
+}
+
+func (ft *FaultyTransport) count(f func(*FaultStats)) {
+	ft.mu.Lock()
+	f(&ft.stats)
+	ft.mu.Unlock()
+}
+
+// Submit implements Transport.
+func (ft *FaultyTransport) Submit(cmd Command) (Completion, error) {
+	ft.count(func(s *FaultStats) { s.Submits++ })
+	if ft.Inj == nil {
+		return ft.T.Submit(cmd)
+	}
+	if ft.Inj.Hit(ft.Cfg.DelayRate) {
+		ft.count(func(s *FaultStats) { s.Delays++ })
+		d := ft.Cfg.Delay
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		time.Sleep(d)
+	}
+	if ft.Inj.Hit(ft.Cfg.DropRate) {
+		ft.count(func(s *FaultStats) { s.Drops++ })
+		return Completion{}, ErrFrameDropped
+	}
+	cpl, err := ft.T.Submit(cmd)
+	if err != nil {
+		return cpl, err
+	}
+	if ft.Inj.Hit(ft.Cfg.TruncateRate) {
+		ft.count(func(s *FaultStats) { s.Truncations++ })
+		buf, merr := MarshalCompletion(cpl)
+		if merr != nil {
+			return Completion{}, merr
+		}
+		// Keep at least one byte and lose at least one: a mid-frame cut,
+		// which the hardened decoder reports as io.ErrUnexpectedEOF.
+		cut := 1 + ft.Inj.Intn(len(buf)-1)
+		_, derr := UnmarshalCompletion(bytes.NewReader(buf[:cut]))
+		return Completion{}, derr
+	}
+	if ft.Inj.Hit(ft.Cfg.CorruptRate) {
+		ft.count(func(s *FaultStats) { s.Corruptions++ })
+		buf, merr := MarshalCompletion(cpl)
+		if merr != nil {
+			return Completion{}, merr
+		}
+		buf[ft.Inj.Intn(len(buf))] ^= 1 << ft.Inj.Intn(8)
+		return UnmarshalCompletion(bytes.NewReader(buf))
+	}
+	return cpl, nil
+}
+
+// TransportFunc adapts a function to the Transport interface — handy for
+// bespoke fault schedules in tests ("drop every first attempt").
+type TransportFunc func(Command) (Completion, error)
+
+// Submit implements Transport.
+func (f TransportFunc) Submit(c Command) (Completion, error) { return f(c) }

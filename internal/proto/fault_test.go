@@ -1,0 +1,321 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/ftl"
+	"repro/internal/workload"
+)
+
+// TestTruncatedFramesAreUnexpectedEOF: a cut at any mid-frame offset must
+// decode as io.ErrUnexpectedEOF — including cuts exactly on a field
+// boundary, where io.ReadFull reports a bare io.EOF that used to masquerade
+// as a clean shutdown.
+func TestTruncatedFramesAreUnexpectedEOF(t *testing.T) {
+	cmd, _ := MarshalCommand(Command{Op: OpQuery, CID: 7, Payload: []byte{1, 2, 3, 4}})
+	for off := 1; off < len(cmd); off++ {
+		_, err := UnmarshalCommand(bytes.NewReader(cmd[:off]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("command cut at %d: err = %v, want io.ErrUnexpectedEOF", off, err)
+		}
+	}
+	if _, err := UnmarshalCommand(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+	cpl, _ := MarshalCompletion(Completion{CID: 9, Detail: "warn", Payload: []byte{5, 6}})
+	for off := 1; off < len(cpl); off++ {
+		_, err := UnmarshalCompletion(bytes.NewReader(cpl[:off]))
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("completion cut at %d: err = %v, want io.ErrUnexpectedEOF", off, err)
+		}
+	}
+}
+
+type rwPair struct {
+	io.Reader
+	io.Writer
+}
+
+// TestServeTruncatedStream: a stream that dies mid-frame must make Serve
+// return io.ErrUnexpectedEOF, not nil — a silently dropped command is a
+// fault, not a shutdown.
+func TestServeTruncatedStream(t *testing.T) {
+	whole, _ := MarshalCommand(Command{Op: OpGetResults, CID: 1, Args: [4]uint64{4}})
+	partial, _ := MarshalCommand(Command{Op: OpQuery, CID: 2, Payload: []byte{1, 2, 3}})
+	for cut := len(whole) + 1; cut < len(whole)+len(partial); cut++ {
+		in := append(append([]byte(nil), whole...), partial...)[:cut]
+		err := Serve(rwPair{bytes.NewReader(in), io.Discard}, &Handler{})
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut at %d: Serve = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// A clean close on a frame boundary is still a clean shutdown.
+	if err := Serve(rwPair{bytes.NewReader(whole), io.Discard}, &Handler{}); err != nil {
+		t.Errorf("clean close: Serve = %v, want nil", err)
+	}
+}
+
+// TestRetryThroughFirstAttemptDrops: idempotent commands must succeed
+// through a transport that drops every first attempt; non-idempotent ones
+// must surface the drop to the caller.
+func TestRetryThroughFirstAttemptDrops(t *testing.T) {
+	ds, err := core.New(core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := workload.ByName("TextQA")
+	app.SCN.InitRandom(3)
+	inner := Loopback{Handler: &Handler{DS: ds}}
+	attempts := map[Opcode]int{}
+	var mu sync.Mutex
+	dropFirst := TransportFunc(func(cmd Command) (Completion, error) {
+		mu.Lock()
+		attempts[cmd.Op]++
+		n := attempts[cmd.Op]
+		mu.Unlock()
+		if n == 1 {
+			return Completion{}, ErrFrameDropped
+		}
+		return inner.Submit(cmd)
+	})
+	client := NewResilientClient(dropFirst, RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond})
+
+	db := workload.NewFeatureDB(app, 64, 5)
+	// writeDB is not idempotent: the first-attempt drop surfaces.
+	if _, werr := client.WriteDB(db.Vectors); !errors.Is(werr, ErrFrameDropped) {
+		t.Fatalf("writeDB through dropping transport: err = %v, want ErrFrameDropped", werr)
+	}
+	// The application decides to resubmit; the transport's drop schedule
+	// only hits first attempts, so this one goes through.
+	dbID, err := client.WriteDB(db.Vectors)
+	if err != nil {
+		t.Fatalf("second writeDB: %v", err)
+	}
+	// loadModel is mutating too — first attempt drops, resubmission works.
+	if _, lerr := client.LoadModelNetwork(app.SCN); !errors.Is(lerr, ErrFrameDropped) {
+		t.Fatalf("loadModel: err = %v, want ErrFrameDropped", lerr)
+	}
+	model, err := client.LoadModelNetwork(app.SCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// query and getResults are idempotent: the client retries through the
+	// dropped first attempts transparently.
+	q := workload.NewFeatureDB(app, 1, 9).Vectors[0]
+	qid, err := client.Query(q, 5, model, dbID, 0, 0, nil)
+	if err != nil {
+		t.Fatalf("query through dropping transport: %v", err)
+	}
+	res, err := client.GetResults(qid)
+	if err != nil {
+		t.Fatalf("getResults through dropping transport: %v", err)
+	}
+	if len(res.IDs) != 5 {
+		t.Fatalf("%d rows", len(res.IDs))
+	}
+	if _, err := client.ReadDB(dbID, 0, 2); err != nil {
+		t.Fatalf("readDB through dropping transport: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, op := range []Opcode{OpQuery, OpGetResults, OpReadDB} {
+		if attempts[op] < 2 {
+			t.Errorf("%s saw %d attempts, want ≥ 2", op, attempts[op])
+		}
+	}
+}
+
+// TestRetryExhaustion: a transport that always drops exhausts MaxAttempts
+// and reports the attempt count.
+func TestRetryExhaustion(t *testing.T) {
+	calls := 0
+	alwaysDrop := TransportFunc(func(Command) (Completion, error) {
+		calls++
+		return Completion{}, ErrFrameDropped
+	})
+	client := NewResilientClient(alwaysDrop, RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Microsecond})
+	_, err := client.GetResults(1)
+	if !errors.Is(err, ErrFrameDropped) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("transport saw %d attempts, want 3", calls)
+	}
+}
+
+// TestDeadlineAbandonsSlowAttempt: an attempt stuck past the deadline fails
+// with ErrDeadlineExceeded, and the abandoned completion is discarded rather
+// than delivered to a later command.
+func TestDeadlineAbandonsSlowAttempt(t *testing.T) {
+	release := make(chan struct{})
+	slowOnce := true
+	tr := TransportFunc(func(cmd Command) (Completion, error) {
+		if slowOnce {
+			slowOnce = false
+			<-release
+		}
+		return Completion{CID: cmd.CID, Status: StatusNotFound, Detail: "no such query"}, nil
+	})
+	client := NewResilientClient(tr, RetryPolicy{Deadline: 5 * time.Millisecond})
+	_, err := client.GetResults(1)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	close(release) // the straggler completes; the next submit must drain it
+	if _, err := client.GetResults(2); err == nil || errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("post-straggler command: err = %v, want the device's status error", err)
+	}
+}
+
+// TestFaultyTransportDeterministic: the same seed yields the same fault
+// schedule, and a zero-rate config injects nothing.
+func TestFaultyTransportDeterministic(t *testing.T) {
+	echo := TransportFunc(func(cmd Command) (Completion, error) {
+		return Completion{CID: cmd.CID, Value: 42, Payload: []byte{1, 2, 3, 4, 5, 6, 7, 8}}, nil
+	})
+	cfg := FaultConfig{DropRate: 0.2, TruncateRate: 0.2, CorruptRate: 0.2}
+	run := func(seed int64) []string {
+		ft := NewFaultyTransport(echo, cfg, fault.New(seed))
+		var outcomes []string
+		for i := 0; i < 200; i++ {
+			cpl, err := ft.Submit(Command{Op: OpGetResults, CID: uint16(i)})
+			switch {
+			case errors.Is(err, ErrFrameDropped):
+				outcomes = append(outcomes, "drop")
+			case errors.Is(err, io.ErrUnexpectedEOF):
+				outcomes = append(outcomes, "trunc")
+			case err != nil:
+				outcomes = append(outcomes, "err:"+err.Error())
+			case cpl.CID != uint16(i) || cpl.Value != 42 || len(cpl.Payload) != 8:
+				outcomes = append(outcomes, "corrupt")
+			default:
+				outcomes = append(outcomes, "ok")
+			}
+		}
+		return outcomes
+	}
+	a, b := run(11), run(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("submit %d: %q != %q under the same seed", i, a[i], b[i])
+		}
+	}
+	kinds := map[string]int{}
+	for _, o := range a {
+		kinds[o[:2]]++
+	}
+	if kinds["dr"] == 0 || kinds["tr"] == 0 || kinds["ok"] == 0 {
+		t.Errorf("fault mix missing a kind: %v", kinds)
+	}
+
+	clean := NewFaultyTransport(echo, FaultConfig{}, fault.New(1))
+	for i := 0; i < 50; i++ {
+		cpl, err := clean.Submit(Command{CID: uint16(i)})
+		if err != nil || cpl.Value != 42 {
+			t.Fatalf("zero-rate transport not transparent: %v %v", cpl, err)
+		}
+	}
+	if s := clean.Stats(); s.Drops+s.Truncations+s.Corruptions+s.Delays != 0 {
+		t.Errorf("zero-rate transport injected faults: %+v", s)
+	}
+}
+
+// TestResilientClientOverFaultyTransport: end-to-end — a retrying client
+// over a lossy transport still answers every idempotent query, identically
+// to a clean run.
+func TestResilientClientOverFaultyTransport(t *testing.T) {
+	build := func(faulty bool) (*Client, *FaultyTransport, error) {
+		ds, err := core.New(core.DefaultOptions())
+		if err != nil {
+			return nil, nil, err
+		}
+		app, _ := workload.ByName("TextQA")
+		app.SCN.InitRandom(3)
+		inner := Transport(Loopback{Handler: &Handler{DS: ds}})
+		var ft *FaultyTransport
+		if faulty {
+			ft = NewFaultyTransport(inner, FaultConfig{DropRate: 0.25, TruncateRate: 0.1}, fault.New(4))
+			inner = ft
+		}
+		client := NewResilientClient(inner, RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Microsecond})
+		return client, ft, nil
+	}
+	app, _ := workload.ByName("TextQA")
+	app.SCN.InitRandom(3)
+	db := workload.NewFeatureDB(app, 128, 5)
+	queries := workload.NewFeatureDB(app, 8, 9).Vectors
+
+	type answer struct {
+		ids    []int64
+		scores []float32
+	}
+	run := func(faulty bool) ([]answer, *FaultyTransport, error) {
+		client, ft, err := build(faulty)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Setup ops are not idempotent: resubmit at application level on
+		// injected loss, as a driver would after a failed admin command.
+		var dbID ftl.DBID
+		var model core.ModelID
+		for dbID == 0 {
+			id, err := client.WriteDB(db.Vectors)
+			if err == nil {
+				dbID = id
+			} else if !errors.Is(err, fault.ErrInjected) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, nil, err
+			}
+		}
+		for model == 0 {
+			id, err := client.LoadModelNetwork(app.SCN)
+			if err == nil {
+				model = id
+			} else if !errors.Is(err, fault.ErrInjected) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil, nil, err
+			}
+		}
+		var out []answer
+		for _, q := range queries {
+			qid, err := client.Query(q, 5, model, dbID, 0, 0, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := client.GetResults(qid)
+			if err != nil {
+				return nil, nil, err
+			}
+			out = append(out, answer{res.IDs, res.Scores})
+		}
+		return out, ft, nil
+	}
+
+	cleanAns, _, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultAns, ft, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cleanAns {
+		if len(cleanAns[i].ids) != len(faultAns[i].ids) {
+			t.Fatalf("query %d: %d vs %d rows", i, len(cleanAns[i].ids), len(faultAns[i].ids))
+		}
+		for j := range cleanAns[i].ids {
+			if cleanAns[i].ids[j] != faultAns[i].ids[j] || cleanAns[i].scores[j] != faultAns[i].scores[j] {
+				t.Fatalf("query %d rank %d differs under faults", i, j)
+			}
+		}
+	}
+	if s := ft.Stats(); s.Drops == 0 && s.Truncations == 0 {
+		t.Error("fault schedule injected nothing; test is vacuous")
+	}
+}

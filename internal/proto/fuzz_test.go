@@ -9,12 +9,25 @@ import (
 // produce a clean error or a valid command, never a panic or an oversized
 // allocation. Run with `go test -fuzz=FuzzUnmarshalCommand` for exploration;
 // the seed corpus runs as a regression in normal mode.
+// addWireCorpus seeds every truncation prefix and every single-byte
+// corruption of a well-formed frame, so the regression corpus covers a cut
+// or a flip at each wire offset (header fields, length words, payload).
+func addWireCorpus(f *testing.F, frame []byte) {
+	for off := 0; off < len(frame); off++ {
+		f.Add(frame[:off])
+		corrupt := append([]byte(nil), frame...)
+		corrupt[off] ^= 0xFF
+		f.Add(corrupt)
+	}
+}
+
 func FuzzUnmarshalCommand(f *testing.F) {
 	good, _ := MarshalCommand(Command{Op: OpQuery, CID: 1, Payload: []byte{1, 2, 3}})
 	f.Add(good)
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xD5}, 64))
 	f.Add(bytes.Repeat([]byte{0xFF}, 80))
+	addWireCorpus(f, good)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cmd, err := UnmarshalCommand(bytes.NewReader(data))
 		if err != nil {
@@ -29,10 +42,11 @@ func FuzzUnmarshalCommand(f *testing.F) {
 
 // FuzzUnmarshalCompletion does the same for the host-side decoder.
 func FuzzUnmarshalCompletion(f *testing.F) {
-	good, _ := MarshalCompletion(Completion{CID: 2, Status: StatusSuccess, Payload: []byte{9}})
+	good, _ := MarshalCompletion(Completion{CID: 2, Status: StatusSuccess, Detail: "d", Payload: []byte{9}})
 	f.Add(good)
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xD6}, 32))
+	addWireCorpus(f, good)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cpl, err := UnmarshalCompletion(bytes.NewReader(data))
 		if err != nil {

@@ -138,6 +138,22 @@ const (
 
 var wire = binary.LittleEndian
 
+// readBody wraps io.ReadFull for reads after a successful header read. At
+// that point the frame is committed, so running out of bytes — even exactly
+// at a field boundary, where ReadFull reports a bare io.EOF — is a mid-frame
+// disconnect, not a clean shutdown. Mapping to io.ErrUnexpectedEOF keeps
+// Serve from treating a truncated command as end-of-stream and silently
+// dropping it.
+func readBody(r io.Reader, buf []byte) error {
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			return io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	return nil
+}
+
 // MarshalCommand encodes a command into its wire form.
 func MarshalCommand(c Command) ([]byte, error) {
 	if len(c.Payload) > MaxPayload {
@@ -181,7 +197,7 @@ func UnmarshalCommand(r io.Reader) (Command, error) {
 	}
 	if n > 0 {
 		c.Payload = make([]byte, n)
-		if _, err := io.ReadFull(r, c.Payload); err != nil {
+		if err := readBody(r, c.Payload); err != nil {
 			return Command{}, err
 		}
 	}
@@ -230,14 +246,14 @@ func UnmarshalCompletion(r io.Reader) (Completion, error) {
 	}
 	if detailLen > 0 {
 		b := make([]byte, detailLen)
-		if _, err := io.ReadFull(r, b); err != nil {
+		if err := readBody(r, b); err != nil {
 			return Completion{}, err
 		}
 		c.Detail = string(b)
 	}
 	if payloadLen > 0 {
 		c.Payload = make([]byte, payloadLen)
-		if _, err := io.ReadFull(r, c.Payload); err != nil {
+		if err := readBody(r, c.Payload); err != nil {
 			return Completion{}, err
 		}
 	}

@@ -7,6 +7,7 @@ package ssd
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/flash"
 	"repro/internal/ftl"
 	"repro/internal/sim"
@@ -44,6 +45,25 @@ type Config struct {
 	// SharedScratchpadBandwidth is the broadcast bandwidth of that L2 to
 	// the channel-level accelerators in bytes/s.
 	SharedScratchpadBandwidth float64
+
+	// FlashFaults optionally enables the deterministic flash read-error /
+	// read-retry model; the zero value injects nothing and leaves the
+	// device's timing bit-identical to an unfaulted run.
+	FlashFaults FlashFaultConfig
+}
+
+// FlashFaultConfig seeds the device's flash read-error model. Retries charge
+// extra array-read time to the simulated clock (see flash.ReadFaults).
+type FlashFaultConfig struct {
+	// Seed roots the device's fault-injection stream.
+	Seed int64
+	// ReadErrorRate is the per-sense failure probability in [0, 1).
+	ReadErrorRate float64
+	// MaxRetries bounds re-senses per read (0 = flash.DefaultReadRetries).
+	MaxRetries int
+	// RetryLatency is the extra plane-busy time per retry (0 = the
+	// array-read latency).
+	RetryLatency sim.Duration
 }
 
 // DefaultConfig returns the §6.1 evaluation device.
@@ -83,6 +103,10 @@ func (c Config) Validate() error {
 	if c.BasePowerW < 0 || c.AccelPowerBudgetW <= 0 {
 		return fmt.Errorf("ssd: invalid power budget")
 	}
+	if f := c.FlashFaults; f.ReadErrorRate < 0 || f.ReadErrorRate >= 1 ||
+		f.MaxRetries < 0 || f.RetryLatency < 0 {
+		return fmt.Errorf("ssd: invalid flash fault config %+v", c.FlashFaults)
+	}
 	return nil
 }
 
@@ -111,6 +135,17 @@ func New(e *sim.Engine, cfg Config) (*Device, error) {
 	arr, err := flash.NewArray(e, cfg.Geometry, cfg.Timing)
 	if err != nil {
 		return nil, err
+	}
+	if ff := cfg.FlashFaults; ff.ReadErrorRate > 0 {
+		err := arr.SetReadFaults(flash.ReadFaults{
+			ErrorRate:    ff.ReadErrorRate,
+			MaxRetries:   ff.MaxRetries,
+			RetryLatency: ff.RetryLatency,
+			Inj:          fault.New(ff.Seed).Fork("flash"),
+		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Device{
 		Engine:     e,

@@ -15,6 +15,13 @@ import (
 // RemoteClient is the host-side handle to a served System.
 type RemoteClient = proto.Client
 
+// RetryPolicy bounds the client's per-command deadline and its retries of
+// idempotent commands (see proto.RetryPolicy for the semantics).
+type RetryPolicy = proto.RetryPolicy
+
+// DefaultRetryPolicy returns the standard resilient-client policy.
+func DefaultRetryPolicy() RetryPolicy { return proto.DefaultRetryPolicy() }
+
 // Serve runs the device side of the command protocol on rw until the stream
 // closes. Typically launched in a goroutine over one end of a net.Pipe or a
 // socket.
@@ -25,6 +32,15 @@ func Serve(rw io.ReadWriter, sys *System) error {
 // Connect returns a client that drives a served System over rw.
 func Connect(rw io.ReadWriter) *RemoteClient {
 	return proto.NewClient(proto.NewStream(rw))
+}
+
+// ConnectResilient is Connect with a retry policy: idempotent commands
+// (query/getResults/readDB) retry transport failures with bounded
+// exponential backoff under a per-command deadline, while mutating commands
+// surface the first transport error to the caller for application-level
+// resubmission.
+func ConnectResilient(rw io.ReadWriter, policy RetryPolicy) *RemoteClient {
+	return proto.NewResilientClient(proto.NewStream(rw), policy)
 }
 
 // LocalClient returns a client bound directly to an in-process System — the

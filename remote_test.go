@@ -42,6 +42,43 @@ func TestRemoteServeConnect(t *testing.T) {
 	}
 }
 
+func TestConnectResilient(t *testing.T) {
+	sys, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostSide, devSide := net.Pipe()
+	defer hostSide.Close()
+	go func() {
+		defer devSide.Close()
+		_ = Serve(devSide, sys)
+	}()
+
+	client := ConnectResilient(hostSide, DefaultRetryPolicy())
+	app, _ := AppByName("TextQA")
+	app.SCN.InitRandom(9)
+	db := NewFeatureDB(app, 40, 3)
+	dbID, err := client.WriteDB(db.Vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := client.LoadModelNetwork(app.SCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qid, err := client.Query(db.Vectors[5], 3, model, dbID, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.GetResults(qid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.IDs) != 3 {
+		t.Fatalf("%d results", len(res.IDs))
+	}
+}
+
 func TestLocalClient(t *testing.T) {
 	sys, err := New(DefaultOptions())
 	if err != nil {
