@@ -30,6 +30,10 @@ var lastScanRows []exp.ScanRow
 // lastFaultsRows likewise captures the fault sweep for -faultsjson.
 var lastFaultsRows []exp.FaultsRow
 
+// lastBreakdown captures the breakdown experiment's result so main can emit
+// the -metricsjson / -tracejson artifacts from the same replay.
+var lastBreakdown *exp.BreakdownResult
+
 // experiment couples an id with the code that produces its tables, and an
 // optional terminal-chart rendering for the sweep/comparison figures.
 type experiment struct {
@@ -261,6 +265,16 @@ func experiments() []experiment {
 			return []report.Table{{Name: "faults", Header: h, Rows: c}},
 				exp.FormatFaults(rows), nil
 		}},
+		{name: "breakdown", run: func(int64) ([]report.Table, string, error) {
+			r, err := exp.LatencyBreakdown(exp.DefaultBreakdown())
+			if err != nil {
+				return nil, "", err
+			}
+			lastBreakdown = &r
+			h, c := exp.CellsBreakdown(r)
+			return []report.Table{{Name: "breakdown", Header: h, Rows: c}},
+				exp.FormatBreakdown(r), nil
+		}},
 		{name: "recall", run: func(int64) ([]report.Table, string, error) {
 			rows, err := exp.QCRecall(exp.DefaultRecall())
 			if err != nil {
@@ -297,11 +311,13 @@ func experiments() []experiment {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,scan,faults,recall,ablations")
+	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,scan,faults,breakdown,recall,ablations")
 	window := flag.Int64("window", exp.DefaultWindow, "features per accelerator simulated before extrapolation (0 = exact)")
 	formatFlag := flag.String("format", "text", "output format: text, csv, markdown, chart")
 	scanJSON := flag.String("scanjson", "", "write the scan experiment's rows as JSON to this file (e.g. BENCH_scan.json); implies running scan")
 	faultsJSON := flag.String("faultsjson", "", "write the fault sweep's rows as JSON to this file (e.g. BENCH_faults.json); implies running faults")
+	metricsJSON := flag.String("metricsjson", "", "write the breakdown replay's metrics snapshot as JSON to this file; implies running breakdown")
+	traceJSON := flag.String("tracejson", "", "write the breakdown replay's span trace in Chrome trace-event format to this file (load in chrome://tracing or Perfetto); implies running breakdown")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (after the experiments) to this file")
 	flag.Parse()
@@ -363,6 +379,9 @@ func main() {
 	if *faultsJSON != "" {
 		want["faults"] = true
 	}
+	if *metricsJSON != "" || *traceJSON != "" {
+		want["breakdown"] = true
+	}
 
 	ran := 0
 	for _, e := range experiments() {
@@ -423,5 +442,22 @@ func main() {
 	}
 	if *faultsJSON != "" && lastFaultsRows != nil {
 		writeJSON(*faultsJSON, lastFaultsRows)
+	}
+	if *metricsJSON != "" && lastBreakdown != nil {
+		writeJSON(*metricsJSON, lastBreakdown.Snapshot)
+	}
+	if *traceJSON != "" && lastBreakdown != nil {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deepstore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := lastBreakdown.Engine.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "deepstore-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "deepstore-bench: wrote %s\n", *traceJSON)
 	}
 }

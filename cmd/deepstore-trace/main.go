@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -109,6 +110,8 @@ func replay(args []string) {
 	k := fs.Int("k", 5, "top-K")
 	entries := fs.Int("entries", 0, "query cache entries (0 = no cache)")
 	threshold := fs.Float64("threshold", 0.2, "query cache error threshold")
+	metricsJSON := fs.String("metricsjson", "", "write the engine's metrics snapshot as JSON to this file")
+	traceJSON := fs.String("tracejson", "", "write the engine's span trace in Chrome trace-event format to this file")
 	fs.Parse(args)
 
 	tr := load(*in)
@@ -159,4 +162,34 @@ func replay(args []string) {
 	fmt.Printf("  mean latency  %v\n", report.MeanLatency)
 	fmt.Printf("  p99 latency   %v\n", report.P99Latency)
 	fmt.Printf("  total energy  %.2f mJ\n", report.EnergyJ*1e3)
+	fmt.Printf("latency breakdown (stage totals sum to end-to-end latency):\n")
+	total := report.TotalLatency.Seconds() * 1e3
+	for _, s := range report.Stages {
+		ms := s.Total.Seconds() * 1e3
+		fmt.Printf("  %-14s %9.3f ms  (%5.1f%%, %d spans)\n", s.Name, ms, 100*ms/total, s.Count)
+	}
+	if *metricsJSON != "" {
+		data, err := json.MarshalIndent(ds.MetricsSnapshot(), "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*metricsJSON, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsJSON)
+	}
+	if *traceJSON != "" {
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ds.WriteChromeTrace(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", *traceJSON)
+	}
 }

@@ -3,12 +3,14 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/ftl"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topk"
 )
@@ -40,7 +42,28 @@ type Engines struct {
 	tol   Tolerance
 	inj   *fault.Injector
 	calls uint64 // Queries invocations, for per-call fault streams
+
+	// reg and tracer are the cluster's own observability sinks (each shard
+	// engine additionally keeps its own). Shard fan-out spans are laid on a
+	// synthetic cluster timeline (obsClock): the shard engines' simulated
+	// clocks are independent, so batch b starts where batch b−1's slowest
+	// shard finished.
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	obsClock sim.Time
 }
+
+// Metrics returns the cluster-level metrics registry (fan-out, degraded
+// answers, quorum/timeout events; per-shard engine metrics live on each
+// shard's own registry, see Engine(s).Metrics()).
+func (e *Engines) Metrics() *obs.Registry { return e.reg }
+
+// Tracer returns the cluster's span tracer (per-shard fan-out slices on the
+// synthetic cluster timeline).
+func (e *Engines) Tracer() *obs.Tracer { return e.tracer }
+
+// MetricsSnapshot exports the cluster registry.
+func (e *Engines) MetricsSnapshot() obs.Snapshot { return e.reg.Snapshot() }
 
 // Tolerance configures the cluster's degraded-operation policy and its
 // deterministic fault injection. The zero value waits for every shard and
@@ -113,7 +136,7 @@ func NewEngines(n int, opts core.Options) (*Engines, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("cluster: %d engines invalid", n)
 	}
-	e := &Engines{}
+	e := &Engines{reg: obs.NewRegistry(), tracer: obs.NewTracer(0)}
 	for i := 0; i < n; i++ {
 		ds, err := core.New(opts)
 		if err != nil {
@@ -226,12 +249,14 @@ func (e *Engines) Queries(qfvs [][]float32, k int) ([]Answer, error) {
 			inj := e.inj.Forkf("call%d-shard%d", call, s)
 			if inj.Hit(e.tol.FaultRate) {
 				injected = fmt.Errorf("cluster: shard %d: %w", s, fault.ErrInjected)
+				e.reg.Counter("cluster_injected_faults").Inc()
 			}
 			if inj.Hit(e.tol.DelayRate) {
 				delay = e.tol.Delay
 				if delay <= 0 {
 					delay = time.Millisecond
 				}
+				e.reg.Counter("cluster_injected_delays").Inc()
 			}
 		}
 		go func(s int, injected error, delay time.Duration) {
@@ -312,12 +337,15 @@ drain:
 		case outs[s] == nil && timedOut:
 			failed = append(failed, s)
 			shardErrs = append(shardErrs, fmt.Errorf("shard %d: %w after %v", s, ErrShardTimeout, e.tol.ShardTimeout))
+			e.reg.Counter("cluster_shard_timeouts").Inc()
 		case outs[s] == nil:
 			failed = append(failed, s)
 			shardErrs = append(shardErrs, fmt.Errorf("shard %d: %w", s, ErrShardSkipped))
+			e.reg.Counter("cluster_shard_skipped").Inc()
 		case outs[s].err != nil:
 			failed = append(failed, s)
 			shardErrs = append(shardErrs, outs[s].err)
+			e.reg.Counter("cluster_shard_errors").Inc()
 		}
 	}
 	joined := errors.Join(shardErrs...)
@@ -328,6 +356,40 @@ drain:
 		return nil, fmt.Errorf("cluster: quorum not met (%d healthy of %d required): %w",
 			healthy, e.tol.Quorum, joined)
 	}
+
+	// Per-shard fan-out spans: each healthy shard's simulated busy time for
+	// this batch, starting at the synthetic cluster clock; the clock then
+	// advances by the batch makespan (the slowest shard's total).
+	e.reg.Counter("cluster_batches").Inc()
+	e.reg.Counter("cluster_queries").Add(int64(len(qfvs)))
+	if timedOut {
+		e.reg.Counter("cluster_timeouts").Inc()
+	}
+	if len(failed) > 0 {
+		e.reg.Counter("cluster_degraded_answers").Add(int64(len(qfvs)))
+	}
+	batchStart := e.obsClock
+	var batchMakespan sim.Duration
+	for s := range e.shards {
+		o := outs[s]
+		if o == nil || o.err != nil {
+			continue
+		}
+		var total sim.Duration
+		for _, r := range o.results {
+			total += r.Latency
+		}
+		if total > batchMakespan {
+			batchMakespan = total
+		}
+		e.tracer.Add(obs.Span{
+			Name: obs.SpanShard, Cat: "cluster", TID: int64(s),
+			Start: batchStart, Dur: total,
+			Args: map[string]string{"queries": strconv.Itoa(len(o.results))},
+		})
+		e.reg.Histogram("cluster_shard_batch_ms", obs.LatencyBucketsMs()).Observe(total.Seconds() * 1e3)
+	}
+	e.obsClock += sim.Time(batchMakespan)
 
 	answers := make([]Answer, len(qfvs))
 	for i := range qfvs {
@@ -349,6 +411,7 @@ drain:
 			answers[i].EnergyJ += o.results[i].Energy.Total()
 		}
 		answers[i].TopK = topk.Merge(k, queues...).Results()
+		e.reg.Histogram("cluster_query_makespan_ms", obs.LatencyBucketsMs()).Observe(answers[i].Makespan.Seconds() * 1e3)
 		if len(failed) > 0 {
 			answers[i].Degraded = true
 			answers[i].FailedShards = failed

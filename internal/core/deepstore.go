@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/accel"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/flash"
 	"repro/internal/ftl"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/qcache"
 	"repro/internal/sim"
 	"repro/internal/ssd"
@@ -126,6 +128,10 @@ type QueryResult struct {
 	// FeaturesScanned is how many database features the SCN compared
 	// (the full range on a miss, the cached top-K on a hit).
 	FeaturesScanned int64
+	// Stages is the per-stage latency breakdown, in execution order
+	// (qcache_lookup, then scan or rerank, then one dma stage per
+	// GetResults call). Stage durations always sum exactly to Latency.
+	Stages []obs.Stage
 }
 
 // Stats aggregates engine activity.
@@ -175,9 +181,11 @@ type DeepStore struct {
 	emodel energy.Model
 	stats  Stats
 
-	// lastServiceTimes holds the in-order per-query service times of the
-	// most recent ReplayTrace, for open-loop queueing analysis.
-	lastServiceTimes []sim.Duration
+	// obs and tracer are the engine's observability sinks: counters and
+	// latency histograms land in obs, per-query stage spans and flash page
+	// reads land in tracer (on the simulated clock).
+	obs    *obs.Registry
+	tracer *obs.Tracer
 }
 
 // New creates a DeepStore engine on a fresh simulated device.
@@ -200,7 +208,10 @@ func New(opts Options) (*DeepStore, error) {
 		queries:     make(map[QueryID]*queryState),
 		nextQueryID: 1,
 		emodel:      energy.DefaultModel(),
+		obs:         obs.NewRegistry(),
+		tracer:      obs.NewTracer(0),
 	}
+	dev.AttachObs(ds.obs, ds.tracer)
 	ds.pools.batch = ds.scoreBatch()
 	return ds, nil
 }
@@ -239,6 +250,49 @@ func (ds *DeepStore) Stats() Stats {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	return ds.stats
+}
+
+// Metrics returns the engine's metrics registry. Handles are stable, so
+// callers can register their own counters alongside the engine's.
+func (ds *DeepStore) Metrics() *obs.Registry { return ds.obs }
+
+// Tracer returns the engine's span tracer (per-query stages, flash page
+// reads, DMA transfers — all on the simulated clock).
+func (ds *DeepStore) Tracer() *obs.Tracer { return ds.tracer }
+
+// MetricsSnapshot exports the registry plus the subsystem stat blocks —
+// flash activity (including fault-model retries/failures) and the query
+// cache — folded in as prefixed counters, all under the engine lock so the
+// snapshot is consistent with SimTime.
+func (ds *DeepStore) MetricsSnapshot() obs.Snapshot {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	snap := ds.obs.Snapshot()
+	fs := ds.dev.Flash.Stats()
+	snap.Counters["flash_page_reads"] = int64(fs.PageReads)
+	snap.Counters["flash_page_programs"] = int64(fs.PagePrograms)
+	snap.Counters["flash_block_erases"] = int64(fs.BlockErases)
+	snap.Counters["flash_bus_bytes"] = int64(fs.BusBytes)
+	snap.Counters["flash_read_retries"] = int64(fs.ReadRetries)
+	snap.Counters["flash_read_failures"] = int64(fs.ReadFailures)
+	if ds.qc != nil {
+		qs := ds.qc.Stats()
+		snap.Counters["qcache_lookups"] = int64(qs.Lookups)
+		snap.Counters["qcache_hits"] = int64(qs.Hits)
+		snap.Counters["qcache_misses"] = int64(qs.Misses)
+		snap.Counters["qcache_insertions"] = int64(qs.Insertions)
+		snap.Counters["qcache_evictions"] = int64(qs.Evictions)
+		snap.Counters["qcache_comparisons"] = int64(qs.Comparisons)
+	}
+	snap.Gauges["sim_time_ms"] = ds.stats.SimTime.Seconds() * 1e3
+	snap.Gauges["energy_j"] = ds.stats.TotalJ
+	return snap
+}
+
+// WriteChromeTrace exports the engine's span trace in Chrome trace-event
+// format (chrome://tracing, Perfetto).
+func (ds *DeepStore) WriteChromeTrace(w io.Writer) error {
+	return ds.tracer.WriteChromeTrace(w)
 }
 
 // Now returns the engine's virtual time.

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/ftl"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/topk"
 )
@@ -81,6 +83,7 @@ func (ds *DeepStore) queryLocked(spec QuerySpec) (QueryID, error) {
 		level = *spec.Level
 	}
 
+	t0 := ds.engine.Now()
 	result := &QueryResult{}
 
 	// Query-cache lookup (Algorithm 1). The QCN comparisons execute on the
@@ -100,11 +103,18 @@ func (ds *DeepStore) queryLocked(spec QuerySpec) (QueryID, error) {
 			result.CacheHit = true
 			result.TopK = ds.rerank(net, st, spec.QFV, cached.Results, spec.K)
 			result.FeaturesScanned = int64(len(cached.Results))
-			result.Latency = lookupLatency + ds.rerankLatency(net, level, int64(len(cached.Results)))
+			rerankLat := ds.rerankLatency(net, level, int64(len(cached.Results)))
+			result.Latency = lookupLatency + rerankLat
+			result.Stages = []obs.Stage{
+				{Name: obs.StageQCacheLookup, Dur: lookupLatency},
+				{Name: obs.StageRerank, Dur: rerankLat},
+			}
 			result.Energy = lookupEnergy
 			result.Energy.Add(ds.comparisonEnergy(net, level, int64(len(cached.Results))))
 			ds.finishQuery(result)
-			return ds.record(result), nil
+			id := ds.record(result)
+			ds.emitQuerySpans(id, t0, result)
+			return id, nil
 		}
 	}
 
@@ -115,6 +125,10 @@ func (ds *DeepStore) queryLocked(spec QuerySpec) (QueryID, error) {
 	}
 	result.FeaturesScanned = end - start
 	result.Latency = lookupLatency + scanOut.Elapsed
+	if ds.qc != nil {
+		result.Stages = append(result.Stages, obs.Stage{Name: obs.StageQCacheLookup, Dur: lookupLatency})
+	}
+	result.Stages = append(result.Stages, obs.Stage{Name: obs.StageScan, Dur: scanOut.Elapsed})
 	result.Energy = lookupEnergy
 	result.Energy.Add(ds.emodel.Energy(scanOut.Activity))
 	result.TopK = ds.scoreRange(net, st, spec.QFV, start, end, spec.K)
@@ -123,7 +137,34 @@ func (ds *DeepStore) queryLocked(spec QuerySpec) (QueryID, error) {
 		ds.qc.Insert(cloneVec(spec.QFV), result.TopK)
 	}
 	ds.finishQuery(result)
-	return ds.record(result), nil
+	id := ds.record(result)
+	ds.emitQuerySpans(id, t0, result)
+	return id, nil
+}
+
+// emitQuerySpans lays the query's stages out sequentially from t0 on the
+// simulated clock, under one parent "query" span on the query's track. Stage
+// latencies are analytic (the event engine only advances during the scan), so
+// the track is the canonical sequential decomposition of Result.Latency
+// rather than a replay of engine events; the "flash" category carries the
+// event-level page-read detail.
+func (ds *DeepStore) emitQuerySpans(id QueryID, t0 sim.Time, r *QueryResult) {
+	if ds.tracer == nil {
+		return
+	}
+	ds.tracer.Add(obs.Span{
+		Name: "query", Cat: "core", TID: int64(id),
+		Start: t0, Dur: r.Latency,
+		Args: map[string]string{
+			"cache_hit": strconv.FormatBool(r.CacheHit),
+			"scan_mode": ds.scanMode().String(),
+		},
+	})
+	cursor := t0
+	for _, s := range r.Stages {
+		ds.tracer.Add(obs.Span{Name: s.Name, Cat: "core", TID: int64(id), Start: cursor, Dur: s.Dur})
+		cursor += sim.Time(s.Dur)
+	}
 }
 
 // Queries submits a batch of queries and returns their IDs in spec order —
@@ -422,9 +463,16 @@ func (ds *DeepStore) finishQuery(r *QueryResult) {
 	ds.stats.Queries++
 	if r.CacheHit {
 		ds.stats.CacheHits++
+		ds.obs.Counter("core_cache_hits").Inc()
 	}
 	ds.stats.SimTime += r.Latency
 	ds.stats.TotalJ += r.Energy.Total()
+	ds.obs.Counter("core_queries").Inc()
+	ds.obs.Counter("core_features_scanned").Add(r.FeaturesScanned)
+	ds.obs.Histogram("core_query_latency_ms", obs.LatencyBucketsMs()).Observe(r.Latency.Seconds() * 1e3)
+	for _, s := range r.Stages {
+		ds.obs.Histogram("core_stage_"+s.Name+"_ms", obs.LatencyBucketsMs()).Observe(s.Dur.Seconds() * 1e3)
+	}
 }
 
 func (ds *DeepStore) record(r *QueryResult) QueryID {
@@ -451,10 +499,16 @@ func (ds *DeepStore) GetResults(id QueryID) (*QueryResult, error) {
 	ds.engine.Run()
 	dma := sim.Duration(ds.engine.Now() - before)
 	st.result.Latency += dma
+	st.result.Stages = append(st.result.Stages, obs.Stage{Name: obs.StageDMA, Dur: dma})
 	ds.stats.SimTime += dma
+	ds.obs.Counter("core_get_results").Inc()
+	ds.obs.Histogram("core_stage_"+obs.StageDMA+"_ms", obs.LatencyBucketsMs()).Observe(dma.Seconds() * 1e3)
+	ds.tracer.Add(obs.Span{Name: obs.StageDMA, Cat: "core", TID: int64(id), Start: before, Dur: dma})
 	// Return a snapshot so callers never observe a later GetResults call's
-	// DMA accounting mutating their result.
+	// DMA accounting mutating their result. Stages is deep-copied because
+	// later calls append to it.
 	out := *st.result
+	out.Stages = append([]obs.Stage(nil), st.result.Stages...)
 	return &out, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/ftl"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -36,17 +37,13 @@ func (ds *DeepStore) ReplayTraceOpenLoop(tr *workload.Trace, model ModelID, db f
 	if err != nil {
 		return OpenLoopReport{}, err
 	}
-	// Recompute sojourns from the recorded per-query service times: the
-	// replay above recorded latencies in trace order.
 	interval := 1.0 / qps
 	report := OpenLoopReport{TraceReport: base, ArrivalQPS: qps}
-	// Re-run the service times through a single-server queue.
-	ds.mu.Lock()
-	services := append([]sim.Duration(nil), ds.lastServiceTimes...)
-	ds.mu.Unlock()
-	if len(services) != base.Queries {
-		return OpenLoopReport{}, fmt.Errorf("core: service times not recorded")
-	}
+	// Re-run the replay's own per-query service times (recorded in trace
+	// order in base.Service) through a single-server queue. Using the
+	// report's times — not engine state — keeps concurrent replays on one
+	// engine independent.
+	services := base.Service
 	sojourns := make([]float64, len(services))
 	var busy, clock float64
 	for i, s := range services {
@@ -69,7 +66,7 @@ func (ds *DeepStore) ReplayTraceOpenLoop(tr *workload.Trace, model ModelID, db f
 	}
 	report.MeanSojourn = sim.FromSeconds(sum / float64(len(sojourns)))
 	sort.Float64s(sojourns)
-	report.P99Sojourn = sim.FromSeconds(sojourns[len(sojourns)*99/100])
+	report.P99Sojourn = sim.FromSeconds(obs.Quantile(sojourns, 99))
 	return report, nil
 }
 
@@ -86,6 +83,13 @@ type TraceReport struct {
 	P99Latency   sim.Duration
 	// EnergyJ is the summed modeled energy.
 	EnergyJ float64
+	// Service holds the per-query service times in trace order, for
+	// open-loop queueing analysis.
+	Service []sim.Duration
+	// Stages is the per-stage latency breakdown across the replay, in
+	// pipeline order; every query's stage durations sum exactly to its
+	// service time, so the stage totals sum to TotalLatency.
+	Stages []obs.StageStat
 }
 
 // ReplayTrace drives a recorded query trace through the engine against the
@@ -107,7 +111,7 @@ func (ds *DeepStore) ReplayTrace(tr *workload.Trace, model ModelID, db ftl.DBID,
 	dims := int(st.meta.Layout.FeatureBytes / 4)
 	ds.mu.Unlock()
 	var report TraceReport
-	latencies := make([]sim.Duration, 0, len(tr.Queries))
+	report.Service = make([]sim.Duration, 0, len(tr.Queries))
 	for _, q := range tr.Queries {
 		qfv := workload.QueryVector(q, dims, tr.Config.Seed)
 		qid, err := ds.Query(QuerySpec{QFV: qfv, K: k, Model: model, DB: db})
@@ -124,15 +128,13 @@ func (ds *DeepStore) ReplayTrace(tr *workload.Trace, model ModelID, db ftl.DBID,
 		}
 		report.TotalLatency += res.Latency
 		report.EnergyJ += res.Energy.Total()
-		latencies = append(latencies, res.Latency)
+		report.Service = append(report.Service, res.Latency)
+		report.Stages = obs.AccumulateStages(report.Stages, res.Stages)
 	}
-	// Keep the in-order service times for open-loop queueing analysis.
-	ds.mu.Lock()
-	ds.lastServiceTimes = append(ds.lastServiceTimes[:0], latencies...)
-	ds.mu.Unlock()
 	report.MissRate = 1 - float64(report.CacheHits)/float64(report.Queries)
 	report.MeanLatency = report.TotalLatency / sim.Duration(report.Queries)
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	report.P99Latency = latencies[len(latencies)*99/100]
+	sorted := append([]sim.Duration(nil), report.Service...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	report.P99Latency = obs.QuantileDurations(sorted, 99)
 	return report, nil
 }

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestLatencyBreakdown: the breakdown replay succeeds, its stage totals sum
+// exactly to the end-to-end latency (LatencyBreakdown itself errors
+// otherwise, but assert here too so a regression names the numbers), the
+// cache produces hits so all four stages appear, and the table renders.
+func TestLatencyBreakdown(t *testing.T) {
+	cfg := BreakdownConfig{Features: 400, Queries: 24, K: 5, Seed: 7,
+		QCEntries: 64, QCThreshold: 0.2}
+	r, err := LatencyBreakdown(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.SumStageStats(r.Report.Stages); got != r.Report.TotalLatency {
+		t.Fatalf("stage totals %v != end-to-end latency %v", got, r.Report.TotalLatency)
+	}
+	if r.Report.CacheHits == 0 {
+		t.Error("deterministic QCN produced no cache hits")
+	}
+	names := map[string]bool{}
+	for _, s := range r.Report.Stages {
+		names[s.Name] = true
+	}
+	for _, want := range []string{obs.StageQCacheLookup, obs.StageScan, obs.StageRerank, obs.StageDMA} {
+		if !names[want] {
+			t.Errorf("stage %q missing from breakdown", want)
+		}
+	}
+	if len(r.Snapshot.Counters) == 0 {
+		t.Error("empty metrics snapshot")
+	}
+	header, rows := CellsBreakdown(r)
+	if len(header) != 5 {
+		t.Errorf("header has %d columns, want 5", len(header))
+	}
+	// One row per stage plus the trailing total row.
+	if len(rows) != len(r.Report.Stages)+1 {
+		t.Errorf("%d rows for %d stages", len(rows), len(r.Report.Stages))
+	}
+	if FormatBreakdown(r) == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestLatencyBreakdownValidation(t *testing.T) {
+	if _, err := LatencyBreakdown(BreakdownConfig{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}

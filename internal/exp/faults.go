@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
@@ -59,16 +60,13 @@ type FaultsRow struct {
 }
 
 // percentileMs returns the nearest-rank percentile (p in [0,100]) of the
-// sorted sample, in milliseconds.
+// sorted sample of seconds, in milliseconds. Thin wrapper over obs.Quantile
+// (the shared definition; the previous local copy sat one rank high).
 func percentileMs(sorted []float64, p int) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := len(sorted) * p / 100
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx] * 1000
+	return obs.Quantile(sorted, float64(p)) * 1000
 }
 
 // FaultSweep replays one trace against a fresh sharded cluster per rate.

@@ -62,11 +62,17 @@ func TestPercentileMs(t *testing.T) {
 	if got := percentileMs(nil, 50); got != 0 {
 		t.Errorf("empty sample p50 = %v", got)
 	}
+	// Nearest-rank: p50 of 4 samples is rank ⌈0.5·4⌉ = 2 — the 2nd order
+	// statistic. (The pre-obs.Quantile copy sat one rank high and returned
+	// the 3rd.)
 	sorted := []float64{0.001, 0.002, 0.003, 0.004}
-	if got := percentileMs(sorted, 50); got != 3 {
-		t.Errorf("p50 = %v ms, want 3", got)
+	if got := percentileMs(sorted, 50); got != 2 {
+		t.Errorf("p50 = %v ms, want 2", got)
 	}
 	if got := percentileMs(sorted, 99); got != 4 {
 		t.Errorf("p99 = %v ms, want 4", got)
+	}
+	if got := percentileMs(sorted, 100); got != 4 {
+		t.Errorf("p100 = %v ms, want 4", got)
 	}
 }

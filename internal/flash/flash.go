@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -225,6 +226,10 @@ type Array struct {
 
 	faults ReadFaults
 	stats  Stats
+
+	// tracer receives one span per page read (issue → last byte delivered),
+	// on the channel's track. nil (the default) traces nothing.
+	tracer *obs.Tracer
 }
 
 // NewArray builds a flash array on the given engine.
@@ -272,6 +277,31 @@ func (a *Array) SetReadFaults(f ReadFaults) error {
 	return nil
 }
 
+// SetTracer installs the span sink for page reads. The engine serializes
+// flash events, so no locking is needed beyond the tracer's own.
+func (a *Array) SetTracer(tr *obs.Tracer) { a.tracer = tr }
+
+// traceRead wraps a read's completion callback with a span covering issue to
+// completion — queueing for the plane, the sense (including retries), and the
+// bus transfer when there is one.
+func (a *Array) traceRead(start sim.Time, channel int, done func()) func() {
+	if a.tracer == nil {
+		return done
+	}
+	return func() {
+		a.tracer.Add(obs.Span{
+			Name:  obs.SpanFlashRead,
+			Cat:   "flash",
+			TID:   int64(channel),
+			Start: start,
+			Dur:   sim.Duration(a.e.Now() - start),
+		})
+		if done != nil {
+			done()
+		}
+	}
+}
+
 // sense performs the array read (cell → page buffer) on an already-acquired
 // plane, charging read-retry rounds to the simulated clock when the fault
 // model is enabled, then calls done with the plane still held.
@@ -316,6 +346,7 @@ func (a *Array) plane(addr PageAddr) *sim.Resource {
 // (Fig. 5 ❸). done fires when the last byte leaves the bus.
 func (a *Array) ReadPage(addr PageAddr, done func()) {
 	a.stats.PageReads++
+	done = a.traceRead(a.e.Now(), addr.Channel, done)
 	pl := a.plane(addr)
 	pl.Acquire(func() {
 		a.sense(func() {
@@ -334,6 +365,7 @@ func (a *Array) ReadPage(addr PageAddr, done func()) {
 // from the plane page buffers (§4.5), so their data path skips the bus.
 func (a *Array) ReadPageToBuffer(addr PageAddr, done func()) {
 	a.stats.PageReads++
+	done = a.traceRead(a.e.Now(), addr.Channel, done)
 	pl := a.plane(addr)
 	pl.Acquire(func() {
 		a.sense(func() {

@@ -1,0 +1,52 @@
+// Package obs is the observability layer of the simulator: a lightweight
+// metrics registry (counters, gauges, fixed-bucket histograms) and a
+// per-query span tracer on the simulated clock.
+//
+// The paper's whole evaluation (§5–§6) is latency and energy *breakdowns* —
+// per-stage time in flash reads, DMA, accelerator compute, and cache lookups
+// — so the engine records where simulated time goes, not just how much of it
+// passed. Every layer (core, flash, ssd, cluster, proto, qcache) reports
+// through this package: counters and histograms aggregate into a JSON
+// Snapshot, and spans export as a Chrome trace-event file loadable in
+// chrome://tracing or Perfetto.
+//
+// The package also owns the one canonical percentile implementation,
+// Quantile (nearest-rank). Ad-hoc percentile snippets elsewhere in the tree
+// are bugs by policy: three mutually inconsistent copies (one off by a full
+// rank) are what motivated this package.
+package obs
+
+import "math"
+
+// Quantile returns the nearest-rank p-th percentile (p in [0, 100]) of a
+// sample sorted in ascending order: the value at 1-based rank ⌈p·n/100⌉,
+// clamped to [1, n] so p = 0 yields the minimum and p = 100 the maximum.
+//
+// Nearest-rank means the result is always an element of the sample (no
+// interpolation). For example, the p50 of a 4-sample set is the 2nd order
+// statistic: ⌈50·4/100⌉ = 2.
+//
+// An empty sample returns NaN. p outside [0, 100] is clamped.
+func Quantile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	return sorted[quantileIndex(n, p)]
+}
+
+// quantileIndex returns the 0-based nearest-rank index for a sample of n
+// (n ≥ 1) at percentile p.
+func quantileIndex(n int, p float64) int {
+	// Multiply before dividing: p·n is exact for integral p and modest n,
+	// so exact-rank boundaries (p = 50, n = 4 → rank 2) never ride on a
+	// one-ULP rounding error in p/100.
+	rank := int(math.Ceil(p * float64(n) / 100))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return rank - 1
+}

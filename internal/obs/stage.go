@@ -1,0 +1,90 @@
+package obs
+
+import "repro/internal/sim"
+
+// Canonical span/stage names — the taxonomy every instrumented layer uses,
+// so breakdown tables and trace files agree on vocabulary (see DESIGN.md
+// "Observability").
+const (
+	// StageQCacheLookup is the QCN sweep of the query cache (§4.6).
+	StageQCacheLookup = "qcache_lookup"
+	// StageScan is the event-driven accelerator scan of the database range
+	// (flash reads, weight streaming, and systolic compute overlap inside
+	// it; the per-page detail is in the "flash" span category).
+	StageScan = "scan"
+	// StageRerank is the SCN re-scoring of a cache hit's stored top-K.
+	StageRerank = "rerank"
+	// StageDMA is the getResults transfer of the top-K to the host.
+	StageDMA = "dma"
+	// SpanFlashRead is one page read (array sense + channel bus transfer).
+	SpanFlashRead = "flash_read"
+	// SpanStream is one StreamToHost sweep (the baseline read-out path).
+	SpanStream = "stream_to_host"
+	// SpanShard is one shard's slice of a cluster fan-out.
+	SpanShard = "shard"
+	// SpanRetry is one re-submission of a command by the proto client.
+	SpanRetry = "retry"
+)
+
+// Stage is one component of a query's end-to-end latency. A query's stages
+// are disjoint on the simulated timeline, so their durations sum exactly to
+// the reported Result.Latency (test-enforced).
+type Stage struct {
+	Name string
+	Dur  sim.Duration
+}
+
+// SumStages totals the stage durations.
+func SumStages(stages []Stage) sim.Duration {
+	var sum sim.Duration
+	for _, s := range stages {
+		sum += s.Dur
+	}
+	return sum
+}
+
+// StageStat aggregates one stage across many queries.
+type StageStat struct {
+	Name  string
+	Total sim.Duration
+	Count int64
+}
+
+// SumStageStats totals the aggregated per-stage durations.
+func SumStageStats(stats []StageStat) sim.Duration {
+	var sum sim.Duration
+	for _, s := range stats {
+		sum += s.Total
+	}
+	return sum
+}
+
+// AccumulateStages merges a query's stages into the running per-stage stats,
+// keeping first-seen stage order (the canonical pipeline order, since every
+// query emits stages in execution order).
+func AccumulateStages(stats []StageStat, stages []Stage) []StageStat {
+	for _, s := range stages {
+		found := false
+		for i := range stats {
+			if stats[i].Name == s.Name {
+				stats[i].Total += s.Dur
+				stats[i].Count++
+				found = true
+				break
+			}
+		}
+		if !found {
+			stats = append(stats, StageStat{Name: s.Name, Total: s.Dur, Count: 1})
+		}
+	}
+	return stats
+}
+
+// QuantileDurations is Quantile over simulated durations sorted ascending;
+// an empty sample returns 0.
+func QuantileDurations(sorted []sim.Duration, p float64) sim.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[quantileIndex(len(sorted), p)]
+}

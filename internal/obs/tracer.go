@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// DefaultTraceCap bounds a Tracer's retained spans. A paper-scale replay
+// reads tens of thousands of pages; the cap keeps the trace buffer (and the
+// exported file) bounded while counting what was dropped, so a truncated
+// trace is visible rather than silent.
+const DefaultTraceCap = 1 << 17
+
+// Span is one interval on the simulated clock: a query stage, a flash page
+// read, a shard's slice of a cluster fan-out, a proto retry.
+type Span struct {
+	// Name is the event name (the stage taxonomy constants, usually).
+	Name string
+	// Cat is the category lane ("core", "flash", "cluster", "proto").
+	Cat string
+	// TID groups spans onto one track in the trace viewer: the query ID for
+	// core stages, the channel for flash reads, the shard index for cluster
+	// fan-outs.
+	TID int64
+	// Start is the span's start on the simulated clock.
+	Start sim.Time
+	// Dur is the span's simulated duration.
+	Dur sim.Duration
+	// Args are optional key-value annotations shown by the trace viewer.
+	Args map[string]string
+}
+
+// Tracer collects spans up to a capacity. Safe for concurrent use; a nil
+// Tracer is a no-op, so instrumented layers call it unconditionally.
+type Tracer struct {
+	mu      sync.Mutex
+	cap     int
+	spans   []Span
+	dropped int64
+}
+
+// NewTracer returns a tracer retaining up to capacity spans
+// (≤ 0 means DefaultTraceCap).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Add records one span, dropping it (and counting the drop) past capacity.
+func (t *Tracer) Add(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.cap {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Len returns the number of retained spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns how many spans were discarded at capacity.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns a copy of the retained spans in arrival order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Reset discards every retained span and the drop count.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = t.spans[:0]
+	t.dropped = 0
+}
+
+// traceEvent is one Chrome trace-event ("X" complete events; timestamps and
+// durations in microseconds, per the trace-event format spec).
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container format, which lets the file carry
+// metadata alongside the event array.
+type chromeTrace struct {
+	TraceEvents     []traceEvent      `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace exports the spans as a Chrome trace-event JSON file,
+// loadable in chrome://tracing or Perfetto. Categories become pids (one
+// process lane per instrumented layer) and TIDs become threads, so a query's
+// stages render as one track and the flash channels as parallel tracks.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	pids := map[string]int{}
+	trace := chromeTrace{
+		TraceEvents:     make([]traceEvent, 0, len(spans)),
+		DisplayTimeUnit: "ms",
+	}
+	for _, s := range spans {
+		pid, ok := pids[s.Cat]
+		if !ok {
+			pid = len(pids) + 1
+			pids[s.Cat] = pid
+		}
+		trace.TraceEvents = append(trace.TraceEvents, traceEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   float64(s.Start) / 1e6, // ps → µs
+			Dur:  float64(s.Dur) / 1e6,
+			Pid:  pid,
+			Tid:  s.TID,
+			Args: s.Args,
+		})
+	}
+	if d := t.Dropped(); d > 0 {
+		trace.OtherData = map[string]string{
+			"droppedSpans": strconv.FormatInt(d, 10),
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}

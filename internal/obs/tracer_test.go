@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestTracerCollectsAndCaps(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Add(Span{Name: "a", Cat: "core", Start: 0, Dur: sim.Millisecond})
+	tr.Add(Span{Name: "b", Cat: "core", Start: sim.Time(sim.Millisecond), Dur: sim.Millisecond})
+	tr.Add(Span{Name: "c", Cat: "core"})
+	if tr.Len() != 2 {
+		t.Errorf("len = %d, want capped at 2", tr.Len())
+	}
+	if tr.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", tr.Dropped())
+	}
+	spans := tr.Spans()
+	if spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Errorf("spans = %+v", spans)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Error("reset did not clear")
+	}
+
+	// nil tracer is a no-op everywhere.
+	var nilTr *Tracer
+	nilTr.Add(Span{})
+	if nilTr.Len() != 0 || nilTr.Spans() != nil || nilTr.Dropped() != 0 {
+		t.Error("nil tracer not inert")
+	}
+}
+
+// TestWriteChromeTrace validates the exported file against the trace-event
+// container format: a JSON object with a traceEvents array of "X" events
+// whose ts/dur are microseconds.
+func TestWriteChromeTrace(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Add(Span{Name: "scan", Cat: "core", TID: 1, Start: 0, Dur: 2 * sim.Millisecond,
+		Args: map[string]string{"mode": "batched"}})
+	tr.Add(Span{Name: "flash_read", Cat: "flash", TID: 3,
+		Start: sim.Time(sim.Microsecond), Dur: 53 * sim.Microsecond})
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int64             `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(got.TraceEvents) != 2 {
+		t.Fatalf("%d events", len(got.TraceEvents))
+	}
+	ev := got.TraceEvents[0]
+	if ev.Ph != "X" || ev.Name != "scan" || ev.Dur != 2000 { // 2 ms = 2000 µs
+		t.Errorf("event 0 = %+v", ev)
+	}
+	if ev.Args["mode"] != "batched" {
+		t.Errorf("args lost: %+v", ev.Args)
+	}
+	fl := got.TraceEvents[1]
+	if fl.Ts != 1 || fl.Dur != 53 || fl.Tid != 3 {
+		t.Errorf("event 1 = %+v", fl)
+	}
+	if ev.Pid == fl.Pid {
+		t.Error("categories share a pid lane")
+	}
+	if got.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", got.DisplayTimeUnit)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ftl"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -181,6 +182,28 @@ type Client struct {
 	// deadline; the next submission drains it (discarding the late
 	// completion) before touching the transport again.
 	straggler chan submitOutcome
+
+	// reg and tracer, when attached (AttachObs), receive command/retry/
+	// deadline counters and one span per re-submission. The transport runs
+	// in host time, so retry spans sit on a wall-clock lane measured from
+	// the first submission (epoch), not on a simulated clock.
+	reg    *obs.Registry
+	tracer *obs.Tracer
+	epoch  time.Time
+}
+
+// AttachObs installs the metrics registry and span tracer on the client.
+func (c *Client) AttachObs(reg *obs.Registry, tr *obs.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg = reg
+	c.tracer = tr
+}
+
+// wallNow converts host time since the client's first submission to the
+// tracer's picosecond time base.
+func (c *Client) wallNow() sim.Time {
+	return sim.Time(time.Since(c.epoch) * 1000) // ns → ps
 }
 
 type submitOutcome struct {
@@ -199,19 +222,39 @@ func NewResilientClient(t Transport, policy RetryPolicy) *Client {
 func (c *Client) submit(cmd Command) (Completion, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.epoch.IsZero() {
+		c.epoch = time.Now()
+	}
+	c.reg.Counter("proto_commands").Inc()
 	attempts := 1
 	if retryable(cmd.Op) && c.Retry.MaxAttempts > 1 {
 		attempts = c.Retry.MaxAttempts
 	}
 	var lastErr error
 	for a := 1; a <= attempts; a++ {
+		retryStart := c.wallNow()
 		if a > 1 {
+			c.reg.Counter("proto_retries").Inc()
 			time.Sleep(c.Retry.backoff(a - 1))
 		}
 		c.nextCID++
 		cmd.CID = c.nextCID
 		cpl, err := c.attempt(cmd)
+		if a > 1 && c.tracer != nil {
+			c.tracer.Add(obs.Span{
+				Name: obs.SpanRetry, Cat: "proto", TID: int64(cmd.Op),
+				Start: retryStart, Dur: sim.Duration(c.wallNow() - retryStart),
+				Args: map[string]string{
+					"op":      cmd.Op.String(),
+					"attempt": fmt.Sprint(a),
+					"ok":      fmt.Sprint(err == nil),
+				},
+			})
+		}
 		if err != nil {
+			if errors.Is(err, ErrDeadlineExceeded) {
+				c.reg.Counter("proto_deadlines").Inc()
+			}
 			lastErr = err
 			continue
 		}
@@ -223,6 +266,7 @@ func (c *Client) submit(cmd Command) (Completion, error) {
 		// errors are never retried.
 		return cpl, cpl.Err()
 	}
+	c.reg.Counter("proto_failures").Inc()
 	if attempts > 1 {
 		return Completion{}, fmt.Errorf("proto: %s failed after %d attempts: %w", cmd.Op, attempts, lastErr)
 	}

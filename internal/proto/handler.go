@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ftl"
 	"repro/internal/nn"
+	"repro/internal/obs"
 )
 
 // Handler is the device-side dispatcher: it decodes DeepStore commands and
@@ -14,10 +15,22 @@ import (
 // cores.
 type Handler struct {
 	DS *core.DeepStore
+	// Obs, when set, counts executed commands per opcode plus non-success
+	// completions; nil counts nothing.
+	Obs *obs.Registry
 }
 
 // Execute runs one command to completion.
 func (h *Handler) Execute(cmd Command) Completion {
+	cpl := h.execute(cmd)
+	h.Obs.Counter("proto_op_" + cmd.Op.String()).Inc()
+	if cpl.Status != StatusSuccess {
+		h.Obs.Counter("proto_op_failures").Inc()
+	}
+	return cpl
+}
+
+func (h *Handler) execute(cmd Command) Completion {
 	if h.DS == nil {
 		return fail(cmd, StatusInternal, "no engine attached")
 	}

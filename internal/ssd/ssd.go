@@ -6,10 +6,12 @@ package ssd
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/fault"
 	"repro/internal/flash"
 	"repro/internal/ftl"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -125,6 +127,20 @@ type Device struct {
 	// SharedSpad is the SSD-level scratchpad's broadcast port serving the
 	// channel-level accelerators as an L2 (§4.5).
 	SharedSpad *sim.Link
+
+	// reg and tracer are the observability sinks attached by the engine that
+	// owns the device (AttachObs); both are nil-safe no-ops until attached.
+	reg    *obs.Registry
+	tracer *obs.Tracer
+}
+
+// AttachObs installs the metrics registry and span tracer on the device and
+// its flash array, so page reads and host streams land in the owning engine's
+// trace. Call before issuing I/O; attaching is not synchronized with it.
+func (d *Device) AttachObs(reg *obs.Registry, tr *obs.Tracer) {
+	d.reg = reg
+	d.tracer = tr
+	d.Flash.SetTracer(tr)
 }
 
 // New builds a device on the engine.
@@ -196,6 +212,18 @@ func (d *Device) StreamToHost(meta *ftl.DBMeta, maxPagesPerChannel int64, done f
 	layout := meta.Layout
 	stats := &StreamStats{Started: d.Engine.Now()}
 	remainingChannels := 0
+
+	inner := done
+	done = func(s StreamStats) {
+		d.reg.Counter("ssd_stream_pages").Add(s.Pages)
+		d.reg.Counter("ssd_stream_bytes").Add(s.Bytes)
+		d.tracer.Add(obs.Span{
+			Name: obs.SpanStream, Cat: "ssd",
+			Start: s.Started, Dur: s.Duration(),
+			Args: map[string]string{"pages": strconv.FormatInt(s.Pages, 10)},
+		})
+		inner(s)
+	}
 
 	for ch := 0; ch < layout.Geom.Channels; ch++ {
 		pages := layout.ChannelPages(ch)
