@@ -110,6 +110,7 @@ func replay(args []string) {
 	k := fs.Int("k", 5, "top-K")
 	entries := fs.Int("entries", 0, "query cache entries (0 = no cache)")
 	threshold := fs.Float64("threshold", 0.2, "query cache error threshold")
+	mq := fs.Int("mq", 1, "multi-query batch width: >1 replays through shared sweeps (QueryMulti)")
 	metricsJSON := fs.String("metricsjson", "", "write the engine's metrics snapshot as JSON to this file")
 	traceJSON := fs.String("tracejson", "", "write the engine's span trace in Chrome trace-event format to this file")
 	fs.Parse(args)
@@ -153,11 +154,21 @@ func replay(args []string) {
 		}
 	}
 
-	report, err := ds.ReplayTrace(tr, model, dbID, *k)
+	var report core.TraceReport
+	if *mq > 1 {
+		report, err = ds.ReplayTraceMulti(tr, model, dbID, *k, *mq)
+	} else {
+		report, err = ds.ReplayTrace(tr, model, dbID, *k)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("replayed %d queries against %s (%d features)\n", report.Queries, app.Name, *features)
+	if *mq > 1 {
+		fmt.Printf("replayed %d queries against %s (%d features), shared sweeps of %d\n",
+			report.Queries, app.Name, *features, *mq)
+	} else {
+		fmt.Printf("replayed %d queries against %s (%d features)\n", report.Queries, app.Name, *features)
+	}
 	fmt.Printf("  cache hits    %d (miss rate %.1f%%)\n", report.CacheHits, report.MissRate*100)
 	fmt.Printf("  mean latency  %v\n", report.MeanLatency)
 	fmt.Printf("  p99 latency   %v\n", report.P99Latency)

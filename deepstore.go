@@ -177,6 +177,30 @@ var LoadTrace = workload.LoadTrace
 // TraceReport summarizes a replayed query stream (System.ReplayTrace).
 type TraceReport = core.TraceReport
 
+// Scheduler is the asynchronous admission/batching layer in front of a
+// System: concurrent Submit calls coalesce into shared multi-query sweeps
+// (System.QueryMulti), amortizing each sweep's flash and weight-streaming
+// traffic across the batch while keeping every query's results bit-identical
+// to an independent Query call.
+type Scheduler = core.Scheduler
+
+// SchedulerConfig tunes the scheduler's queue depth, batch size, and
+// batching window.
+type SchedulerConfig = core.SchedulerConfig
+
+// NewScheduler starts a scheduling worker for the engine; Close it to flush
+// trailing submissions and release the worker.
+func NewScheduler(sys *System, cfg SchedulerConfig) *Scheduler {
+	return core.NewScheduler(sys, cfg)
+}
+
+// Scheduler sentinel errors: ErrQueueFull is Submit's backpressure signal,
+// ErrSchedulerClosed follows Close.
+var (
+	ErrQueueFull       = core.ErrQueueFull
+	ErrSchedulerClosed = core.ErrSchedulerClosed
+)
+
 // ShardedScan shards a database across n simulated SSDs and scans every
 // shard in parallel — the Fig. 10b scale-out deployment.
 func ShardedScan(n int, app *App, level Level, devCfg DeviceConfig, features, window int64) (cluster.Result, error) {

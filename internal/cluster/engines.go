@@ -214,6 +214,23 @@ func (e *Engines) Query(qfv []float32, k int) (Answer, error) {
 // with Degraded set and the failures joined in ShardErrs. Only a cluster
 // with no healthy answer (or a missed quorum) returns an error.
 func (e *Engines) Queries(qfvs [][]float32, k int) ([]Answer, error) {
+	return e.run(qfvs, k, false)
+}
+
+// QueriesShared is Queries with per-shard shared sweeps: each shard
+// executes the whole batch through core.DeepStore.QueryMulti, so every
+// shard pays ONE simulated flash/weight-streaming scan for the batch
+// instead of one per query. Answers are identical to Queries (QueryMulti's
+// equivalence guarantee holds shard by shard, and the merge is unchanged);
+// what changes is each shard's device timeline, which advances once per
+// batch. Degraded operation (SetTolerance) applies exactly as in Queries.
+func (e *Engines) QueriesShared(qfvs [][]float32, k int) ([]Answer, error) {
+	return e.run(qfvs, k, true)
+}
+
+// run is the shared fan-out/collect/merge engine behind Queries and
+// QueriesShared; shared selects each shard's execution path.
+func (e *Engines) run(qfvs [][]float32, k int, shared bool) ([]Answer, error) {
 	if len(e.dbs) != len(e.shards) || len(e.models) != len(e.shards) {
 		return nil, fmt.Errorf("cluster: engines need WriteDB and LoadModel before queries")
 	}
@@ -267,7 +284,13 @@ func (e *Engines) Queries(qfvs [][]float32, k int) ([]Answer, error) {
 				ch <- shardOut{s: s, err: injected}
 				return
 			}
-			ids, err := e.shards[s].Queries(shardSpecs[s])
+			var ids []core.QueryID
+			var err error
+			if shared {
+				ids, err = e.shards[s].QueryMulti(shardSpecs[s])
+			} else {
+				ids, err = e.shards[s].Queries(shardSpecs[s])
+			}
 			if err != nil {
 				ch <- shardOut{s: s, err: fmt.Errorf("cluster: shard %d: %w", s, err)}
 				return
@@ -362,6 +385,9 @@ drain:
 	// advances by the batch makespan (the slowest shard's total).
 	e.reg.Counter("cluster_batches").Inc()
 	e.reg.Counter("cluster_queries").Add(int64(len(qfvs)))
+	if shared {
+		e.reg.Counter("cluster_shared_batches").Inc()
+	}
 	if timedOut {
 		e.reg.Counter("cluster_timeouts").Inc()
 	}

@@ -169,3 +169,62 @@ func TestEnginesValidation(t *testing.T) {
 		t.Error("nil shard engine")
 	}
 }
+
+// TestEnginesSharedMatchesQueries: QueriesShared answers — top-K entries,
+// per-query makespan, and energy — match the per-query fan-out on an
+// identically built cluster, while each shard issues one simulated scan per
+// batch instead of one per query.
+func TestEnginesSharedMatchesQueries(t *testing.T) {
+	const features, k = 600, 5
+	perQuery, db := enginesFixture(t, 3, features)
+	sharedC, _ := enginesFixture(t, 3, features)
+	qfvs := [][]float32{db.Vectors[0], db.Vectors[101], db.Vectors[599], db.Vectors[7]}
+
+	want, err := perQuery.Queries(qfvs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sharedC.QueriesShared(qfvs, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d answers, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i].TopK) != len(want[i].TopK) {
+			t.Fatalf("query %d: shared %d entries, per-query %d", i, len(got[i].TopK), len(want[i].TopK))
+		}
+		for j := range want[i].TopK {
+			if got[i].TopK[j] != want[i].TopK[j] {
+				t.Fatalf("query %d entry %d: shared %+v != per-query %+v", i, j, got[i].TopK[j], want[i].TopK[j])
+			}
+		}
+		if got[i].Makespan != want[i].Makespan {
+			t.Fatalf("query %d: makespan %v != %v", i, got[i].Makespan, want[i].Makespan)
+		}
+		if got[i].EnergyJ != want[i].EnergyJ {
+			t.Fatalf("query %d: energy %v != %v", i, got[i].EnergyJ, want[i].EnergyJ)
+		}
+		if got[i].Degraded {
+			t.Fatalf("query %d: unexpectedly degraded", i)
+		}
+	}
+	if n := sharedC.MetricsSnapshot().Counters["cluster_shared_batches"]; n != 1 {
+		t.Fatalf("cluster_shared_batches = %d, want 1", n)
+	}
+	// Each shard's engine ran one shared scan for the whole batch; the
+	// per-query cluster paid one scan per query.
+	for s := 0; s < sharedC.Shards(); s++ {
+		snap := sharedC.Engine(s).MetricsSnapshot()
+		if n := snap.Counters["core_shared_scans"]; n != 1 {
+			t.Fatalf("shard %d: core_shared_scans = %d, want 1", s, n)
+		}
+		sharedReads := snap.Counters["flash_page_reads"]
+		perReads := perQuery.Engine(s).MetricsSnapshot().Counters["flash_page_reads"]
+		if sharedReads >= perReads {
+			t.Fatalf("shard %d: shared sweep read %d flash pages, per-query %d — no amortization",
+				s, sharedReads, perReads)
+		}
+	}
+}

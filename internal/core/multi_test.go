@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ftl"
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/tensor"
+)
+
+// eqNet builds the small SCN the equivalence suite scans with —
+// deterministic weights, so two engines constructed the same way score
+// identically.
+func eqNet() *nn.Network {
+	n := nn.MustNetwork("eq-scn", tensor.Shape{16}, nn.CombineHadamard,
+		nn.NewFC("fc1", 16, 16, nn.ActReLU),
+		nn.NewFC("fc2", 16, 1, nn.ActSigmoid))
+	n.InitRandom(7)
+	return n
+}
+
+func eqVectors(n int, seed int64) [][]float32 {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([][]float32, n)
+	for i := range vs {
+		v := make([]float32, 16)
+		for j := range v {
+			v[j] = rng.Float32()*2 - 1
+		}
+		vs[i] = v
+	}
+	return vs
+}
+
+// eqQueries builds Q query vectors with deliberate exact repeats (every
+// third query re-issues an earlier one) so the query-cache cases exercise
+// hits — including hits on entries inserted by the same multi batch.
+func eqQueries(q int, seed int64) [][]float32 {
+	qfvs := eqVectors(q, seed)
+	for i := 3; i < q; i += 3 {
+		qfvs[i] = qfvs[i-3]
+	}
+	return qfvs
+}
+
+// newEqEngine builds one engine with the suite's database and model; two
+// calls with the same arguments produce bit-identical engines.
+func newEqEngine(t *testing.T, opts Options, features int, useQC bool) (*DeepStore, ModelID, ftl.DBID) {
+	t.Helper()
+	ds, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbID, err := ds.WriteDB(eqVectors(features, 101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ds.LoadModelNetwork(eqNet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if useQC {
+		// Perfect QCN: identical queries clear the threshold, unrelated
+		// ones do not (see perfectQCN); capacity 8 forces LRU evictions at
+		// larger Q.
+		if err := ds.SetQC(perfectQCN(16), 1.0, 8, 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds, model, dbID
+}
+
+// TestQueryMultiEquivalence is the lockdown suite for the shared
+// multi-query sweep: for every scan mode, with the query cache on and off,
+// with and without flash read faults, and across batch widths (including
+// widths beyond the cache capacity) and odd database sizes, QueryMulti's
+// results are compared against the sequential oracle — the same specs
+// submitted one Query/GetResults pair at a time on an identically
+// constructed engine.
+//
+// Without faults every observable is bit-identical: top-K entries, cache
+// hits, features scanned, latency, energy, and the stage sum. With faults
+// the per-query latencies legitimately diverge (the shared sweep issues one
+// fault-drawing scan where the oracle issues Q), so the suite checks
+// functional identity plus the stage-sum invariant on both paths.
+func TestQueryMultiEquivalence(t *testing.T) {
+	sizes := []int{7, 33, 101} // all odd, straddling the 32-channel stripe width
+	for _, mode := range []ScanMode{ScanBatched, ScanPerFeature, ScanSerial} {
+		for _, useQC := range []bool{false, true} {
+			for _, faults := range []bool{false, true} {
+				for qi, q := range []int{1, 2, 7, 64} {
+					features := sizes[qi%len(sizes)]
+					name := fmt.Sprintf("%s/qc=%v/faults=%v/Q=%d/db=%d", mode, useQC, faults, q, features)
+					t.Run(name, func(t *testing.T) {
+						opts := DefaultOptions()
+						opts.Scan = mode
+						if faults {
+							opts.Device.FlashFaults.ReadErrorRate = 0.02
+							opts.Device.FlashFaults.Seed = 99
+						}
+						specs := make([]QuerySpec, q)
+						qfvs := eqQueries(q, int64(1000+q))
+
+						oracle, model, db := newEqEngine(t, opts, features, useQC)
+						for i := range specs {
+							specs[i] = QuerySpec{QFV: qfvs[i], K: 5, Model: model, DB: db}
+						}
+						want := make([]*QueryResult, q)
+						for i, spec := range specs {
+							id, err := oracle.Query(spec)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if want[i], err = oracle.GetResults(id); err != nil {
+								t.Fatal(err)
+							}
+						}
+
+						shared, model2, db2 := newEqEngine(t, opts, features, useQC)
+						if model2 != model || db2 != db {
+							t.Fatalf("engines constructed differently: model %d/%d db %d/%d", model, model2, db, db2)
+						}
+						ids, err := shared.QueryMulti(specs)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if len(ids) != q {
+							t.Fatalf("QueryMulti returned %d ids for %d specs", len(ids), q)
+						}
+						for i, id := range ids {
+							got, err := shared.GetResults(id)
+							if err != nil {
+								t.Fatal(err)
+							}
+							compareResults(t, i, want[i], got, !faults)
+						}
+
+						if useQC {
+							oh, om := oracle.CacheStats()
+							sh, sm := shared.CacheStats()
+							if oh != sh || om != sm {
+								t.Fatalf("cache stats diverge: oracle %d/%d, shared %d/%d", oh, om, sh, sm)
+							}
+							if q >= 7 && oh == 0 {
+								t.Fatalf("suite expected cache hits at Q=%d, got none", q)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// compareResults checks one query's shared-sweep result against the
+// sequential oracle's. Timing/energy comparison is skipped when fault
+// injection makes the two scan streams draw different fault sequences.
+func compareResults(t *testing.T, i int, want, got *QueryResult, exactTiming bool) {
+	t.Helper()
+	if len(got.TopK) != len(want.TopK) {
+		t.Fatalf("query %d: topK has %d entries, want %d", i, len(got.TopK), len(want.TopK))
+	}
+	for j := range want.TopK {
+		if got.TopK[j] != want.TopK[j] {
+			t.Fatalf("query %d entry %d: %+v != %+v", i, j, got.TopK[j], want.TopK[j])
+		}
+	}
+	if got.CacheHit != want.CacheHit {
+		t.Fatalf("query %d: cacheHit %v, want %v", i, got.CacheHit, want.CacheHit)
+	}
+	if got.FeaturesScanned != want.FeaturesScanned {
+		t.Fatalf("query %d: scanned %d, want %d", i, got.FeaturesScanned, want.FeaturesScanned)
+	}
+	if sum := obs.SumStages(got.Stages); sum != got.Latency {
+		t.Fatalf("query %d: stage sum %v != latency %v (stages %v)", i, sum, got.Latency, got.Stages)
+	}
+	if sum := obs.SumStages(want.Stages); sum != want.Latency {
+		t.Fatalf("query %d (oracle): stage sum %v != latency %v", i, sum, want.Latency)
+	}
+	if !exactTiming {
+		return
+	}
+	if got.Latency != want.Latency {
+		t.Fatalf("query %d: latency %v, want %v", i, got.Latency, want.Latency)
+	}
+	if got.Energy != want.Energy {
+		t.Fatalf("query %d: energy %+v, want %+v", i, got.Energy, want.Energy)
+	}
+	if len(got.Stages) != len(want.Stages) {
+		t.Fatalf("query %d: %d stages, want %d", i, len(got.Stages), len(want.Stages))
+	}
+	for j := range want.Stages {
+		wantName := want.Stages[j].Name
+		if wantName == obs.StageScan {
+			wantName = obs.StageSharedScan // the one intentional rename
+		}
+		if got.Stages[j].Name != wantName || got.Stages[j].Dur != want.Stages[j].Dur {
+			t.Fatalf("query %d stage %d: %+v, want {%s %v}", i, j, got.Stages[j], wantName, want.Stages[j].Dur)
+		}
+	}
+}
+
+// TestQueryMultiSubRangesAndLevels: queries over different sub-ranges (and
+// an explicit accelerator level) land in separate scan groups yet still
+// match the oracle — grouping must key on the full (model, range, level)
+// identity.
+func TestQueryMultiSubRangesAndLevels(t *testing.T) {
+	opts := DefaultOptions()
+	oracle, model, db := newEqEngine(t, opts, 101, false)
+	shared, _, _ := newEqEngine(t, opts, 101, false)
+	qfvs := eqQueries(6, 555)
+	lv := oracle.opts.DefaultLevel
+	specs := []QuerySpec{
+		{QFV: qfvs[0], K: 3, Model: model, DB: db},
+		{QFV: qfvs[1], K: 3, Model: model, DB: db, DBStart: 10, DBEnd: 55},
+		{QFV: qfvs[2], K: 3, Model: model, DB: db, DBStart: 10, DBEnd: 55},
+		{QFV: qfvs[3], K: 7, Model: model, DB: db, DBStart: 3, DBEnd: 4},
+		{QFV: qfvs[4], K: 3, Model: model, DB: db, Level: &lv},
+		{QFV: qfvs[5], K: 3, Model: model, DB: db},
+	}
+	want := make([]*QueryResult, len(specs))
+	for i, spec := range specs {
+		id, err := oracle.Query(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want[i], err = oracle.GetResults(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := shared.QueryMulti(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		got, err := shared.GetResults(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareResults(t, i, want[i], got, true)
+	}
+	// Three distinct groups: [0,101) (with the explicit-default level and
+	// the trailing spec folded in), [10,55), [3,4).
+	snap := shared.MetricsSnapshot()
+	if n := snap.Counters["core_shared_scans"]; n != 3 {
+		t.Fatalf("core_shared_scans = %d, want 3", n)
+	}
+}
+
+// TestQueryMultiValidation: an invalid spec anywhere in the batch fails the
+// whole batch before any state changes (all-or-nothing admission).
+func TestQueryMultiValidation(t *testing.T) {
+	ds, model, db := newEqEngine(t, DefaultOptions(), 33, false)
+	good := QuerySpec{QFV: eqVectors(1, 5)[0], K: 3, Model: model, DB: db}
+	bad := good
+	bad.K = 0
+	if _, err := ds.QueryMulti([]QuerySpec{good, bad}); err == nil {
+		t.Fatal("expected error for invalid spec in batch")
+	}
+	if _, err := ds.QueryMulti(nil); err == nil {
+		t.Fatal("expected error for empty batch")
+	}
+	if st := ds.Stats(); st.Queries != 0 {
+		t.Fatalf("failed batch executed %d queries", st.Queries)
+	}
+	ids, err := ds.QueryMulti([]QuerySpec{good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/nn"
+	"repro/internal/topk"
 )
 
 // batchCtx is one worker's batched-scoring context: a BatchScorer plus the
@@ -28,6 +29,48 @@ func (c *batchCtx) reset() {
 	}
 }
 
+// multiScoreRows is the row capacity of the pooled multi-query BatchScorer:
+// one ScoreMulti chunk packs up to this many (query, feature) pair rows per
+// GEMM pass, so shared sweeps get large matrix-matrix tiles even when the
+// gather batch is the single-query default. Scratch scales with it × the
+// widest activation, which keeps per-worker memory in the low megabytes.
+const multiScoreRows = 512
+
+// multiCtx is one worker's shared-sweep context: a wide BatchScorer plus
+// the same gather scratch batchCtx carries. Per-query score rows are
+// allocated by the sweep (their count depends on the batch's Q).
+type multiCtx struct {
+	bs   *nn.BatchScorer
+	dfvs [][]float32
+	ids  []int64
+	objs []uint64
+}
+
+func (c *multiCtx) reset() {
+	for i := range c.dfvs {
+		c.dfvs[i] = nil
+	}
+}
+
+// flushMulti scores the gathered features against every query in one
+// ScoreMulti call and offers each query's entries in gather order.
+func (c *multiCtx) flushMulti(qs []*topk.Queue, scores [][]float32, qfvs [][]float32, n int) {
+	if n == 0 {
+		return
+	}
+	c.bs.ScoreMulti(scores, qfvs, c.dfvs[:n])
+	for q := range qs {
+		row := scores[q]
+		for j := 0; j < n; j++ {
+			qs[q].Offer(topk.Entry{
+				FeatureID: c.ids[j],
+				Score:     row[j],
+				ObjectID:  c.objs[j],
+			})
+		}
+	}
+}
+
 // batchPools hands out per-worker batchCtxs, one sync.Pool per network (a
 // BatchScorer's scratch is shaped by its network, so contexts cannot be
 // shared across models). Get/put are called from scan workers without the
@@ -37,6 +80,7 @@ type batchPools struct {
 	mu    sync.Mutex
 	batch int
 	pools map[*nn.Network]*sync.Pool
+	multi map[*nn.Network]*sync.Pool
 }
 
 func (p *batchPools) get(net *nn.Network) *batchCtx {
@@ -66,6 +110,36 @@ func (p *batchPools) put(net *nn.Network, c *batchCtx) {
 	c.reset()
 	p.mu.Lock()
 	pool := p.pools[net]
+	p.mu.Unlock()
+	pool.Put(c)
+}
+
+func (p *batchPools) getMulti(net *nn.Network) *multiCtx {
+	p.mu.Lock()
+	if p.multi == nil {
+		p.multi = make(map[*nn.Network]*sync.Pool)
+	}
+	pool, ok := p.multi[net]
+	if !ok {
+		b := p.batch
+		pool = &sync.Pool{New: func() any {
+			return &multiCtx{
+				bs:   net.BatchScorer(multiScoreRows),
+				dfvs: make([][]float32, b),
+				ids:  make([]int64, b),
+				objs: make([]uint64, b),
+			}
+		}}
+		p.multi[net] = pool
+	}
+	p.mu.Unlock()
+	return pool.Get().(*multiCtx)
+}
+
+func (p *batchPools) putMulti(net *nn.Network, c *multiCtx) {
+	c.reset()
+	p.mu.Lock()
+	pool := p.multi[net]
 	p.mu.Unlock()
 	pool.Put(c)
 }

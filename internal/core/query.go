@@ -50,37 +50,52 @@ func (ds *DeepStore) Query(spec QuerySpec) (QueryID, error) {
 	return ds.queryLocked(spec)
 }
 
-func (ds *DeepStore) queryLocked(spec QuerySpec) (QueryID, error) {
-	st, err := ds.db(spec.DB)
+// resolveSpec validates a query spec against the engine's tables and
+// resolves its defaults (full-DB range, engine-default accelerator level).
+// Callers hold ds.mu.
+func (ds *DeepStore) resolveSpec(spec QuerySpec) (st *dbState, net *nn.Network, level accel.Level, start, end int64, err error) {
+	st, err = ds.db(spec.DB)
 	if err != nil {
-		return 0, err
+		return
 	}
-	net, err := ds.model(spec.Model)
+	net, err = ds.model(spec.Model)
 	if err != nil {
-		return 0, err
+		return
 	}
 	if spec.K < 1 {
-		return 0, fmt.Errorf("core: top-K %d < 1", spec.K)
+		err = fmt.Errorf("core: top-K %d < 1", spec.K)
+		return
 	}
 	layout := st.meta.Layout
 	if int64(len(spec.QFV))*4 != layout.FeatureBytes {
-		return 0, fmt.Errorf("core: query feature has %d dims, database stores %d-byte features",
+		err = fmt.Errorf("core: query feature has %d dims, database stores %d-byte features",
 			len(spec.QFV), layout.FeatureBytes)
+		return
 	}
 	if net.FeatureBytes() != layout.FeatureBytes {
-		return 0, fmt.Errorf("core: model %q expects %d-byte features, database stores %d",
+		err = fmt.Errorf("core: model %q expects %d-byte features, database stores %d",
 			net.Name, net.FeatureBytes(), layout.FeatureBytes)
+		return
 	}
-	start, end := spec.DBStart, spec.DBEnd
+	start, end = spec.DBStart, spec.DBEnd
 	if end == 0 {
 		end = layout.Features
 	}
 	if start < 0 || end > layout.Features || start >= end {
-		return 0, fmt.Errorf("core: query range [%d, %d) invalid for %d features", start, end, layout.Features)
+		err = fmt.Errorf("core: query range [%d, %d) invalid for %d features", start, end, layout.Features)
+		return
 	}
-	level := ds.opts.DefaultLevel
+	level = ds.opts.DefaultLevel
 	if spec.Level != nil {
 		level = *spec.Level
+	}
+	return
+}
+
+func (ds *DeepStore) queryLocked(spec QuerySpec) (QueryID, error) {
+	st, net, level, start, end, err := ds.resolveSpec(spec)
+	if err != nil {
+		return 0, err
 	}
 
 	t0 := ds.engine.Now()

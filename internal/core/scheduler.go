@@ -1,0 +1,258 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+var (
+	// ErrQueueFull is Submit's backpressure signal: the admission queue is
+	// at QueueDepth. Callers shed or retry; Submit never blocks.
+	ErrQueueFull = errors.New("core: scheduler admission queue full")
+	// ErrSchedulerClosed is returned by Submit after Close.
+	ErrSchedulerClosed = errors.New("core: scheduler closed")
+)
+
+// Scheduler defaults (see SchedulerConfig).
+const (
+	DefaultQueueDepth = 256
+	DefaultBatchSize  = 16
+)
+
+// SchedulerConfig tunes the admission/batching layer.
+type SchedulerConfig struct {
+	// QueueDepth bounds the admission queue; a full queue makes Submit
+	// return ErrQueueFull (0 = DefaultQueueDepth).
+	QueueDepth int
+	// BatchSize caps the queries coalesced into one shared sweep; a batch
+	// dispatches as soon as it is full (0 = DefaultBatchSize).
+	BatchSize int
+	// BatchWindow bounds how long the first queued query waits for
+	// companions before a partial batch dispatches. Zero disables the
+	// timer: batches dispatch only when full, on Flush, or at Close — the
+	// deterministic configuration, since no wall clock enters batch
+	// composition.
+	BatchWindow time.Duration
+	// Timer overrides the window clock (nil = time.After). Tests inject a
+	// manual trigger here to keep window dispatch deterministic.
+	Timer func(d time.Duration) <-chan time.Time
+	// OnBatch, when set, observes each dispatched batch's specs just
+	// before execution — a test hook for batch-composition assertions and
+	// deterministic stalls.
+	OnBatch func(specs []QuerySpec)
+}
+
+// schedItem is one admitted query: its spec, the caller's result channel,
+// and the simulated submit time (for the sched_queue stage).
+type schedItem struct {
+	spec      QuerySpec
+	ch        chan *QueryResult
+	submitted sim.Time
+}
+
+// Scheduler is the asynchronous admission/batching layer in front of a
+// DeepStore engine: concurrent Submit calls are coalesced into shared
+// multi-query sweeps (QueryMulti), amortizing each sweep's flash and
+// weight-streaming traffic across the batch. Results are delivered on the
+// per-submission channel with a sched_queue stage prepended, keeping the
+// stage-sum-equals-latency invariant.
+//
+// Batch composition is deterministic for a deterministic submission order:
+// items dispatch in admission order, cut by BatchSize, Flush, Close, or
+// the window timer — and with BatchWindow zero, no wall clock is involved
+// at all.
+type Scheduler struct {
+	ds    *DeepStore
+	cfg   SchedulerConfig
+	queue chan schedItem
+	flush chan chan struct{}
+	done  chan struct{}
+
+	// mu orders Submit/Flush sends against Close's channel close.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewScheduler starts the scheduling worker for the engine. Callers must
+// Close it to release the worker and flush trailing submissions.
+func NewScheduler(ds *DeepStore, cfg SchedulerConfig) *Scheduler {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.Timer == nil {
+		cfg.Timer = time.After
+	}
+	s := &Scheduler{
+		ds:    ds,
+		cfg:   cfg,
+		queue: make(chan schedItem, cfg.QueueDepth),
+		flush: make(chan chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// Submit admits one query. The returned channel delivers the query's
+// result exactly once (then closes); it is closed without a result if the
+// query itself fails. Submit never blocks: a full admission queue returns
+// ErrQueueFull, a closed scheduler ErrSchedulerClosed.
+func (s *Scheduler) Submit(spec QuerySpec) (<-chan *QueryResult, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrSchedulerClosed
+	}
+	item := schedItem{spec: spec, ch: make(chan *QueryResult, 1), submitted: s.ds.Now()}
+	select {
+	case s.queue <- item:
+		s.ds.obs.Counter("sched_submitted").Inc()
+		return item.ch, nil
+	default:
+		s.ds.obs.Counter("sched_rejected").Inc()
+		return nil, ErrQueueFull
+	}
+}
+
+// Flush dispatches any pending partial batch and returns once it has
+// executed. A no-op on a closed scheduler.
+func (s *Scheduler) Flush() {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return
+	}
+	ack := make(chan struct{})
+	s.flush <- ack
+	s.mu.RUnlock()
+	<-ack
+}
+
+// Close stops admission, dispatches every remaining query, and waits for
+// all results to be delivered. Safe to call more than once.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	<-s.done
+}
+
+// run is the scheduling worker: it accumulates admitted items and cuts a
+// batch when it reaches BatchSize, when the batching window fires, on
+// Flush, or when the queue closes.
+func (s *Scheduler) run() {
+	defer close(s.done)
+	var pending []schedItem
+	var window <-chan time.Time
+	dispatch := func() {
+		if len(pending) == 0 {
+			return
+		}
+		batch := pending
+		pending = nil
+		window = nil
+		s.runBatch(batch)
+	}
+	for {
+		select {
+		case item, ok := <-s.queue:
+			if !ok {
+				dispatch()
+				return
+			}
+			pending = append(pending, item)
+			if len(pending) >= s.cfg.BatchSize {
+				dispatch()
+			} else if len(pending) == 1 && s.cfg.BatchWindow > 0 {
+				window = s.cfg.Timer(s.cfg.BatchWindow)
+			}
+		case <-window:
+			dispatch()
+		case ack := <-s.flush:
+			// Drain everything admitted before the Flush so the caller's
+			// guarantee ("my submission has executed") holds even when the
+			// flush signal wins the select race against queued items.
+			for draining := true; draining; {
+				select {
+				case item, ok := <-s.queue:
+					if !ok {
+						draining = false
+						break
+					}
+					pending = append(pending, item)
+					if len(pending) >= s.cfg.BatchSize {
+						dispatch()
+					}
+				default:
+					draining = false
+				}
+			}
+			dispatch()
+			close(ack)
+		}
+	}
+}
+
+// runBatch executes one batch as a shared sweep and delivers each result.
+// A batch-level validation error (all-or-nothing QueryMulti) falls back to
+// independent queries so one bad spec cannot sink its batch-mates.
+func (s *Scheduler) runBatch(batch []schedItem) {
+	specs := make([]QuerySpec, len(batch))
+	for i, it := range batch {
+		specs[i] = it.spec
+	}
+	if fn := s.cfg.OnBatch; fn != nil {
+		fn(specs)
+	}
+	s.ds.obs.Counter("sched_batches").Inc()
+	started := s.ds.Now()
+	ids, err := s.ds.QueryMulti(specs)
+	if err != nil {
+		for i, it := range batch {
+			started := s.ds.Now()
+			id, qerr := s.ds.Query(specs[i])
+			if qerr != nil {
+				s.ds.obs.Counter("sched_errors").Inc()
+				close(it.ch)
+				continue
+			}
+			s.deliver(it, id, started)
+		}
+		return
+	}
+	for i, it := range batch {
+		s.deliver(it, ids[i], started)
+	}
+}
+
+// deliver fetches one query's result, prepends the sched_queue stage (the
+// simulated wait between Submit and batch dispatch, so stage durations
+// still sum to Latency), and completes the submission channel.
+func (s *Scheduler) deliver(it schedItem, id QueryID, started sim.Time) {
+	res, err := s.ds.GetResults(id)
+	if err != nil {
+		s.ds.obs.Counter("sched_errors").Inc()
+		close(it.ch)
+		return
+	}
+	qwait := sim.Duration(started - it.submitted)
+	if qwait < 0 {
+		qwait = 0
+	}
+	res.Latency += qwait
+	res.Stages = append([]obs.Stage{{Name: obs.StageSchedQueue, Dur: qwait}}, res.Stages...)
+	s.ds.obs.Histogram("core_stage_"+obs.StageSchedQueue+"_ms", obs.LatencyBucketsMs()).
+		Observe(qwait.Seconds() * 1e3)
+	it.ch <- res
+	close(it.ch)
+}

@@ -138,3 +138,66 @@ func (ds *DeepStore) ReplayTrace(tr *workload.Trace, model ModelID, db ftl.DBID,
 	report.P99Latency = obs.QuantileDurations(sorted, 99)
 	return report, nil
 }
+
+// ReplayTraceMulti replays the trace in groups of batch consecutive queries
+// submitted through QueryMulti, so each group shares one in-storage sweep.
+// Because the shared sweep preserves per-query cache semantics, latency, and
+// energy exactly, the report matches ReplayTrace on an identically
+// constructed engine — the shared_scan stage replacing scan in the breakdown
+// — while the engine's device timeline advances once per group instead of
+// once per query.
+func (ds *DeepStore) ReplayTraceMulti(tr *workload.Trace, model ModelID, db ftl.DBID, k, batch int) (TraceReport, error) {
+	if tr == nil || len(tr.Queries) == 0 {
+		return TraceReport{}, fmt.Errorf("core: empty trace")
+	}
+	if batch < 1 {
+		return TraceReport{}, fmt.Errorf("core: batch %d invalid", batch)
+	}
+	ds.mu.Lock()
+	st, err := ds.db(db)
+	if err != nil {
+		ds.mu.Unlock()
+		return TraceReport{}, err
+	}
+	dims := int(st.meta.Layout.FeatureBytes / 4)
+	ds.mu.Unlock()
+	var report TraceReport
+	report.Service = make([]sim.Duration, 0, len(tr.Queries))
+	for off := 0; off < len(tr.Queries); off += batch {
+		end := off + batch
+		if end > len(tr.Queries) {
+			end = len(tr.Queries)
+		}
+		specs := make([]QuerySpec, end-off)
+		for i, q := range tr.Queries[off:end] {
+			specs[i] = QuerySpec{
+				QFV: workload.QueryVector(q, dims, tr.Config.Seed),
+				K:   k, Model: model, DB: db,
+			}
+		}
+		ids, err := ds.QueryMulti(specs)
+		if err != nil {
+			return TraceReport{}, fmt.Errorf("core: trace batch at %d: %w", off, err)
+		}
+		for _, id := range ids {
+			res, err := ds.GetResults(id)
+			if err != nil {
+				return TraceReport{}, err
+			}
+			report.Queries++
+			if res.CacheHit {
+				report.CacheHits++
+			}
+			report.TotalLatency += res.Latency
+			report.EnergyJ += res.Energy.Total()
+			report.Service = append(report.Service, res.Latency)
+			report.Stages = obs.AccumulateStages(report.Stages, res.Stages)
+		}
+	}
+	report.MissRate = 1 - float64(report.CacheHits)/float64(report.Queries)
+	report.MeanLatency = report.TotalLatency / sim.Duration(report.Queries)
+	sorted := append([]sim.Duration(nil), report.Service...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	report.P99Latency = obs.QuantileDurations(sorted, 99)
+	return report, nil
+}

@@ -105,32 +105,106 @@ func (s *BatchScorer) ScoreBatch(scores []float32, qfv []float32, dfvs [][]float
 	if len(qfv) != fe {
 		panic(fmt.Sprintf("nn: network %q wants %d-element features, got %d", n.Name, fe, len(qfv)))
 	}
-	ce := fe
-	if n.Combine == CombineConcat {
-		ce = 2 * fe
+	ce := s.combElems()
+	for b, dfv := range dfvs {
+		if len(dfv) != fe {
+			panic(fmt.Sprintf("nn: network %q wants %d-element features, dfv %d has %d",
+				n.Name, fe, b, len(dfv)))
+		}
+		s.fillRow(s.comb[b*ce:(b+1)*ce], qfv, dfv, fe)
+	}
+	out, oe := s.forward(rows, ce)
+	for b := 0; b < rows; b++ {
+		scores[b] = out[b*oe]
+	}
+}
+
+// ScoreMulti scores every query in qfvs against every feature in dfvs,
+// writing scores[q][b] = Score(qfvs[q], dfvs[b]). The Q×B pair grid is
+// flattened query-major and pushed through the scratch in MaxBatch-row
+// chunks, so a chunk's rows span many (query, feature) pairs and each FC
+// layer's weight panel is streamed once per chunk instead of once per query
+// — the multi-query amortization of the shared scan. Row arithmetic is
+// exactly ScoreBatch's, so every score is bit-identical to the per-query
+// paths (Scorer.Score, ScoreBatch).
+//
+// scores needs at least len(qfvs) rows of at least len(dfvs) elements; Q
+// and B are otherwise unconstrained (chunking handles Q*B > MaxBatch).
+func (s *BatchScorer) ScoreMulti(scores [][]float32, qfvs [][]float32, dfvs [][]float32) {
+	nq, nb := len(qfvs), len(dfvs)
+	if nq == 0 || nb == 0 {
+		return
+	}
+	if len(scores) < nq {
+		panic(fmt.Sprintf("nn: %d score rows for %d queries", len(scores), nq))
+	}
+	n := s.net
+	fe := n.FeatureElems()
+	for q, qfv := range qfvs {
+		if len(qfv) != fe {
+			panic(fmt.Sprintf("nn: network %q wants %d-element features, qfv %d has %d",
+				n.Name, fe, q, len(qfv)))
+		}
+		if len(scores[q]) < nb {
+			panic(fmt.Sprintf("nn: %d scores for %d features (query %d)", len(scores[q]), nb, q))
+		}
 	}
 	for b, dfv := range dfvs {
 		if len(dfv) != fe {
 			panic(fmt.Sprintf("nn: network %q wants %d-element features, dfv %d has %d",
 				n.Name, fe, b, len(dfv)))
 		}
-		row := s.comb[b*ce : (b+1)*ce]
-		switch n.Combine {
-		case CombineHadamard:
-			for i := 0; i < fe; i++ {
-				row[i] = qfv[i] * dfv[i]
-			}
-		case CombineSubtract:
-			for i := 0; i < fe; i++ {
-				row[i] = qfv[i] - dfv[i]
-			}
-		case CombineConcat:
-			copy(row[:fe], qfv)
-			copy(row[fe:], dfv)
+	}
+	ce := s.combElems()
+	total := nq * nb
+	for base := 0; base < total; base += s.max {
+		rows := total - base
+		if rows > s.max {
+			rows = s.max
+		}
+		for r := 0; r < rows; r++ {
+			f := base + r
+			s.fillRow(s.comb[r*ce:(r+1)*ce], qfvs[f/nb], dfvs[f%nb], fe)
+		}
+		out, oe := s.forward(rows, ce)
+		for r := 0; r < rows; r++ {
+			f := base + r
+			scores[f/nb][f%nb] = out[r*oe]
 		}
 	}
+}
+
+// combElems is the per-row element count of the combined activation matrix.
+func (s *BatchScorer) combElems() int {
+	if s.net.Combine == CombineConcat {
+		return 2 * s.net.FeatureElems()
+	}
+	return s.net.FeatureElems()
+}
+
+// fillRow writes one combined-activation row for a (qfv, dfv) pair.
+func (s *BatchScorer) fillRow(row, qfv, dfv []float32, fe int) {
+	switch s.net.Combine {
+	case CombineHadamard:
+		for i := 0; i < fe; i++ {
+			row[i] = qfv[i] * dfv[i]
+		}
+	case CombineSubtract:
+		for i := 0; i < fe; i++ {
+			row[i] = qfv[i] - dfv[i]
+		}
+	case CombineConcat:
+		copy(row[:fe], qfv)
+		copy(row[fe:], dfv)
+	}
+}
+
+// forward pushes the first rows rows of the combined matrix through the
+// layer stack, returning the final activation matrix and its per-row
+// element count.
+func (s *BatchScorer) forward(rows, ce int) ([]float32, int) {
 	in, inElems := s.comb, ce
-	for li, l := range n.Layers {
+	for li, l := range s.net.Layers {
 		out := s.bufs[li][:rows*s.outElems[li]]
 		if bl, ok := l.(batchedLayer); ok {
 			bl.forwardRows(out, in[:rows*inElems], rows, s.col)
@@ -144,9 +218,7 @@ func (s *BatchScorer) ScoreBatch(scores []float32, qfv []float32, dfvs [][]float
 		}
 		in, inElems = out, s.outElems[li]
 	}
-	for b := 0; b < rows; b++ {
-		scores[b] = in[b*inElems]
-	}
+	return in, inElems
 }
 
 // forwardRows implements batchedLayer: one blocked GEMM over the whole

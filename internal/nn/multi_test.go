@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestScoreMultiMatchesScorer: for every (query, feature) pair in the Q×B
+// grid, ScoreMulti's score equals the per-feature Scorer's — the
+// bit-identity the shared multi-query scan rests on. Q and B are chosen so
+// the flattened grid straddles chunk boundaries (Q*B > max) and so chunks
+// split mid-query (max not a multiple of B).
+func TestScoreMultiMatchesScorer(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, net := range batchTestNets() {
+		fe := net.FeatureElems()
+		ref := net.Scorer()
+		pool := make([][]float32, 13)
+		for i := range pool {
+			pool[i] = randVec(rng, fe)
+		}
+		qfvs := make([][]float32, 5)
+		for q := range qfvs {
+			qfvs[q] = randVec(rng, fe)
+		}
+		for _, tc := range []struct{ q, b, max int }{
+			{1, 1, 64},
+			{1, 13, 64},
+			{5, 13, 64}, // 65 pairs > 64 rows: chunk splits mid-grid
+			{5, 7, 4},   // max smaller than B: chunks split mid-query
+			{3, 13, 5},  // max not a divisor of B
+		} {
+			t.Run(fmt.Sprintf("%s/Q=%d/B=%d/max=%d", net.Name, tc.q, tc.b, tc.max), func(t *testing.T) {
+				bs := net.BatchScorer(tc.max)
+				scores := make([][]float32, tc.q)
+				for q := range scores {
+					scores[q] = make([]float32, tc.b)
+				}
+				bs.ScoreMulti(scores, qfvs[:tc.q], pool[:tc.b])
+				for q := 0; q < tc.q; q++ {
+					for b := 0; b < tc.b; b++ {
+						want := ref.Score(qfvs[q], pool[b])
+						if scores[q][b] != want {
+							t.Fatalf("pair (%d,%d): multi %v (bits %x) != scorer %v (bits %x)",
+								q, b, scores[q][b], math.Float32bits(scores[q][b]),
+								want, math.Float32bits(want))
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestScoreMultiMatchesScoreBatch: a Q-query multi call equals Q
+// independent single-query ScoreBatch calls through the same scorer —
+// sharing one pass over the feature block changes no bits.
+func TestScoreMultiMatchesScoreBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	net := batchTestNets()[1] // concat stack: rows are query-dependent halves
+	fe := net.FeatureElems()
+	pool := make([][]float32, 9)
+	for i := range pool {
+		pool[i] = randVec(rng, fe)
+	}
+	qfvs := make([][]float32, 4)
+	for q := range qfvs {
+		qfvs[q] = randVec(rng, fe)
+	}
+	bs := net.BatchScorer(16)
+	multi := make([][]float32, len(qfvs))
+	for q := range multi {
+		multi[q] = make([]float32, len(pool))
+	}
+	bs.ScoreMulti(multi, qfvs, pool)
+	single := make([]float32, len(pool))
+	for q, qfv := range qfvs {
+		bs.ScoreBatch(single, qfv, pool)
+		for b := range pool {
+			if multi[q][b] != single[b] {
+				t.Fatalf("query %d feature %d: multi %v != batch %v", q, b, multi[q][b], single[b])
+			}
+		}
+	}
+}
+
+// TestScoreMultiValidation: dimension and capacity misuse panics rather
+// than corrupting scratch.
+func TestScoreMultiValidation(t *testing.T) {
+	net := batchTestNets()[0]
+	fe := net.FeatureElems()
+	bs := net.BatchScorer(8)
+	good := make([]float32, fe)
+	row := [][]float32{make([]float32, 1)}
+	for name, fn := range map[string]func(){
+		"short score rows": func() {
+			bs.ScoreMulti(nil, [][]float32{good}, [][]float32{good})
+		},
+		"short score row": func() {
+			bs.ScoreMulti([][]float32{{}}, [][]float32{good}, [][]float32{good})
+		},
+		"bad qfv": func() {
+			bs.ScoreMulti(row, [][]float32{make([]float32, fe-1)}, [][]float32{good})
+		},
+		"bad dfv": func() {
+			bs.ScoreMulti(row, [][]float32{good}, [][]float32{make([]float32, fe+1)})
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+	// Empty grids are a no-op, not a panic.
+	bs.ScoreMulti(nil, nil, [][]float32{good})
+	bs.ScoreMulti(nil, [][]float32{good}, nil)
+}

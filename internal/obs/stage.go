@@ -12,6 +12,14 @@ const (
 	// (flash reads, weight streaming, and systolic compute overlap inside
 	// it; the per-page detail is in the "flash" span category).
 	StageScan = "scan"
+	// StageSharedScan is the scan stage of a query served by a shared
+	// multi-query sweep (core.QueryMulti): the same event-driven scan as
+	// StageScan, but its flash and weight traffic are paid once for the
+	// whole batch.
+	StageSharedScan = "shared_scan"
+	// StageSchedQueue is the time a query waited in the scheduler's
+	// admission queue before its batch dispatched (core.Scheduler).
+	StageSchedQueue = "sched_queue"
 	// StageRerank is the SCN re-scoring of a cache hit's stored top-K.
 	StageRerank = "rerank"
 	// StageDMA is the getResults transfer of the top-K to the host.

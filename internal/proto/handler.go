@@ -1,7 +1,9 @@
 package proto
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/accel"
 	"repro/internal/core"
@@ -18,6 +20,16 @@ type Handler struct {
 	// Obs, when set, counts executed commands per opcode plus non-success
 	// completions; nil counts nothing.
 	Obs *obs.Registry
+	// Sched, when set, enables the queryAsync/await commands: queryAsync
+	// admits through the scheduler's batching queue instead of executing
+	// synchronously. Nil makes those opcodes complete with
+	// StatusUnsupported.
+	Sched *core.Scheduler
+
+	// ticketMu guards the async ticket table.
+	ticketMu   sync.Mutex
+	nextTicket uint64
+	tickets    map[uint64]<-chan *core.QueryResult
 }
 
 // Execute runs one command to completion.
@@ -49,6 +61,10 @@ func (h *Handler) execute(cmd Command) Completion {
 		return h.getResults(cmd)
 	case OpSetQC:
 		return h.setQC(cmd)
+	case OpQueryAsync:
+		return h.queryAsync(cmd)
+	case OpAwait:
+		return h.await(cmd)
 	default:
 		return fail(cmd, StatusUnsupported, fmt.Sprintf("opcode %s", cmd.Op))
 	}
@@ -106,10 +122,12 @@ func (h *Handler) loadModel(cmd Command) Completion {
 	return ok(cmd, uint64(id), nil)
 }
 
-func (h *Handler) query(cmd Command) Completion {
+// decodeSpec unpacks the shared query/queryAsync command layout into an
+// engine query spec.
+func decodeSpec(cmd Command) (core.QuerySpec, error) {
 	qfv, err := decodeQFV(cmd.Payload)
 	if err != nil {
-		return fail(cmd, StatusInvalidField, err.Error())
+		return core.QuerySpec{}, err
 	}
 	spec := core.QuerySpec{
 		QFV:     qfv,
@@ -123,6 +141,14 @@ func (h *Handler) query(cmd Command) Completion {
 		level := accel.Level(lv - 1)
 		spec.Level = &level
 	}
+	return spec, nil
+}
+
+func (h *Handler) query(cmd Command) Completion {
+	spec, err := decodeSpec(cmd)
+	if err != nil {
+		return fail(cmd, StatusInvalidField, err.Error())
+	}
 	qid, err := h.DS.Query(spec)
 	if err != nil {
 		return fail(cmd, StatusInvalidField, err.Error())
@@ -130,11 +156,69 @@ func (h *Handler) query(cmd Command) Completion {
 	return ok(cmd, uint64(qid), nil)
 }
 
+// queryAsync admits a query through the batching scheduler and returns a
+// ticket for await. Backpressure (a full admission queue) completes with
+// StatusCapacity so the host can shed or retry on its own terms.
+func (h *Handler) queryAsync(cmd Command) Completion {
+	if h.Sched == nil {
+		return fail(cmd, StatusUnsupported, "no scheduler attached")
+	}
+	spec, err := decodeSpec(cmd)
+	if err != nil {
+		return fail(cmd, StatusInvalidField, err.Error())
+	}
+	ch, err := h.Sched.Submit(spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, core.ErrQueueFull):
+			return fail(cmd, StatusCapacity, err.Error())
+		case errors.Is(err, core.ErrSchedulerClosed):
+			return fail(cmd, StatusInternal, err.Error())
+		}
+		return fail(cmd, StatusInvalidField, err.Error())
+	}
+	h.ticketMu.Lock()
+	h.nextTicket++
+	ticket := h.nextTicket
+	if h.tickets == nil {
+		h.tickets = make(map[uint64]<-chan *core.QueryResult)
+	}
+	h.tickets[ticket] = ch
+	h.ticketMu.Unlock()
+	return ok(cmd, ticket, nil)
+}
+
+// await blocks until the ticket's query has executed and returns its
+// results in the getResults encoding. Each ticket is redeemable once.
+func (h *Handler) await(cmd Command) Completion {
+	ticket := cmd.Args[0]
+	h.ticketMu.Lock()
+	ch, found := h.tickets[ticket]
+	delete(h.tickets, ticket)
+	h.ticketMu.Unlock()
+	if !found {
+		return fail(cmd, StatusNotFound, fmt.Sprintf("unknown ticket %d", ticket))
+	}
+	res, okRes := <-ch
+	if !okRes {
+		// The scheduler closes the channel without a result when the query
+		// itself failed (its batch-mates are unaffected).
+		return fail(cmd, StatusInternal, fmt.Sprintf("ticket %d: query failed", ticket))
+	}
+	return h.resultCompletion(cmd, res)
+}
+
 func (h *Handler) getResults(cmd Command) Completion {
 	res, err := h.DS.GetResults(core.QueryID(cmd.Args[0]))
 	if err != nil {
 		return fail(cmd, StatusNotFound, err.Error())
 	}
+	return h.resultCompletion(cmd, res)
+}
+
+// resultCompletion packs a query result into the shared getResults/await
+// completion encoding.
+func (h *Handler) resultCompletion(cmd Command, res *core.QueryResult) Completion {
 	ids := make([]int64, len(res.TopK))
 	scores := make([]float32, len(res.TopK))
 	objects := make([]uint64, len(res.TopK))

@@ -98,3 +98,34 @@ func TestRender(t *testing.T) {
 		t.Errorf("md render = %q, %v", s, err)
 	}
 }
+
+func TestCSVRejectsInvalidTable(t *testing.T) {
+	bad := Table{Name: "bad", Header: []string{"a", "b"}, Rows: [][]string{{"1"}}}
+	if _, err := bad.CSV(); err == nil {
+		t.Error("CSV accepted a ragged table")
+	}
+	if _, err := (Table{Name: "empty"}).CSV(); err == nil {
+		t.Error("CSV accepted a headerless table")
+	}
+}
+
+func TestMarkdownRejectsInvalidTable(t *testing.T) {
+	bad := Table{Name: "bad", Header: []string{"a"}, Rows: [][]string{{"1", "2"}}}
+	if _, err := bad.Markdown(); err == nil {
+		t.Error("Markdown accepted a ragged table")
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	tab := Table{Name: "t", Header: []string{"a"}, Rows: [][]string{{"1"}}}
+	if _, err := Render(tab, Format(99), func() string { return "" }); err == nil {
+		t.Error("unknown format accepted")
+	}
+	bad := Table{Name: "bad", Header: []string{"a"}, Rows: [][]string{{"1", "2"}}}
+	if _, err := Render(bad, FormatCSV, func() string { return "" }); err == nil {
+		t.Error("ragged table rendered as CSV")
+	}
+	if _, err := Render(bad, FormatMarkdown, func() string { return "" }); err == nil {
+		t.Error("ragged table rendered as Markdown")
+	}
+}

@@ -89,3 +89,16 @@ func TestBarChartAllZero(t *testing.T) {
 		t.Errorf("zero bar = %q", s)
 	}
 }
+
+func TestBarChartNarrowWidthAndNaN(t *testing.T) {
+	out := BarChart("t", []Bar{
+		{Label: "supported", Value: 2},
+		{Label: "unsupported", Value: math.NaN()},
+	}, 1) // below the minimum width: clamped to 4
+	if !strings.Contains(out, "n/s") {
+		t.Errorf("NaN bar not marked n/s:\n%s", out)
+	}
+	if !strings.Contains(out, "████") {
+		t.Errorf("max bar not scaled to clamped width:\n%s", out)
+	}
+}
