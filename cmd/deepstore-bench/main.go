@@ -37,6 +37,9 @@ var lastBreakdown *exp.BreakdownResult
 // lastMQRows captures the multi-query study for -mqjson.
 var lastMQRows []exp.MQRow
 
+// lastPruneRows captures the exact-pruning study for -prunejson.
+var lastPruneRows []exp.PruneRow
+
 // experiment couples an id with the code that produces its tables, and an
 // optional terminal-chart rendering for the sweep/comparison figures.
 type experiment struct {
@@ -268,6 +271,16 @@ func experiments() []experiment {
 			return []report.Table{{Name: "mq", Header: h, Rows: c}},
 				exp.FormatMQ(rows), nil
 		}},
+		{name: "prune", run: func(int64) ([]report.Table, string, error) {
+			rows, err := exp.PruneSweep(exp.DefaultPrune())
+			if err != nil {
+				return nil, "", err
+			}
+			lastPruneRows = rows
+			h, c := exp.CellsPrune(rows)
+			return []report.Table{{Name: "prune", Header: h, Rows: c}},
+				exp.FormatPrune(rows), nil
+		}},
 		{name: "faults", run: func(int64) ([]report.Table, string, error) {
 			rows, err := exp.FaultSweep(exp.DefaultFaults())
 			if err != nil {
@@ -324,12 +337,13 @@ func experiments() []experiment {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,scan,mq,faults,breakdown,recall,ablations")
+	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,scan,mq,prune,faults,breakdown,recall,ablations")
 	window := flag.Int64("window", exp.DefaultWindow, "features per accelerator simulated before extrapolation (0 = exact)")
 	formatFlag := flag.String("format", "text", "output format: text, csv, markdown, chart")
 	scanJSON := flag.String("scanjson", "", "write the scan experiment's rows as JSON to this file (e.g. BENCH_scan.json); implies running scan")
 	faultsJSON := flag.String("faultsjson", "", "write the fault sweep's rows as JSON to this file (e.g. BENCH_faults.json); implies running faults")
 	mqJSON := flag.String("mqjson", "", "write the multi-query study's rows as JSON to this file (e.g. BENCH_mq.json); implies running mq")
+	pruneJSON := flag.String("prunejson", "", "write the exact-pruning study's rows as JSON to this file (e.g. BENCH_prune.json); implies running prune")
 	metricsJSON := flag.String("metricsjson", "", "write the breakdown replay's metrics snapshot as JSON to this file; implies running breakdown")
 	traceJSON := flag.String("tracejson", "", "write the breakdown replay's span trace in Chrome trace-event format to this file (load in chrome://tracing or Perfetto); implies running breakdown")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
@@ -395,6 +409,9 @@ func main() {
 	}
 	if *mqJSON != "" {
 		want["mq"] = true
+	}
+	if *pruneJSON != "" {
+		want["prune"] = true
 	}
 	if *metricsJSON != "" || *traceJSON != "" {
 		want["breakdown"] = true
@@ -462,6 +479,9 @@ func main() {
 	}
 	if *mqJSON != "" && lastMQRows != nil {
 		writeJSON(*mqJSON, lastMQRows)
+	}
+	if *pruneJSON != "" && lastPruneRows != nil {
+		writeJSON(*pruneJSON, lastPruneRows)
 	}
 	if *metricsJSON != "" && lastBreakdown != nil {
 		writeJSON(*metricsJSON, lastBreakdown.Snapshot)

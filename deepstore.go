@@ -48,6 +48,10 @@ type QuerySpec = core.QuerySpec
 // QueryResult carries a query's top-K results and simulated cost.
 type QueryResult = core.QueryResult
 
+// PruneStats is the exact-pruning skip accounting carried by a QueryResult
+// (all zeros unless Options.Prune is enabled — see DESIGN.md §11).
+type PruneStats = core.PruneStats
+
 // ModelID identifies a loaded similarity comparison network.
 type ModelID = core.ModelID
 

@@ -120,6 +120,9 @@ type Answer struct {
 	Makespan sim.Duration
 	// EnergyJ sums the contributing shards' modeled energy.
 	EnergyJ float64
+	// Prune sums the contributing shards' exact-pruning skip accounting
+	// (all zeros when shards run with Options.Prune off).
+	Prune core.PruneStats
 
 	// Degraded reports that the answer covers only a subset of the shards
 	// (failures, timeouts, or quorum-skipped stragglers).
@@ -435,6 +438,7 @@ drain:
 				answers[i].Makespan = lat
 			}
 			answers[i].EnergyJ += o.results[i].Energy.Total()
+			answers[i].Prune.Add(o.results[i].Prune)
 		}
 		answers[i].TopK = topk.Merge(k, queues...).Results()
 		e.reg.Histogram("cluster_query_makespan_ms", obs.LatencyBucketsMs()).Observe(answers[i].Makespan.Seconds() * 1e3)

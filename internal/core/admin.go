@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ftl"
+	"repro/internal/reorg"
 )
 
 // Administrative operations beyond the Table 2 query API: database deletion
@@ -40,6 +41,50 @@ func (ds *DeepStore) CompactFlash() int {
 		}
 	}
 	return moved
+}
+
+// ReorgDB rewrites a database in a new feature order (an internal/reorg
+// clustering's Order, typically) — the §7 in-storage reorganization path.
+// The migration is charged in the device model: every data page is read,
+// staged through controller DRAM, and reprogrammed. With the pruning tier
+// enabled the stripe-bound table is rebuilt from scratch atomically with the
+// move (every stripe's membership changed); a rebuild failure drops the
+// table so queries fall back to the dense scan rather than pruning against
+// stale bounds.
+func (ds *DeepStore) ReorgDB(id ftl.DBID, order []int) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	st, err := ds.db(id)
+	if err != nil {
+		return err
+	}
+	if st.vectors == nil {
+		return fmt.Errorf("core: reorg of a declared (spec-only) database")
+	}
+	moved, err := reorg.ApplyOrder(st.vectors, order)
+	if err != nil {
+		return err
+	}
+	layout := st.meta.Layout
+	for ch := 0; ch < layout.Geom.Channels; ch++ {
+		pages := layout.ChannelPages(ch)
+		for j := int64(0); j < pages; j++ {
+			addr := layout.ChannelPageAddr(ch, j)
+			ds.dev.Flash.ReadPage(addr, func() {
+				ds.dev.DRAM.Transfer(layout.Geom.PageBytes, func() {
+					ds.dev.Flash.ProgramPage(addr, nil)
+				})
+			})
+		}
+	}
+	ds.engine.Run()
+	st.vectors = moved
+	if ds.opts.Prune {
+		if err := ds.buildBoundTier(st); err != nil {
+			ds.dropBoundTier(st)
+		}
+	}
+	return nil
 }
 
 // Checkpoint persists the FTL metadata to the reserved flash block (§4.4)

@@ -44,7 +44,15 @@ func (ds *DeepStore) WriteDB(features [][]float32) (ftl.DBID, error) {
 		copy(v, f)
 		stored[i] = v
 	}
-	ds.dbs[meta.ID] = &dbState{meta: meta, vectors: stored}
+	st := &dbState{meta: meta, vectors: stored}
+	ds.dbs[meta.ID] = st
+	if ds.opts.Prune {
+		// A failed table build degrades to the dense scan; results are
+		// identical either way, so writeDB still succeeds.
+		if err := ds.buildBoundTier(st); err != nil {
+			ds.dropBoundTier(st)
+		}
+	}
 	return meta.ID, nil
 }
 
@@ -101,11 +109,20 @@ func (ds *DeepStore) AppendDB(id ftl.DBID, features [][]float32) error {
 	if err != nil {
 		return err
 	}
+	oldFeatures := int64(len(st.vectors))
 	st.meta = meta
 	for _, f := range features {
 		v := make([]float32, dims)
 		copy(v, f)
 		st.vectors = append(st.vectors, v)
+	}
+	if ds.opts.Prune {
+		// The append invalidated every stripe containing a new slot; rebuild
+		// those atomically with the append (a failure drops the tier — a
+		// stale table would prune wrongly, no table merely scans densely).
+		if err := ds.rebuildBoundStripes(st, oldFeatures); err != nil {
+			ds.dropBoundTier(st)
+		}
 	}
 	return nil
 }

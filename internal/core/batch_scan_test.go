@@ -52,8 +52,8 @@ func TestScoreRangeBatchedConvApp(t *testing.T) {
 		{"mid-stripe", 3, 141},
 	} {
 		t.Run(c.name, func(t *testing.T) {
-			serial := ds.scoreRangeSerial(net, st, q, c.start, c.end, 10)
-			batched := ds.scoreRangeBatched(net, st, q, c.start, c.end, 10)
+			serial, _ := ds.scoreRangeSerial(net, st, q, c.start, c.end, 10)
+			batched, _ := ds.scoreRangeBatched(net, st, q, c.start, c.end, 10)
 			if len(serial) != len(batched) {
 				t.Fatalf("batched returned %d entries, serial %d", len(batched), len(serial))
 			}
@@ -120,7 +120,7 @@ func TestRerankBatchedMatchesScalar(t *testing.T) {
 	st := ds.dbs[dbID]
 	net := ds.models[model]
 	qfv := st.vectors[5]
-	cached := ds.scoreRangeSerial(net, st, st.vectors[7], 0, 300, 40)
+	cached, _ := ds.scoreRangeSerial(net, st, st.vectors[7], 0, 300, 40)
 	cached = append(cached, topk.Entry{FeatureID: -1}, topk.Entry{FeatureID: 300})
 
 	want := topk.New(10)
@@ -156,8 +156,8 @@ func TestScoreRangeBatchedAllocSteady(t *testing.T) {
 	net := ds.models[model]
 	q := st.vectors[17]
 	ds.scoreRangeBatched(net, st, q, 0, 2000, 10) // warm the pool
-	small := testing.AllocsPerRun(5, func() { ds.scoreRangeBatched(net, st, q, 0, 200, 10) })
-	large := testing.AllocsPerRun(5, func() { ds.scoreRangeBatched(net, st, q, 0, 2000, 10) })
+	small := testing.AllocsPerRun(5, func() { _, _ = ds.scoreRangeBatched(net, st, q, 0, 200, 10) })
+	large := testing.AllocsPerRun(5, func() { _, _ = ds.scoreRangeBatched(net, st, q, 0, 2000, 10) })
 	// 1800 extra features → ~29 extra GEMM batches; allow a little noise
 	// from the scheduler but nothing proportional to the feature count.
 	if large-small > 8 {

@@ -70,6 +70,12 @@ func (m ScanMode) String() string {
 // DESIGN.md on batch-size selection).
 const DefaultScoreBatch = 64
 
+// DefaultPruneStripe is the features-per-stripe of the exact-pruning bound
+// tier when Options.PruneStripeFeatures is zero: fine enough that one cold
+// stripe cannot hide many skippable features, coarse enough that the table
+// stays thousands of times smaller than the data.
+const DefaultPruneStripe = 64
+
 // Options configures a DeepStore instance.
 type Options struct {
 	// Device is the simulated SSD configuration; zero value means
@@ -93,6 +99,16 @@ type Options struct {
 	// ScoreBatch is the feature count per GEMM batch on the batched path
 	// (0 = DefaultScoreBatch). Results do not depend on it.
 	ScoreBatch int
+	// Prune enables the exact stripe-pruning tier: WriteDB/AppendDB/ReorgDB
+	// build per-channel-stripe bound tables (persisted page-aligned next to
+	// the data), and every scan path skips stripes whose score upper bound
+	// cannot beat the current top-K floor. Results are bit-identical to the
+	// dense scan in every mode (see DESIGN.md "Exact scan pruning"); only
+	// latency, energy, and the new bound_check stage change.
+	Prune bool
+	// PruneStripeFeatures is the per-channel stripe granularity of the bound
+	// tier (0 = DefaultPruneStripe). Results do not depend on it.
+	PruneStripeFeatures int
 }
 
 // DefaultOptions returns the evaluation configuration: channel-level
@@ -110,6 +126,10 @@ type dbState struct {
 	// vectors are the materialized features (examples scale). nil for
 	// spec-only databases created through DeclareDB.
 	vectors [][]float32
+	// bounds is the in-DRAM copy of the database's stripe-bound table (nil
+	// when Options.Prune is off, the database is spec-only, or the table
+	// build failed — all of which fall back to the dense scan).
+	bounds *boundTier
 }
 
 type queryState struct {
@@ -129,9 +149,31 @@ type QueryResult struct {
 	// (the full range on a miss, the cached top-K on a hit).
 	FeaturesScanned int64
 	// Stages is the per-stage latency breakdown, in execution order
-	// (qcache_lookup, then scan or rerank, then one dma stage per
-	// GetResults call). Stage durations always sum exactly to Latency.
+	// (qcache_lookup, then bound_check when the pruning tier is active,
+	// then scan or rerank, then one dma stage per GetResults call). Stage
+	// durations always sum exactly to Latency.
 	Stages []obs.Stage
+	// Prune reports what the exact-pruning tier did for this query (all
+	// zeros when the tier is inactive or the query hit the cache).
+	Prune PruneStats
+}
+
+// PruneStats counts the exact-pruning tier's work on one scan: how many
+// stripe bounds were evaluated against the top-K floor, how many stripes
+// were skipped, and how many feature comparisons those skips avoided.
+// FeaturesScanned + Prune.FeaturesSkipped always equals the dense scan's
+// FeaturesScanned for the same range.
+type PruneStats struct {
+	StripesChecked  int64
+	StripesSkipped  int64
+	FeaturesSkipped int64
+}
+
+// Add accumulates other into s (cluster fan-out and sweep aggregation).
+func (s *PruneStats) Add(other PruneStats) {
+	s.StripesChecked += other.StripesChecked
+	s.StripesSkipped += other.StripesSkipped
+	s.FeaturesSkipped += other.FeaturesSkipped
 }
 
 // Stats aggregates engine activity.

@@ -134,13 +134,13 @@ func (ds *DeepStore) QueryMulti(specs []QuerySpec) ([]QueryID, error) {
 		}
 	}
 
-	// Pass 2 — one simulated scan and one shared functional sweep per
-	// group, in first-miss order.
+	// Pass 2 — the shared functional sweep (which also makes each member's
+	// stripe-skip decisions) and then the event-driven scans per group, in
+	// first-miss order. Pruned members can survive different feature counts,
+	// so the device timeline advances once per DISTINCT survivor count —
+	// with pruning off that is exactly one scan per group, as before.
 	for _, g := range groups {
-		scanOut, err := ds.simulateScan(g.key.net, g.key.st, g.key.level, g.key.start, g.key.end)
-		if err != nil {
-			return nil, err
-		}
+		tier := ds.pruneTier(g.key.st)
 		qfvs := make([][]float32, len(g.members))
 		ks := make([]int, len(g.members))
 		for j, qi := range g.members {
@@ -148,19 +148,52 @@ func (ds *DeepStore) QueryMulti(specs []QuerySpec) ([]QueryID, error) {
 			ks[j] = items[qi].spec.K
 		}
 		var tops [][]topk.Entry
+		var pss []pruneStats
 		if g.key.st.vectors != nil {
-			tops = ds.scoreRangeMulti(g.key.net, g.key.st, qfvs, g.key.start, g.key.end, ks)
+			tops, pss = ds.scoreRangeMulti(g.key.net, g.key.st, qfvs, g.key.start, g.key.end, ks)
 		}
+		scans := map[int64]accel.ScanResult{}
 		for j, qi := range g.members {
 			it := &items[qi]
 			r := it.result
-			r.FeaturesScanned = g.key.end - g.key.start
-			r.Latency = it.lookupLat + scanOut.Elapsed
+			survivors := g.key.end - g.key.start
+			var ps pruneStats
+			if pss != nil {
+				ps = pss[j]
+				survivors -= ps.featuresSkipped
+			}
+			scanOut, ok := scans[survivors]
+			if !ok {
+				var err error
+				scanOut, err = ds.simulateScanCount(g.key.net, g.key.st, g.key.level, survivors)
+				if err != nil {
+					return nil, err
+				}
+				scans[survivors] = scanOut
+			}
+			r.FeaturesScanned = survivors
+			r.Prune = PruneStats{
+				StripesChecked:  ps.checked,
+				StripesSkipped:  ps.skipped,
+				FeaturesSkipped: ps.featuresSkipped,
+			}
+			var boundLat sim.Duration
+			if tier != nil {
+				boundLat = ds.boundCheckLatency(g.key.net, g.key.level, tier, ps.checked)
+				ds.recordPruneStats(ps)
+			}
+			r.Latency = it.lookupLat + boundLat + scanOut.Elapsed
 			if ds.qc != nil {
 				r.Stages = append(r.Stages, obs.Stage{Name: obs.StageQCacheLookup, Dur: it.lookupLat})
 			}
+			if tier != nil {
+				r.Stages = append(r.Stages, obs.Stage{Name: obs.StageBoundCheck, Dur: boundLat})
+			}
 			r.Stages = append(r.Stages, obs.Stage{Name: obs.StageSharedScan, Dur: scanOut.Elapsed})
 			r.Energy = it.lookupEnergy
+			if tier != nil {
+				r.Energy.Add(ds.boundCheckEnergy(g.key.net, g.key.level, tier, ps.checked))
+			}
 			r.Energy.Add(ds.emodel.Energy(scanOut.Activity))
 			if tops != nil {
 				if it.pending != nil {
@@ -208,12 +241,18 @@ func (ds *DeepStore) QueryMulti(specs []QuerySpec) ([]QueryID, error) {
 // traffic are paid once for the whole query batch. Stripe order and the
 // (score, featureID) total order of topk.Merge match scoreRange exactly,
 // making each query's merged top-K bit-identical to its independent scan
-// in every scan mode.
-func (ds *DeepStore) scoreRangeMulti(net *nn.Network, st *dbState, qfvs [][]float32, start, end int64, ks []int) [][]topk.Entry {
+// in every scan mode. With the pruning tier active the skip decision is
+// made per (query, segment) at segment entry — a segment is still gathered
+// and scored once if ANY member query survives it, but offers to queries
+// that skipped it are withheld, so every query's queue evolves exactly as
+// its independent pruned scan would and the returned stats match too.
+func (ds *DeepStore) scoreRangeMulti(net *nn.Network, st *dbState, qfvs [][]float32, start, end int64, ks []int) ([][]topk.Entry, []pruneStats) {
 	layout := st.meta.Layout
 	channels := layout.Geom.Channels
+	tier := ds.pruneTier(st)
 	nq := len(qfvs)
 	queues := make([][]*topk.Queue, channels)
+	chStats := make([][]pruneStats, channels)
 	workers := runtime.GOMAXPROCS(0)
 	if ds.scanMode() == ScanSerial {
 		workers = 1
@@ -237,6 +276,12 @@ func (ds *DeepStore) scoreRangeMulti(net *nn.Network, st *dbState, qfvs [][]floa
 			for q := range scores {
 				scores[q] = make([]float32, len(ctx.dfvs))
 			}
+			var bnd *nn.BoundScorer
+			var active []bool
+			if tier != nil {
+				bnd = net.BoundScorer()
+				active = make([]bool, nq)
+			}
 			for {
 				ch := int(nextShard.Add(1) - 1)
 				if ch >= channels {
@@ -249,24 +294,68 @@ func (ds *DeepStore) scoreRangeMulti(net *nn.Network, st *dbState, qfvs [][]floa
 				// Feature i lives on channel i mod Channels (§4.4
 				// striping), so the shard walks its stripe directly.
 				first := start + ((int64(ch)-start)%stride+stride)%stride
-				n := 0
-				for i := first; i < end; i += stride {
-					ctx.dfvs[n] = st.vectors[i]
-					ctx.ids[n] = i
-					ctx.objs[n] = uint64(layout.Geom.Linear(layout.FeatureAddr(i)))
-					n++
-					if n == len(ctx.dfvs) {
-						ctx.flushMulti(qs, scores, qfvs, n)
-						n = 0
+				if tier == nil {
+					n := 0
+					for i := first; i < end; i += stride {
+						ctx.dfvs[n] = st.vectors[i]
+						ctx.ids[n] = i
+						ctx.objs[n] = uint64(layout.Geom.Linear(layout.FeatureAddr(i)))
+						n++
+						if n == len(ctx.dfvs) {
+							ctx.flushMulti(qs, scores, qfvs, n, nil)
+							n = 0
+						}
 					}
+					ctx.flushMulti(qs, scores, qfvs, n, nil)
+					queues[ch] = qs
+					continue
 				}
-				ctx.flushMulti(qs, scores, qfvs, n)
+				st8 := make([]pruneStats, nq)
+				sf := tier.stripeFeatures
+				for i := first; i < end; {
+					seg := (i / stride) / sf
+					segEnd := int64(ch) + stride*(seg+1)*sf
+					if segEnd > end {
+						segEnd = end
+					}
+					featCount := (segEnd - i + stride - 1) / stride
+					anyActive := false
+					for q := range qs {
+						if skipStripe(bnd, tier, qfvs[q], qs[q], ch, seg, &st8[q]) {
+							active[q] = false
+							st8[q].featuresSkipped += featCount
+						} else {
+							active[q] = true
+							anyActive = true
+						}
+					}
+					if !anyActive {
+						i = segEnd
+						continue
+					}
+					n := 0
+					for ; i < segEnd; i += stride {
+						ctx.dfvs[n] = st.vectors[i]
+						ctx.ids[n] = i
+						ctx.objs[n] = uint64(layout.Geom.Linear(layout.FeatureAddr(i)))
+						n++
+						if n == len(ctx.dfvs) {
+							ctx.flushMulti(qs, scores, qfvs, n, active)
+							n = 0
+						}
+					}
+					// Segment boundary: drain so the next per-query skip
+					// decisions see every offer of this channel so far.
+					ctx.flushMulti(qs, scores, qfvs, n, active)
+				}
 				queues[ch] = qs
+				chStats[ch] = st8
 			}
 		}()
 	}
 	wg.Wait()
 	out := make([][]topk.Entry, nq)
+	totals := make([]pruneStats, nq)
 	shards := make([]*topk.Queue, channels)
 	for q := range out {
 		for ch := range queues {
@@ -274,5 +363,10 @@ func (ds *DeepStore) scoreRangeMulti(net *nn.Network, st *dbState, qfvs [][]floa
 		}
 		out[q] = topk.Merge(ks[q], shards...).Results()
 	}
-	return out
+	for ch := range chStats {
+		for q, s := range chStats[ch] {
+			totals[q].add(s)
+		}
+	}
+	return out, totals
 }

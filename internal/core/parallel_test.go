@@ -51,10 +51,12 @@ func TestScoreRangeParallelMatchesSerial(t *testing.T) {
 	for _, k := range []int{1, 10, 100} {
 		for _, c := range cases {
 			t.Run(fmt.Sprintf("K=%d/%s", k, c.name), func(t *testing.T) {
-				serial := ds.scoreRangeSerial(net, st, q, c.start, c.end, k)
+				serial, _ := ds.scoreRangeSerial(net, st, q, c.start, c.end, k)
+				perFeature, _ := ds.scoreRangePerFeature(net, st, q, c.start, c.end, k)
+				batched, _ := ds.scoreRangeBatched(net, st, q, c.start, c.end, k)
 				impls := map[string][]topk.Entry{
-					"per-feature": ds.scoreRangePerFeature(net, st, q, c.start, c.end, k),
-					"batched":     ds.scoreRangeBatched(net, st, q, c.start, c.end, k),
+					"per-feature": perFeature,
+					"batched":     batched,
 				}
 				for name, got := range impls {
 					if len(serial) != len(got) {

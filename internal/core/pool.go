@@ -53,13 +53,19 @@ func (c *multiCtx) reset() {
 }
 
 // flushMulti scores the gathered features against every query in one
-// ScoreMulti call and offers each query's entries in gather order.
-func (c *multiCtx) flushMulti(qs []*topk.Queue, scores [][]float32, qfvs [][]float32, n int) {
+// ScoreMulti call and offers each query's entries in gather order. When the
+// pruning tier is active, active masks which queries this segment still
+// scans: inactive queries' offers are withheld so their queues evolve
+// exactly as their independent pruned scans would (nil = all active).
+func (c *multiCtx) flushMulti(qs []*topk.Queue, scores [][]float32, qfvs [][]float32, n int, active []bool) {
 	if n == 0 {
 		return
 	}
 	c.bs.ScoreMulti(scores, qfvs, c.dfvs[:n])
 	for q := range qs {
+		if active != nil && !active[q] {
+			continue
+		}
 		row := scores[q]
 		for j := 0; j < n; j++ {
 			qs[q].Offer(topk.Entry{

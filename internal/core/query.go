@@ -133,20 +133,42 @@ func (ds *DeepStore) queryLocked(spec QuerySpec) (QueryID, error) {
 		}
 	}
 
-	// Miss: full scan of the requested range, mapped across accelerators.
-	scanOut, err := ds.simulateScan(net, st, level, start, end)
+	// Miss: scan of the requested range, mapped across accelerators. The
+	// functional scoring runs first — with the pruning tier active it also
+	// decides which stripes the hardware would skip — and the event-driven
+	// scan is then charged for exactly the surviving features.
+	tier := ds.pruneTier(st)
+	var ps pruneStats
+	result.TopK, ps = ds.scoreRange(net, st, spec.QFV, start, end, spec.K)
+	survivors := end - start - ps.featuresSkipped
+	scanOut, err := ds.simulateScanCount(net, st, level, survivors)
 	if err != nil {
 		return 0, err
 	}
-	result.FeaturesScanned = end - start
-	result.Latency = lookupLatency + scanOut.Elapsed
+	result.FeaturesScanned = survivors
+	result.Prune = PruneStats{
+		StripesChecked:  ps.checked,
+		StripesSkipped:  ps.skipped,
+		FeaturesSkipped: ps.featuresSkipped,
+	}
+	var boundLat sim.Duration
+	if tier != nil {
+		boundLat = ds.boundCheckLatency(net, level, tier, ps.checked)
+		ds.recordPruneStats(ps)
+	}
+	result.Latency = lookupLatency + boundLat + scanOut.Elapsed
 	if ds.qc != nil {
 		result.Stages = append(result.Stages, obs.Stage{Name: obs.StageQCacheLookup, Dur: lookupLatency})
 	}
+	if tier != nil {
+		result.Stages = append(result.Stages, obs.Stage{Name: obs.StageBoundCheck, Dur: boundLat})
+	}
 	result.Stages = append(result.Stages, obs.Stage{Name: obs.StageScan, Dur: scanOut.Elapsed})
 	result.Energy = lookupEnergy
+	if tier != nil {
+		result.Energy.Add(ds.boundCheckEnergy(net, level, tier, ps.checked))
+	}
 	result.Energy.Add(ds.emodel.Energy(scanOut.Activity))
-	result.TopK = ds.scoreRange(net, st, spec.QFV, start, end, spec.K)
 
 	if ds.qc != nil {
 		ds.qc.Insert(cloneVec(spec.QFV), result.TopK)
@@ -269,10 +291,19 @@ func (ds *DeepStore) rerankLatency(net *nn.Network, level accel.Level, k int64) 
 
 // simulateScan runs the event-driven scan for the query's range.
 func (ds *DeepStore) simulateScan(net *nn.Network, st *dbState, level accel.Level, start, end int64) (accel.ScanResult, error) {
-	// A sub-range scan is striped identically to a full scan (§4.4), so a
-	// layout with the range's feature count models it.
+	return ds.simulateScanCount(net, st, level, end-start)
+}
+
+// simulateScanCount runs the event-driven scan for `features` surviving
+// features. A sub-range (or pruned) scan is striped identically to a full
+// scan (§4.4), so a layout with the surviving feature count models it. A
+// fully-pruned scan does no device work at all.
+func (ds *DeepStore) simulateScanCount(net *nn.Network, st *dbState, level accel.Level, features int64) (accel.ScanResult, error) {
+	if features <= 0 {
+		return accel.ScanResult{}, nil
+	}
 	layout := st.meta.Layout
-	layout.Features = end - start
+	layout.Features = features
 	return accel.Scan(accel.ScanRequest{
 		Device:                 ds.dev,
 		Spec:                   specFor(ds, level),
@@ -280,6 +311,15 @@ func (ds *DeepStore) simulateScan(net *nn.Network, st *dbState, level accel.Leve
 		Layout:                 layout,
 		WindowFeaturesPerAccel: ds.opts.TimingWindow,
 	})
+}
+
+// recordPruneStats folds one scan's skip accounting into the engine
+// counters. Only called while the pruning tier is active, so dense engines
+// never grow the counters.
+func (ds *DeepStore) recordPruneStats(ps pruneStats) {
+	ds.obs.Counter("core_prune_stripes_checked").Add(ps.checked)
+	ds.obs.Counter("core_prune_stripes_skipped").Add(ps.skipped)
+	ds.obs.Counter("core_prune_features_skipped").Add(ps.featuresSkipped)
 }
 
 // scoreRange computes real SCN scores over the materialized vectors — the
@@ -292,9 +332,15 @@ func (ds *DeepStore) simulateScan(net *nn.Network, st *dbState, level accel.Leve
 // scores (see nn.BatchScorer), and the merge's (score, featureID) total
 // order is independent of shard completion order. Declared (spec-only)
 // databases return an empty top-K.
-func (ds *DeepStore) scoreRange(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) []topk.Entry {
+//
+// With the pruning tier active (ds.pruneTier(st) != nil) every mode makes
+// the same stripe-skip decisions at the same points — segment entry, with
+// the shard queue reflecting every earlier offer of that channel — so the
+// returned top-K stays bit-identical across modes AND against the dense
+// scan, and the skip accounting is mode-independent.
+func (ds *DeepStore) scoreRange(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) ([]topk.Entry, pruneStats) {
 	if st.vectors == nil {
-		return nil
+		return nil, pruneStats{}
 	}
 	switch ds.scanMode() {
 	case ScanSerial:
@@ -306,15 +352,43 @@ func (ds *DeepStore) scoreRange(net *nn.Network, st *dbState, qfv []float32, sta
 	}
 }
 
+// skipStripe decides, at the entry of stripe seg of channel ch, whether the
+// whole remaining segment can be skipped. Sound because (a) the decision is
+// only taken when the shard queue is already full, (b) a full queue rejects
+// offers with Score <= Min() given that later features have larger
+// FeatureIDs (the queue's tie-break), and (c) the walk visits a channel's
+// features in ascending FeatureID order. Partial stripes (sub-range start/
+// end mid-stripe) are covered by the full stripe's envelope, which is a
+// superset of any sub-range's — the bound is merely looser, never unsound.
+func skipStripe(bnd *nn.BoundScorer, tier *boundTier, qfv []float32, q *topk.Queue, ch int, seg int64, ps *pruneStats) bool {
+	floor, full := q.Min()
+	if !full {
+		return false
+	}
+	ps.checked++
+	if bnd.UpperBound(qfv, &tier.envs[ch][seg]) <= floor {
+		ps.skipped++
+		return true
+	}
+	return false
+}
+
 // scoreRangeBatched is the default scan: each worker pulls channel stripes
 // and gathers stripe features into its pooled batchCtx, scoring a whole
 // batch per nn.BatchScorer call (cache-blocked GEMM) and offering the
 // entries to the shard queue in stripe order — so ordering, and therefore
-// the merged top-K, is identical to the per-feature walk.
-func (ds *DeepStore) scoreRangeBatched(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) []topk.Entry {
+// the merged top-K, is identical to the per-feature walk. With the pruning
+// tier active the walk proceeds segment by segment, flushing the gather at
+// every segment boundary so the skip decision at the next segment's entry
+// sees the channel's complete queue state (the same state every other mode
+// sees there); batch composition does not affect scores, so the flush points
+// leave the top-K untouched.
+func (ds *DeepStore) scoreRangeBatched(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) ([]topk.Entry, pruneStats) {
 	layout := st.meta.Layout
 	channels := layout.Geom.Channels
+	tier := ds.pruneTier(st)
 	shards := make([]*topk.Queue, channels)
+	stats := make([]pruneStats, channels)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > channels {
 		workers = channels
@@ -331,6 +405,10 @@ func (ds *DeepStore) scoreRangeBatched(net *nn.Network, st *dbState, qfv []float
 			defer wg.Done()
 			ctx := ds.pools.get(net)
 			defer ds.pools.put(net, ctx)
+			var bnd *nn.BoundScorer
+			if tier != nil {
+				bnd = net.BoundScorer()
+			}
 			for {
 				ch := int(nextShard.Add(1) - 1)
 				if ch >= channels {
@@ -340,24 +418,59 @@ func (ds *DeepStore) scoreRangeBatched(net *nn.Network, st *dbState, qfv []float
 				// Feature i lives on channel i mod Channels (§4.4
 				// striping), so the shard walks its stripe directly.
 				first := start + ((int64(ch)-start)%stride+stride)%stride
-				n := 0
-				for i := first; i < end; i += stride {
-					ctx.dfvs[n] = st.vectors[i]
-					ctx.ids[n] = i
-					ctx.objs[n] = uint64(layout.Geom.Linear(layout.FeatureAddr(i)))
-					n++
-					if n == len(ctx.dfvs) {
-						ctx.flush(q, qfv, n)
-						n = 0
+				if tier == nil {
+					n := 0
+					for i := first; i < end; i += stride {
+						ctx.dfvs[n] = st.vectors[i]
+						ctx.ids[n] = i
+						ctx.objs[n] = uint64(layout.Geom.Linear(layout.FeatureAddr(i)))
+						n++
+						if n == len(ctx.dfvs) {
+							ctx.flush(q, qfv, n)
+							n = 0
+						}
 					}
+					ctx.flush(q, qfv, n)
+					shards[ch] = q
+					continue
 				}
-				ctx.flush(q, qfv, n)
+				sf := tier.stripeFeatures
+				for i := first; i < end; {
+					seg := (i / stride) / sf
+					segEnd := int64(ch) + stride*(seg+1)*sf
+					if segEnd > end {
+						segEnd = end
+					}
+					if skipStripe(bnd, tier, qfv, q, ch, seg, &stats[ch]) {
+						stats[ch].featuresSkipped += (segEnd - i + stride - 1) / stride
+						i = segEnd
+						continue
+					}
+					n := 0
+					for ; i < segEnd; i += stride {
+						ctx.dfvs[n] = st.vectors[i]
+						ctx.ids[n] = i
+						ctx.objs[n] = uint64(layout.Geom.Linear(layout.FeatureAddr(i)))
+						n++
+						if n == len(ctx.dfvs) {
+							ctx.flush(q, qfv, n)
+							n = 0
+						}
+					}
+					// Segment boundary: drain so the next skip decision sees
+					// every offer of this channel so far.
+					ctx.flush(q, qfv, n)
+				}
 				shards[ch] = q
 			}
 		}()
 	}
 	wg.Wait()
-	return topk.Merge(k, shards...).Results()
+	var total pruneStats
+	for _, s := range stats {
+		total.add(s)
+	}
+	return topk.Merge(k, shards...).Results(), total
 }
 
 // flush scores the gathered features in one batched call and offers the
@@ -378,11 +491,14 @@ func (c *batchCtx) flush(q *topk.Queue, qfv []float32, n int) {
 
 // scoreRangePerFeature scores one feature per nn.Scorer call across the
 // worker pool — the pre-GEMM parallel path, kept as a benchmark baseline
-// and selectable via Options.Scan.
-func (ds *DeepStore) scoreRangePerFeature(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) []topk.Entry {
+// and selectable via Options.Scan. Skip decisions happen at segment entry,
+// exactly where the batched walk makes them.
+func (ds *DeepStore) scoreRangePerFeature(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) ([]topk.Entry, pruneStats) {
 	layout := st.meta.Layout
 	channels := layout.Geom.Channels
+	tier := ds.pruneTier(st)
 	shards := make([]*topk.Queue, channels)
+	stats := make([]pruneStats, channels)
 	workers := runtime.GOMAXPROCS(0)
 	if workers > channels {
 		workers = channels
@@ -398,6 +514,10 @@ func (ds *DeepStore) scoreRangePerFeature(net *nn.Network, st *dbState, qfv []fl
 		go func() {
 			defer wg.Done()
 			scorer := net.Scorer()
+			var bnd *nn.BoundScorer
+			if tier != nil {
+				bnd = net.BoundScorer()
+			}
 			for {
 				ch := int(nextShard.Add(1) - 1)
 				if ch >= channels {
@@ -407,43 +527,98 @@ func (ds *DeepStore) scoreRangePerFeature(net *nn.Network, st *dbState, qfv []fl
 				// Feature i lives on channel i mod Channels (§4.4
 				// striping), so the shard walks its stripe directly.
 				first := start + ((int64(ch)-start)%stride+stride)%stride
-				for i := first; i < end; i += stride {
+				for i := first; i < end; {
+					if tier != nil {
+						seg := (i / stride) / tier.stripeFeatures
+						segEnd := int64(ch) + stride*(seg+1)*tier.stripeFeatures
+						if segEnd > end {
+							segEnd = end
+						}
+						if skipStripe(bnd, tier, qfv, q, ch, seg, &stats[ch]) {
+							stats[ch].featuresSkipped += (segEnd - i + stride - 1) / stride
+							i = segEnd
+							continue
+						}
+						for ; i < segEnd; i += stride {
+							q.Offer(topk.Entry{
+								FeatureID: i,
+								Score:     scorer.Score(qfv, st.vectors[i]),
+								ObjectID:  uint64(layout.Geom.Linear(layout.FeatureAddr(i))),
+							})
+						}
+						continue
+					}
 					q.Offer(topk.Entry{
 						FeatureID: i,
 						Score:     scorer.Score(qfv, st.vectors[i]),
 						ObjectID:  uint64(layout.Geom.Linear(layout.FeatureAddr(i))),
 					})
+					i += stride
 				}
 				shards[ch] = q
 			}
 		}()
 	}
 	wg.Wait()
-	return topk.Merge(k, shards...).Results()
+	var total pruneStats
+	for _, s := range stats {
+		total.add(s)
+	}
+	return topk.Merge(k, shards...).Results(), total
 }
 
 // scoreRangeSerial is the single-goroutine reference implementation (the
 // pre-pool scan), kept for equivalence tests and benchmark baselines and
-// selectable via Options.SerialScoring.
-func (ds *DeepStore) scoreRangeSerial(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) []topk.Entry {
+// selectable via Options.SerialScoring. The global walk visits each
+// channel's features in ascending slot order, so evaluating the skip
+// decision whenever a channel enters a new segment reproduces the parallel
+// walks' segment-entry decision points (and queue states) exactly.
+func (ds *DeepStore) scoreRangeSerial(net *nn.Network, st *dbState, qfv []float32, start, end int64, k int) ([]topk.Entry, pruneStats) {
 	if st.vectors == nil {
-		return nil
+		return nil, pruneStats{}
 	}
 	layout := st.meta.Layout
+	tier := ds.pruneTier(st)
 	shards := make([]*topk.Queue, layout.Geom.Channels)
 	for i := range shards {
 		shards[i] = topk.New(k)
 	}
 	scorer := net.Scorer()
+	var total pruneStats
+	var bnd *nn.BoundScorer
+	type chState struct {
+		seg  int64
+		skip bool
+	}
+	var state []chState
+	if tier != nil {
+		bnd = net.BoundScorer()
+		state = make([]chState, layout.Geom.Channels)
+		for i := range state {
+			state[i].seg = -1
+		}
+	}
+	stride := int64(layout.Geom.Channels)
 	for i := start; i < end; i++ {
 		ch := layout.FeatureChannel(i)
+		if tier != nil {
+			seg := (i / stride) / tier.stripeFeatures
+			if seg != state[ch].seg {
+				state[ch].seg = seg
+				state[ch].skip = skipStripe(bnd, tier, qfv, shards[ch], ch, seg, &total)
+			}
+			if state[ch].skip {
+				total.featuresSkipped++
+				continue
+			}
+		}
 		shards[ch].Offer(topk.Entry{
 			FeatureID: i,
 			Score:     scorer.Score(qfv, st.vectors[i]),
 			ObjectID:  uint64(layout.Geom.Linear(layout.FeatureAddr(i))),
 		})
 	}
-	return topk.Merge(k, shards...).Results()
+	return topk.Merge(k, shards...).Results(), total
 }
 
 // rerank re-scores cached top-K features against the new query, batching

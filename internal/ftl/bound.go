@@ -1,0 +1,123 @@
+package ftl
+
+import "fmt"
+
+// Bound-table allocation. The exact-pruning tier (DESIGN.md "Exact scan
+// pruning") persists a per-channel-stripe summary table next to each
+// database: one fixed-size entry per (channel, stripe) holding the stripe's
+// score-bound envelope. The table reuses the DBLayout machinery — it IS a
+// derived layout whose "features" are the stripe entries — so it inherits
+// the §4.4 page-aligned striping: stripe (ch, seg) maps to entry index
+// ch + Channels*seg, which DBLayout places on channel ch, exactly where the
+// channel's accelerator can read its own stripe bounds without crossing the
+// interconnect.
+
+// BoundLayout records where a database's stripe-bound table lives.
+type BoundLayout struct {
+	// StripeFeatures is the number of consecutive within-channel feature
+	// slots summarized per table entry.
+	StripeFeatures int64
+	// EntryBytes is the serialized size of one stripe summary.
+	EntryBytes int64
+	// StartBlock / Blocks delimit the table's block columns.
+	StartBlock int
+	Blocks     int
+}
+
+// ChannelStripes returns the number of stripe entries channel ch needs for
+// stripes of sf feature slots.
+func (l DBLayout) ChannelStripes(ch int, sf int64) int64 {
+	if sf <= 0 {
+		panic(fmt.Sprintf("ftl: stripe of %d features", sf))
+	}
+	return (l.ChannelFeatures(ch) + sf - 1) / sf
+}
+
+// TotalStripes returns the table entry count across all channels. Because
+// features are dealt round-robin, this equals the entry count a derived
+// layout with Features=TotalStripes distributes back to the same channels —
+// the identity BoundTable relies on.
+func (l DBLayout) TotalStripes(sf int64) int64 {
+	var total int64
+	for ch := 0; ch < l.Geom.Channels; ch++ {
+		total += l.ChannelStripes(ch, sf)
+	}
+	return total
+}
+
+// BoundTable returns the derived layout of the database's stripe-bound
+// table (ok=false when none is allocated). Entry e = ch + Channels*seg is
+// the summary of stripe seg of channel ch; the derived layout stores it on
+// channel e mod Channels = ch.
+func (m *DBMeta) BoundTable() (DBLayout, bool) {
+	if m.Bound == nil {
+		return DBLayout{}, false
+	}
+	return DBLayout{
+		Geom:         m.Layout.Geom,
+		FeatureBytes: m.Bound.EntryBytes,
+		Features:     m.Layout.TotalStripes(m.Bound.StripeFeatures),
+		StartBlock:   m.Bound.StartBlock,
+	}, true
+}
+
+// SetBoundTable allocates (or reallocates) a database's stripe-bound table
+// for the database's CURRENT layout and records it in the metadata. Any
+// previous table is freed first; on allocation failure the database is left
+// with no table (meta.Bound == nil) and the error returned, so callers can
+// fall back to dense scans — a missing table is safe, a stale one is not.
+func (f *FTL) SetBoundTable(id DBID, stripeFeatures, entryBytes int64) (*DBMeta, error) {
+	meta, ok := f.dbs[id]
+	if !ok {
+		return nil, fmt.Errorf("ftl: unknown database %d", id)
+	}
+	if stripeFeatures <= 0 || entryBytes <= 0 {
+		return nil, fmt.Errorf("ftl: invalid bound table shape (%d features/stripe, %d B/entry)",
+			stripeFeatures, entryBytes)
+	}
+	f.DropBoundTable(id)
+	table := DBLayout{
+		Geom:         meta.Layout.Geom,
+		FeatureBytes: entryBytes,
+		Features:     meta.Layout.TotalStripes(stripeFeatures),
+		StartBlock:   f.reservedBlocks, // placeholder for validation
+	}
+	if err := table.Validate(); err != nil {
+		return nil, err
+	}
+	need := table.BlocksPerPlane()
+	if need == 0 {
+		need = 1
+	}
+	start, err := f.allocate(need)
+	if err != nil {
+		return nil, fmt.Errorf("ftl: allocating bound table for db %d: %w", id, err)
+	}
+	for i := start; i < start+need; i++ {
+		f.blockOwner[i] = id
+	}
+	meta.Bound = &BoundLayout{
+		StripeFeatures: stripeFeatures,
+		EntryBytes:     entryBytes,
+		StartBlock:     start,
+		Blocks:         need,
+	}
+	return meta, nil
+}
+
+// DropBoundTable frees a database's stripe-bound table columns (erasing
+// them, so wear is accounted) and clears the metadata record. Dropping a
+// database with no table is a no-op.
+func (f *FTL) DropBoundTable(id DBID) {
+	meta, ok := f.dbs[id]
+	if !ok || meta.Bound == nil {
+		return
+	}
+	for i := meta.Bound.StartBlock; i < meta.Bound.StartBlock+meta.Bound.Blocks; i++ {
+		if f.blockOwner[i] == id {
+			f.blockOwner[i] = 0
+			f.wear[i]++
+		}
+	}
+	meta.Bound = nil
+}

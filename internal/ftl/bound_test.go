@@ -1,0 +1,271 @@
+package ftl
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"repro/internal/flash"
+)
+
+func TestStripeCountsMatchDerivedLayout(t *testing.T) {
+	// The pruning tier reuses DBLayout for the bound table by setting
+	// Features = TotalStripes: that only works if the derived layout deals
+	// stripe entries back to the same channels. Check the identity across
+	// uneven channel shares.
+	for _, features := range []int64{1, 15, 16, 17, 100, 1023} {
+		l := template(2048, features)
+		l.StartBlock = 1
+		for _, sf := range []int64{1, 3, 64} {
+			derived := DBLayout{Geom: l.Geom, FeatureBytes: 16, Features: l.TotalStripes(sf), StartBlock: 1}
+			for ch := 0; ch < l.Geom.Channels; ch++ {
+				if got, want := derived.ChannelFeatures(ch), l.ChannelStripes(ch, sf); got != want {
+					t.Fatalf("features=%d sf=%d ch=%d: derived layout holds %d entries, want %d stripes",
+						features, sf, ch, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSetAndDropBoundTable(t *testing.T) {
+	f := newTestFTL()
+	meta, err := f.CreateDB("x", template(2048, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := f.FreeBlocks()
+	meta, err = f.SetBoundTable(meta.ID, 64, 144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Bound == nil || meta.Bound.Blocks < 1 {
+		t.Fatalf("bound table not recorded: %+v", meta.Bound)
+	}
+	if f.FreeBlocks() != free-meta.Bound.Blocks {
+		t.Errorf("free blocks %d, want %d", f.FreeBlocks(), free-meta.Bound.Blocks)
+	}
+	table, ok := meta.BoundTable()
+	if !ok {
+		t.Fatal("BoundTable not derivable")
+	}
+	if table.Features != meta.Layout.TotalStripes(64) || table.FeatureBytes != 144 {
+		t.Errorf("derived table %+v", table)
+	}
+	// Reallocation frees the old table first.
+	old := *meta.Bound
+	if _, err := f.SetBoundTable(meta.ID, 32, 144); err != nil {
+		t.Fatal(err)
+	}
+	if f.blockOwner[old.StartBlock] == meta.ID && old.StartBlock == meta.Bound.StartBlock {
+		// same columns reused is fine; otherwise the old ones must be free
+	} else if f.blockOwner[old.StartBlock] == meta.ID && meta.Bound.StartBlock != old.StartBlock &&
+		(old.StartBlock < meta.Bound.StartBlock || old.StartBlock >= meta.Bound.StartBlock+meta.Bound.Blocks) {
+		t.Errorf("old bound table columns still owned after reallocation")
+	}
+	f.DropBoundTable(meta.ID)
+	if meta.Bound != nil {
+		t.Error("Bound not cleared by drop")
+	}
+	if f.FreeBlocks() != free {
+		t.Errorf("free blocks %d after drop, want %d", f.FreeBlocks(), free)
+	}
+	if _, ok := meta.BoundTable(); ok {
+		t.Error("BoundTable derivable after drop")
+	}
+	f.DropBoundTable(meta.ID) // second drop is a no-op
+}
+
+func TestSetBoundTableInvalidArgs(t *testing.T) {
+	f := newTestFTL()
+	meta, err := f.CreateDB("x", template(2048, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SetBoundTable(meta.ID, 0, 16); err == nil {
+		t.Error("zero stripe accepted")
+	}
+	if _, err := f.SetBoundTable(meta.ID, 64, 0); err == nil {
+		t.Error("zero entry size accepted")
+	}
+	if _, err := f.SetBoundTable(DBID(999), 64, 16); err == nil {
+		t.Error("unknown db accepted")
+	}
+}
+
+func TestDeleteDBFreesBoundTable(t *testing.T) {
+	f := newTestFTL()
+	meta, err := f.CreateDB("x", template(2048, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := f.FreeBlocks()
+	if _, err := f.SetBoundTable(meta.ID, 64, 144); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DeleteDB(meta.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.FreeBlocks(), free+meta.Layout.BlocksPerPlane(); got != want {
+		t.Errorf("free blocks %d after delete, want %d", got, want)
+	}
+}
+
+// TestAppendCannotOverflowIntoBoundTable is the regression for the owned-
+// column accounting bug: AppendDB used to count bound-table columns as
+// feature capacity, letting an append overflow feature data into the table.
+func TestAppendCannotOverflowIntoBoundTable(t *testing.T) {
+	f := newTestFTL()
+	l := template(2048, 100)
+	meta, err := f.CreateDB("x", l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SetBoundTable(meta.ID, 64, 144); err != nil {
+		t.Fatal(err)
+	}
+	dataBlocks := meta.Layout.BlocksPerPlane()
+	// The largest feature count that still fits the data allocation.
+	perCol := meta.Layout
+	fit := meta.Layout.Features
+	for {
+		perCol.Features = fit + 1
+		if perCol.BlocksPerPlane() > dataBlocks {
+			break
+		}
+		fit++
+	}
+	if _, err := f.AppendDB(meta.ID, fit-meta.Layout.Features); err != nil {
+		t.Fatalf("in-allocation append rejected: %v", err)
+	}
+	if _, err := f.AppendDB(meta.ID, 1); err == nil {
+		t.Fatal("append overflowed into the bound table columns")
+	}
+}
+
+// TestCompactPreservesBoundTable is the regression for the Compact start-
+// block bug: with two regions per database (data + bound table), Compact
+// used to clobber Layout.StartBlock with whichever region moved last and
+// never updated Bound.StartBlock at all.
+func TestCompactPreservesBoundTable(t *testing.T) {
+	f := newTestFTL()
+	a, err := f.CreateDB("a", template(2048, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hole between the data and the table forces a real relocation.
+	hole, err := f.CreateDB("hole", template(2048, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err = f.SetBoundTable(a.ID, 64, 144)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Bound.StartBlock == a.Layout.StartBlock {
+		t.Fatal("test setup: table and data share a region")
+	}
+	if err := f.DeleteDB(hole.ID); err != nil {
+		t.Fatal(err)
+	}
+	if moved := f.Compact(); moved == 0 {
+		t.Fatal("test setup: nothing moved")
+	}
+	// Both regions must still be owned at their recorded locations.
+	for i := a.Layout.StartBlock; i < a.Layout.StartBlock+a.Layout.BlocksPerPlane(); i++ {
+		if f.blockOwner[i] != a.ID {
+			t.Fatalf("data column %d owned by %d after compact", i, f.blockOwner[i])
+		}
+	}
+	for i := a.Bound.StartBlock; i < a.Bound.StartBlock+a.Bound.Blocks; i++ {
+		if f.blockOwner[i] != a.ID {
+			t.Fatalf("bound column %d owned by %d after compact", i, f.blockOwner[i])
+		}
+	}
+	if a.Layout.StartBlock == a.Bound.StartBlock {
+		t.Error("data and table collapsed onto the same start block")
+	}
+	if f.Fragmentation() != 0 {
+		t.Errorf("fragmentation %v after compact", f.Fragmentation())
+	}
+}
+
+func TestSnapshotRoundTripBoundTable(t *testing.T) {
+	f := newTestFTL()
+	a, err := f.CreateDB("with-table", template(2048, 10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.CreateDB("without-table", template(2048, 500)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SetBoundTable(a.ID, 64, 144); err != nil {
+		t.Fatal(err)
+	}
+	img, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Restore(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, ok := g.Lookup(a.ID)
+	if !ok {
+		t.Fatal("db lost")
+	}
+	if ra.Bound == nil || *ra.Bound != *a.Bound {
+		t.Errorf("restored bound %+v, want %+v", ra.Bound, a.Bound)
+	}
+	for _, m := range g.DBs() {
+		if m.ID != a.ID && m.Bound != nil {
+			t.Errorf("db %d gained a bound table", m.ID)
+		}
+	}
+}
+
+// TestRestoreVersion1 hand-encodes a version-1 image (no bound records) and
+// checks it still restores — devices written before the pruning tier must
+// keep working.
+func TestRestoreVersion1(t *testing.T) {
+	geom := flash.DefaultGeometry()
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	w.WriteString(persistMagic)
+	writeU32(w, 1) // version 1: no bound-table records
+	writeU64(w, 2) // nextID
+	writeU32(w, 1) // reservedBlocks
+	writeU32(w, uint32(geom.BlocksPerPlane))
+	for i := 0; i < geom.BlocksPerPlane; i++ {
+		owner := uint64(0)
+		switch {
+		case i == 0:
+			owner = ^uint64(0)
+		case i == 1:
+			owner = 1
+		}
+		writeU64(w, owner)
+		writeU64(w, 0)
+	}
+	writeU32(w, 1) // one db
+	writeU64(w, 1)
+	writeString(w, "legacy")
+	for _, v := range []int64{
+		int64(geom.Channels), int64(geom.ChipsPerChannel), int64(geom.PlanesPerChip),
+		int64(geom.BlocksPerPlane), int64(geom.PagesPerBlock), geom.PageBytes,
+		2048, 100, 1,
+	} {
+		writeU64(w, uint64(v))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Restore(buf.Bytes())
+	if err != nil {
+		t.Fatalf("version-1 image rejected: %v", err)
+	}
+	m, ok := f.Lookup(1)
+	if !ok || m.Name != "legacy" || m.Bound != nil {
+		t.Errorf("restored %+v, %v", m, ok)
+	}
+}

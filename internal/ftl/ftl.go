@@ -15,6 +15,9 @@ type DBMeta struct {
 	ID     DBID
 	Name   string
 	Layout DBLayout
+	// Bound describes the database's stripe-bound table when the exact
+	// pruning tier has built one (nil otherwise). See bound.go.
+	Bound *BoundLayout
 }
 
 // FTL is a block-granular flash translation layer. DeepStore uses a regular
@@ -150,6 +153,12 @@ func (f *FTL) AppendDB(id DBID, extra int64) (*DBMeta, error) {
 		if o == id {
 			owned++
 		}
+	}
+	// Block columns holding the stripe-bound table are owned by this id but
+	// not available to feature data; counting them would let an append
+	// silently overflow into the table.
+	if meta.Bound != nil {
+		owned -= meta.Bound.Blocks
 	}
 	if grown.BlocksPerPlane() > owned {
 		return nil, fmt.Errorf("ftl: append of %d features overflows the %d allocated block columns", extra, owned)

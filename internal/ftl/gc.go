@@ -88,8 +88,17 @@ func (f *FTL) Compact() int {
 			}
 			f.wear[col]++ // source erased after the move
 		}
+		// A database can own two disjoint regions (feature data and its
+		// stripe-bound table), so only retarget the start block that actually
+		// lived inside the region being moved.
 		if meta, ok := f.dbs[r.id]; ok {
-			meta.Layout.StartBlock = next
+			delta := next - r.start
+			if meta.Layout.StartBlock >= r.start && meta.Layout.StartBlock < r.start+r.size {
+				meta.Layout.StartBlock += delta
+			}
+			if meta.Bound != nil && meta.Bound.StartBlock >= r.start && meta.Bound.StartBlock < r.start+r.size {
+				meta.Bound.StartBlock += delta
+			}
 		}
 		moved += r.size
 		next += r.size

@@ -17,8 +17,11 @@ import (
 // block column; Restore rebuilds an FTL from it after a power cycle.
 
 const (
-	persistMagic   = "DSFT"
-	persistVersion = 1
+	persistMagic = "DSFT"
+	// persistVersion 2 appends an optional per-database stripe-bound table
+	// record after the layout fields; version-1 images (no bound tables)
+	// still restore.
+	persistVersion = 2
 )
 
 var persistOrder = binary.LittleEndian
@@ -51,6 +54,17 @@ func (f *FTL) Snapshot() ([]byte, error) {
 		} {
 			writeU64(w, uint64(v))
 		}
+		if m.Bound == nil {
+			writeU32(w, 0)
+		} else {
+			writeU32(w, 1)
+			for _, v := range []int64{
+				m.Bound.StripeFeatures, m.Bound.EntryBytes,
+				int64(m.Bound.StartBlock), int64(m.Bound.Blocks),
+			} {
+				writeU64(w, uint64(v))
+			}
+		}
 	}
 	if err := w.Flush(); err != nil {
 		return nil, err
@@ -72,7 +86,7 @@ func Restore(data []byte) (*FTL, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != persistVersion {
+	if version < 1 || version > persistVersion {
 		return nil, fmt.Errorf("ftl: unsupported snapshot version %d", version)
 	}
 	nextID, err := readU64(r)
@@ -146,6 +160,31 @@ func Restore(data []byte) (*FTL, error) {
 		}
 		if err := meta.Layout.Validate(); err != nil {
 			return nil, fmt.Errorf("ftl: snapshot db %d: %w", id, err)
+		}
+		if version >= 2 {
+			hasBound, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			if hasBound != 0 {
+				var bv [4]int64
+				for j := range bv {
+					v, err := readU64(r)
+					if err != nil {
+						return nil, err
+					}
+					bv[j] = int64(v)
+				}
+				if bv[0] <= 0 || bv[1] <= 0 || bv[2] < 0 || bv[3] <= 0 {
+					return nil, fmt.Errorf("ftl: snapshot db %d: invalid bound table record %v", id, bv)
+				}
+				meta.Bound = &BoundLayout{
+					StripeFeatures: bv[0],
+					EntryBytes:     bv[1],
+					StartBlock:     int(bv[2]),
+					Blocks:         int(bv[3]),
+				}
+			}
 		}
 		f.dbs[meta.ID] = meta
 	}

@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// boundTestNets builds one network per structural family the SCN zoo uses:
+// every combine op, FC stacks under each activation, element-wise layers,
+// and a padded convolution (which the batched scan executes via im2col).
+func boundTestNets(t testing.TB) []*Network {
+	t.Helper()
+	nets := []*Network{
+		MustNetwork("b-had-relu", tensor.Shape{16}, CombineHadamard,
+			NewFC("fc1", 16, 8, ActReLU), NewFC("fc2", 8, 1, ActNone)),
+		MustNetwork("b-sub-sig", tensor.Shape{12}, CombineSubtract,
+			NewFC("fc1", 12, 6, ActSigmoid), NewFC("fc2", 6, 1, ActNone)),
+		MustNetwork("b-concat", tensor.Shape{8}, CombineConcat,
+			NewFC("fc1", 16, 8, ActReLU), NewFC("fc2", 8, 1, ActSigmoid)),
+		MustNetwork("b-ew", tensor.Shape{10}, CombineHadamard,
+			NewElementwise("ew-add", 10, EWAdd),
+			NewElementwise("ew-scale", 10, EWScale),
+			NewFC("fc", 10, 1, ActNone)),
+		MustNetwork("b-conv", tensor.Shape{4, 4, 2}, CombineHadamard,
+			NewConv("cv", 4, 4, 2, 3, 3, 3, 1, 1, ActReLU),
+			NewFC("fc", 48, 1, ActNone)),
+	}
+	for i, n := range nets {
+		n.InitRandom(int64(1000 + i))
+	}
+	// An all-negative-score network: a huge negative bias keeps every score
+	// far below zero, so a bound that is sound only for positive scores
+	// would fail here.
+	neg := MustNetwork("b-neg", tensor.Shape{16}, CombineHadamard,
+		NewFC("fc1", 16, 8, ActReLU), NewFC("fc2", 8, 1, ActNone))
+	neg.InitRandom(77)
+	neg.Layers[1].(*FC).B[0] = -1e3
+	return append(nets, neg)
+}
+
+func randScaledVec(rng *rand.Rand, dims int, scale float32) []float32 {
+	v := make([]float32, dims)
+	for i := range v {
+		v[i] = (rng.Float32()*2 - 1) * scale
+	}
+	return v
+}
+
+// TestUpperBoundNeverBelowScore is the satellite-1 property: for random
+// stripes — including large-magnitude vectors — no member ever scores above
+// its stripe's bound, under both the scalar Scorer and the batched GEMM
+// path the real scans use.
+func TestUpperBoundNeverBelowScore(t *testing.T) {
+	for _, net := range boundTestNets(t) {
+		net := net
+		t.Run(net.Name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			dims := net.FeatureElems()
+			scorer := net.Scorer()
+			batch := net.BatchScorer(8)
+			bnd := net.BoundScorer()
+			scores := make([]float32, 8)
+			for trial := 0; trial < 50; trial++ {
+				scale := float32(1)
+				if trial%5 == 4 {
+					scale = 1000 // adversarial magnitudes
+				}
+				stripe := make([][]float32, 8)
+				env := NewEnvelope(dims)
+				for i := range stripe {
+					stripe[i] = randScaledVec(rng, dims, scale)
+					env.Absorb(stripe[i])
+				}
+				qfv := randScaledVec(rng, dims, scale)
+				ub := bnd.UpperBound(qfv, &env)
+				batch.ScoreBatch(scores, qfv, stripe)
+				for i, dfv := range stripe {
+					if s := scorer.Score(qfv, dfv); s > ub {
+						t.Fatalf("trial %d: Scorer.Score %v exceeds bound %v", trial, s, ub)
+					}
+					if scores[i] > ub {
+						t.Fatalf("trial %d: ScoreBatch %v exceeds bound %v", trial, scores[i], ub)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEnvelopeMaxNorm checks the rounded-up norm can never fall below any
+// member's true float64 norm.
+func TestEnvelopeMaxNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		dims := 1 + rng.Intn(64)
+		env := NewEnvelope(dims)
+		members := make([][]float32, 1+rng.Intn(16))
+		for i := range members {
+			members[i] = randScaledVec(rng, dims, float32(math.Pow(10, float64(rng.Intn(7)-3))))
+			env.Absorb(members[i])
+		}
+		for _, v := range members {
+			var sq float64
+			for _, x := range v {
+				sq += float64(x) * float64(x)
+			}
+			if norm := math.Sqrt(sq); norm > float64(env.MaxNorm) {
+				t.Fatalf("trial %d: member norm %v exceeds MaxNorm %v", trial, norm, env.MaxNorm)
+			}
+		}
+	}
+}
+
+// TestUpperBoundEmptyEnvelope: an envelope with no members bounds nothing.
+func TestUpperBoundEmptyEnvelope(t *testing.T) {
+	net := MustNetwork("b-empty", tensor.Shape{4}, CombineHadamard, NewFC("fc", 4, 1, ActNone))
+	net.InitRandom(1)
+	env := NewEnvelope(4)
+	ub := net.BoundScorer().UpperBound([]float32{1, 2, 3, 4}, &env)
+	if !math.IsInf(float64(ub), -1) {
+		t.Fatalf("empty envelope bound = %v, want -Inf", ub)
+	}
+}
+
+// FuzzScoreUpperBound fuzzes the soundness inequality on a hadamard FC
+// network: whatever the seed and magnitude, members never beat the bound.
+func FuzzScoreUpperBound(f *testing.F) {
+	f.Add(int64(1), float64(1))
+	f.Add(int64(2), float64(100))
+	f.Add(int64(-9), float64(0.001))
+	net := MustNetwork("b-fuzz", tensor.Shape{8}, CombineHadamard,
+		NewFC("fc1", 8, 4, ActReLU), NewFC("fc2", 4, 1, ActSigmoid))
+	net.InitRandom(3)
+	f.Fuzz(func(t *testing.T, seed int64, scale float64) {
+		if math.IsNaN(scale) || math.IsInf(scale, 0) {
+			t.Skip()
+		}
+		scale = math.Abs(scale)
+		if scale > 1e6 {
+			scale = 1e6
+		}
+		rng := rand.New(rand.NewSource(seed))
+		env := NewEnvelope(8)
+		stripe := make([][]float32, 4)
+		for i := range stripe {
+			stripe[i] = randScaledVec(rng, 8, float32(scale))
+			env.Absorb(stripe[i])
+		}
+		qfv := randScaledVec(rng, 8, float32(scale))
+		ub := net.BoundScorer().UpperBound(qfv, &env)
+		scorer := net.Scorer()
+		for _, dfv := range stripe {
+			if s := scorer.Score(qfv, dfv); s > ub {
+				t.Fatalf("score %v exceeds bound %v (seed %d scale %v)", s, ub, seed, scale)
+			}
+		}
+	})
+}

@@ -20,6 +20,10 @@ const (
 	// StageSchedQueue is the time a query waited in the scheduler's
 	// admission queue before its batch dispatched (core.Scheduler).
 	StageSchedQueue = "sched_queue"
+	// StageBoundCheck is the stripe-bound table consultation of the exact
+	// pruning tier: per full stripe-queue evaluation, one table-entry read
+	// plus the interval-propagation compare on the channel accelerator.
+	StageBoundCheck = "bound_check"
 	// StageRerank is the SCN re-scoring of a cache hit's stored top-K.
 	StageRerank = "rerank"
 	// StageDMA is the getResults transfer of the top-K to the host.

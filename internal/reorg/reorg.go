@@ -140,6 +140,28 @@ func (cl *Clustering) buildOrder(n, k int) {
 	cl.Offsets[k] = len(cl.Order)
 }
 
+// ApplyOrder materializes a reorganization: new[j] = vectors[order[j]].
+// order must be a permutation of [0, len(vectors)); the input slice is not
+// modified (the migration writes a fresh copy, as the flash move does).
+func ApplyOrder(vectors [][]float32, order []int) ([][]float32, error) {
+	if len(order) != len(vectors) {
+		return nil, fmt.Errorf("reorg: order has %d entries for %d vectors", len(order), len(vectors))
+	}
+	seen := make([]bool, len(vectors))
+	out := make([][]float32, len(vectors))
+	for j, src := range order {
+		if src < 0 || src >= len(vectors) {
+			return nil, fmt.Errorf("reorg: order[%d] = %d out of range", j, src)
+		}
+		if seen[src] {
+			return nil, fmt.Errorf("reorg: order repeats source index %d", src)
+		}
+		seen[src] = true
+		out[j] = vectors[src]
+	}
+	return out, nil
+}
+
 func sqDist(a, b []float32) float64 {
 	var s float64
 	for i := range a {

@@ -275,6 +275,29 @@ func (d *Device) StreamToHost(meta *ftl.DBMeta, maxPagesPerChannel int64, done f
 	}
 }
 
+// ProgramBoundTable charges the flash programming of a database's stripe-
+// bound table (ftl.SetBoundTable must have allocated it first). The table is
+// computed inside the controller, so each page crosses controller DRAM and
+// is programmed — nothing crosses the external link. Runs the engine to
+// completion, like the writeDB path it extends.
+func (d *Device) ProgramBoundTable(meta *ftl.DBMeta) error {
+	table, ok := meta.BoundTable()
+	if !ok {
+		return fmt.Errorf("ssd: db %d has no bound table allocated", meta.ID)
+	}
+	for ch := 0; ch < table.Geom.Channels; ch++ {
+		pages := table.ChannelPages(ch)
+		for p := int64(0); p < pages; p++ {
+			addr := table.ChannelPageAddr(ch, p)
+			d.DRAM.Transfer(table.Geom.PageBytes, func() {
+				d.Flash.ProgramPage(addr, nil)
+			})
+		}
+	}
+	d.Engine.Run()
+	return nil
+}
+
 // InternalBandwidth returns the aggregate flash-channel bandwidth.
 func (d *Device) InternalBandwidth() float64 { return d.Flash.InternalBandwidth() }
 
