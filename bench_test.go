@@ -213,6 +213,22 @@ func BenchmarkAblationPrecision(b *testing.B) {
 	}
 }
 
+func BenchmarkQuantSweep(b *testing.B) {
+	cfg := exp.DefaultQuant()
+	cfg.Features = 8192
+	cfg.Queries = 3
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.QuantSweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("quant sweep incomplete")
+		}
+	}
+}
+
 // BenchmarkScoreRange measures one full-database query on a 100k-feature
 // TIR database (1.5 MB of FC weights per comparison — the weight-streaming
 // regime of the §2–§3 scan) across the three scan implementations: the

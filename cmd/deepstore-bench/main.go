@@ -40,6 +40,9 @@ var lastMQRows []exp.MQRow
 // lastPruneRows captures the exact-pruning study for -prunejson.
 var lastPruneRows []exp.PruneRow
 
+// lastQuantRows captures the quantized-scoring study for -quantjson.
+var lastQuantRows []exp.QuantRow
+
 // experiment couples an id with the code that produces its tables, and an
 // optional terminal-chart rendering for the sweep/comparison figures.
 type experiment struct {
@@ -281,6 +284,24 @@ func experiments() []experiment {
 			return []report.Table{{Name: "prune", Header: h, Rows: c}},
 				exp.FormatPrune(rows), nil
 		}},
+		{name: "quant", run: func(int64) ([]report.Table, string, error) {
+			rows, err := exp.QuantSweep(exp.DefaultQuant())
+			if err != nil {
+				return nil, "", err
+			}
+			lastQuantRows = rows
+			margins, err := exp.QuantMarginRecall(exp.DefaultQuant(), nil)
+			if err != nil {
+				return nil, "", err
+			}
+			h, c := exp.CellsQuant(rows)
+			hm, cm := exp.CellsQuantMargin(margins)
+			return []report.Table{
+					{Name: "quant", Header: h, Rows: c},
+					{Name: "quant-margin", Header: hm, Rows: cm},
+				}, exp.FormatQuant(rows) + "\n" + exp.FormatQuantMargin(margins),
+				nil
+		}},
 		{name: "faults", run: func(int64) ([]report.Table, string, error) {
 			rows, err := exp.FaultSweep(exp.DefaultFaults())
 			if err != nil {
@@ -337,13 +358,14 @@ func experiments() []experiment {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,scan,mq,prune,faults,breakdown,recall,ablations")
+	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,scan,mq,prune,quant,faults,breakdown,recall,ablations")
 	window := flag.Int64("window", exp.DefaultWindow, "features per accelerator simulated before extrapolation (0 = exact)")
 	formatFlag := flag.String("format", "text", "output format: text, csv, markdown, chart")
 	scanJSON := flag.String("scanjson", "", "write the scan experiment's rows as JSON to this file (e.g. BENCH_scan.json); implies running scan")
 	faultsJSON := flag.String("faultsjson", "", "write the fault sweep's rows as JSON to this file (e.g. BENCH_faults.json); implies running faults")
 	mqJSON := flag.String("mqjson", "", "write the multi-query study's rows as JSON to this file (e.g. BENCH_mq.json); implies running mq")
 	pruneJSON := flag.String("prunejson", "", "write the exact-pruning study's rows as JSON to this file (e.g. BENCH_prune.json); implies running prune")
+	quantJSON := flag.String("quantjson", "", "write the quantized-scoring study's rows as JSON to this file (e.g. BENCH_quant.json); implies running quant")
 	metricsJSON := flag.String("metricsjson", "", "write the breakdown replay's metrics snapshot as JSON to this file; implies running breakdown")
 	traceJSON := flag.String("tracejson", "", "write the breakdown replay's span trace in Chrome trace-event format to this file (load in chrome://tracing or Perfetto); implies running breakdown")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
@@ -412,6 +434,9 @@ func main() {
 	}
 	if *pruneJSON != "" {
 		want["prune"] = true
+	}
+	if *quantJSON != "" {
+		want["quant"] = true
 	}
 	if *metricsJSON != "" || *traceJSON != "" {
 		want["breakdown"] = true
@@ -482,6 +507,9 @@ func main() {
 	}
 	if *pruneJSON != "" && lastPruneRows != nil {
 		writeJSON(*pruneJSON, lastPruneRows)
+	}
+	if *quantJSON != "" && lastQuantRows != nil {
+		writeJSON(*quantJSON, lastQuantRows)
 	}
 	if *metricsJSON != "" && lastBreakdown != nil {
 		writeJSON(*metricsJSON, lastBreakdown.Snapshot)

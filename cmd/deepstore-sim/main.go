@@ -4,6 +4,7 @@
 //	deepstore-sim -app MIR -level channel
 //	deepstore-sim -app TextQA -level chip -channels 16 -latency 106us
 //	deepstore-sim -app TIR -level ssd -db-gb 5 -window 0
+//	deepstore-sim -app TextQA -quantized
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/sim"
 	"repro/internal/ssd"
+	"repro/internal/systolic"
 	"repro/internal/workload"
 )
 
@@ -29,6 +31,7 @@ func main() {
 	latency := flag.Duration("latency", 53*time.Microsecond, "flash array read latency")
 	dbGB := flag.Float64("db-gb", 25, "database size in GiB of dense features")
 	window := flag.Int64("window", exp.DefaultWindow, "features per accelerator simulated (0 = exact)")
+	quantized := flag.Bool("quantized", false, "scan an int8-quantized feature table (DESIGN.md §12)")
 	flag.Parse()
 
 	app, err := workload.ByName(*appName)
@@ -52,8 +55,14 @@ func main() {
 	cfg.Geometry.ChipsPerChannel = *chips
 	cfg.Timing.ReadLatency = sim.FromSeconds(latency.Seconds())
 
+	// The database size is always stated in dense fp32 GiB so -quantized
+	// compares like for like: the same corpus, a quarter of the flash.
 	features := int64(*dbGB * float64(1<<30) / float64(app.FeatureBytes()))
-	out, err := exp.RunScanFeatures(app, level, cfg, features, *window)
+	scanSpec := accel.SpecForLevel(level, cfg)
+	if *quantized {
+		scanSpec.Array.Precision = systolic.INT8
+	}
+	out, err := exp.RunScanCustom(app, scanSpec, cfg, features, *window)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,16 +75,17 @@ func main() {
 	baseSec, bd := baseCfg.ScanTime(app, features, app.DefaultBatch)
 
 	r := out.Result
-	fmt.Printf("%s on %s-level accelerators (%d instances)\n", app.Name, level, r.Accels)
-	fmt.Printf("  database            %d features x %d B (%.1f GiB dense)\n",
-		features, app.FeatureBytes(), float64(features*app.FeatureBytes())/float64(1<<30))
+	fmt.Printf("%s on %s-level accelerators (%d instances, %s)\n",
+		app.Name, level, r.Accels, scanSpec.Array.Precision)
+	storedBytes := int64(app.SCN.FeatureElems()) * scanSpec.Array.Precision.ElementBytes()
+	fmt.Printf("  database            %d features x %d B stored (%.1f GiB dense fp32)\n",
+		features, storedBytes, float64(features*app.FeatureBytes())/float64(1<<30))
 	fmt.Printf("  scan time           %.3f s\n", out.Seconds)
-	fmt.Printf("  effective bandwidth %.2f GB/s of features\n", r.EffectiveBandwidth(app.FeatureBytes())/1e9)
+	fmt.Printf("  effective bandwidth %.2f GB/s of stored features\n", r.EffectiveBandwidth(storedBytes)/1e9)
 	fmt.Printf("  per-feature latency %d accelerator cycles\n", r.PerFeatureCycles)
 	fmt.Printf("  weight source       %s (%d streaming rounds)\n", r.WeightSource, r.WeightRounds)
-	spec := accel.SpecForLevel(level, cfg)
 	fmt.Printf("  compute utilization %.0f%% (rest is flash I/O / weight streaming)\n",
-		r.ComputeUtilization(spec.Array.FreqHz)*100)
+		r.ComputeUtilization(scanSpec.Array.FreqHz)*100)
 	c, m, f := out.Energy.Fractions()
 	fmt.Printf("  energy              %.1f J (compute %.0f%% / memory %.0f%% / flash %.0f%%)\n",
 		out.Energy.Total(), c*100, m*100, f*100)

@@ -119,6 +119,12 @@ var (
 	ScoreDrift        = nn.ScoreDrift
 )
 
+// ErrQuantPruneApprox rejects Options.Prune combined with approximate
+// quantized scoring: stripe bounds are float32 envelopes and only bound fp32
+// scores, so pruning requires the two-pass exact mode (Options.Quantized
+// with RerankMargin > 0 — see DESIGN.md §12).
+var ErrQuantPruneApprox = core.ErrQuantPruneApprox
+
 // Layer constructors and combine ops for building networks.
 var (
 	NewFC          = nn.NewFC

@@ -32,7 +32,7 @@ func AnalyticScanSeconds(spec Spec, net *nn.Network, layout ftl.DBLayout, cfg ss
 
 	// Compute: per-feature cycles across the instances.
 	cost := spec.Array.NetworkCost(net.LayerPlan())
-	perFeat := float64(cost.Cycles + InputStageCycles(net.FeatureElems()))
+	perFeat := float64(cost.Cycles + InputStageCycles(net.FeatureElems(), spec.Array.Precision))
 	computeSec := features * perFeat / spec.Array.FreqHz / float64(spec.Count)
 
 	// Weight streaming: lockstep rounds of batch features per instance.

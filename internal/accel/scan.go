@@ -142,7 +142,7 @@ func Scan(req ScanRequest) (ScanResult, error) {
 	cost := req.Spec.Array.NetworkCost(req.Net.LayerPlan())
 	src := req.Spec.weightSource(weightBytes, cfg)
 	batch := req.Spec.BatchFeatures(req.Layout.FeatureBytes)
-	perFeatCycles := cost.Cycles + InputStageCycles(req.Net.FeatureElems())
+	perFeatCycles := cost.Cycles + InputStageCycles(req.Net.FeatureElems(), prec)
 	cyclePs := req.Spec.Array.CyclePs()
 
 	layout := req.Layout
@@ -417,6 +417,11 @@ func Scan(req ScanRequest) (ScanResult, error) {
 		SRAMSize:   req.Spec.Array.ScratchpadBytes,
 		SRAMKind:   req.Spec.SRAMKind,
 		FlashBytes: pageReads * geom.PageBytes,
+	}
+	if s := prec.MACEnergyScale(); s != 1 {
+		// Reduced-precision MACs are cheaper (§7); FP32 leaves the record's
+		// zero value so existing activity comparisons are unaffected.
+		act.MACScale = s
 	}
 	switch req.Spec.Level {
 	case LevelSSD:

@@ -158,9 +158,14 @@ func (s Spec) weightSource(weightBytes int64, cfg ssd.Config) WeightSource {
 
 // InputStageCycles is the per-comparison cost of staging a database feature
 // vector from the FLASH_DFV queue into the scratchpad banks and feeding it to
-// the array edge (two cycles per element: one queue pop, one bank write).
-func InputStageCycles(featureElems int) int64 {
-	return 2 * int64(featureElems)
+// the array edge (two cycles per beat: one queue pop, one bank write). The
+// queue and bank datapaths are a fixed four bytes wide, so narrower elements
+// pack more of them into each beat — at INT8 one beat stages four elements,
+// which matters because input staging dominates per-feature latency for the
+// small SCNs that are otherwise compute-cheap.
+func InputStageCycles(featureElems int, prec systolic.Precision) int64 {
+	lanes := prec.MACsPerPE()
+	return 2 * ((int64(featureElems) + lanes - 1) / lanes)
 }
 
 // BatchFeatures returns how many feature vectors the accelerator buffers per
@@ -217,7 +222,7 @@ func (s Spec) CheckSupport(net *nn.Network, cfg ssd.Config) error {
 	}
 	batch := s.BatchFeatures(net.FeatureBytes())
 	streamPerFeature := float64(weightBytes) / cfg.Timing.ChannelBandwidth / float64(batch)
-	computePerFeature := float64(cost.Cycles+InputStageCycles(net.FeatureElems())) / s.Array.FreqHz
+	computePerFeature := float64(cost.Cycles+InputStageCycles(net.FeatureElems(), s.Array.Precision)) / s.Array.FreqHz
 	// ESTP's 9 MB model streams at ~13x its compute time and still beats
 	// the baseline thanks to 128-way parallelism (Table 4: 1.9x); ReId's
 	// 10.7 MB model against 44 KB features streams at ~80x compute, which

@@ -84,6 +84,13 @@ func (ds *DeepStore) ReorgDB(id ftl.DBID, order []int) error {
 			ds.dropBoundTier(st)
 		}
 	}
+	if ds.opts.Quantized {
+		// Every slot moved, so the whole int8 table is requantized with the
+		// same atomic-or-drop discipline.
+		if err := ds.buildQuantState(st); err != nil {
+			ds.dropQuantState(st)
+		}
+	}
 	return nil
 }
 

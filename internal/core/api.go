@@ -53,6 +53,13 @@ func (ds *DeepStore) WriteDB(features [][]float32) (ftl.DBID, error) {
 			ds.dropBoundTier(st)
 		}
 	}
+	if ds.opts.Quantized {
+		// Same degradation discipline: without an int8 table the database
+		// scans in fp32, so writeDB still succeeds.
+		if err := ds.buildQuantState(st); err != nil {
+			ds.dropQuantState(st)
+		}
+	}
 	return meta.ID, nil
 }
 
@@ -122,6 +129,13 @@ func (ds *DeepStore) AppendDB(id ftl.DBID, features [][]float32) error {
 		// stale table would prune wrongly, no table merely scans densely).
 		if err := ds.rebuildBoundStripes(st, oldFeatures); err != nil {
 			ds.dropBoundTier(st)
+		}
+	}
+	if ds.opts.Quantized {
+		// Grow the int8 table with the append (per-vector scales keep the
+		// existing entries valid; only the new vectors are quantized).
+		if err := ds.rebuildQuantAppend(st, oldFeatures); err != nil {
+			ds.dropQuantState(st)
 		}
 	}
 	return nil

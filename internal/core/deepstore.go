@@ -109,7 +109,31 @@ type Options struct {
 	// PruneStripeFeatures is the per-channel stripe granularity of the bound
 	// tier (0 = DefaultPruneStripe). Results do not depend on it.
 	PruneStripeFeatures int
+	// Quantized enables the int8 scoring path (§7): WriteDB/AppendDB build a
+	// quantized feature table persisted next to the fp32 data, and every
+	// scan path scores int8 activations through GemmInt8 with flash, NoC,
+	// and MAC costs charged at the narrow width. With RerankMargin == 0 the
+	// int8 top-K is returned directly (fast approximate mode); see
+	// RerankMargin for the exact mode. Spec-only (DeclareDB) databases have
+	// no vectors to quantize and fall back to fp32 charging.
+	Quantized bool
+	// RerankMargin > 0 selects two-pass exact quantized mode: the int8 scan
+	// collects K·RerankMargin candidates and a float32 rerank of the
+	// candidates restores the exact top-K — bit-identical to the fp32 dense
+	// scan when the margin covers the quantization perturbation (see
+	// DESIGN.md §12), at a fraction of the fp32 scan's flash traffic. The
+	// rerank is charged as the rerank_exact stage. Ignored unless Quantized.
+	RerankMargin int
 }
+
+// ErrQuantPruneApprox rejects the unsound Options combination of the
+// approximate quantized scan with the exact-pruning tier: stripe envelopes
+// are float32 score bounds, and int8 scores can exceed them, so pruning
+// against an int8 top-K floor could silently drop qualifying features. The
+// combination is allowed in two-pass exact mode (RerankMargin > 0), where
+// the float32 rerank absorbs the perturbation.
+var ErrQuantPruneApprox = fmt.Errorf(
+	"core: Options.Prune with Options.Quantized requires two-pass exact mode (RerankMargin > 0): stripe bounds are float32 envelopes and do not bound int8 scan scores")
 
 // DefaultOptions returns the evaluation configuration: channel-level
 // accelerators on the §6.1 device.
@@ -130,6 +154,10 @@ type dbState struct {
 	// when Options.Prune is off, the database is spec-only, or the table
 	// build failed — all of which fall back to the dense scan).
 	bounds *boundTier
+	// quant is the in-memory mirror of the database's persisted int8 table
+	// (nil when Options.Quantized is off, the database is spec-only, or the
+	// table build failed — all of which fall back to the fp32 scan).
+	quant *quantState
 }
 
 type queryState struct {
@@ -150,8 +178,9 @@ type QueryResult struct {
 	FeaturesScanned int64
 	// Stages is the per-stage latency breakdown, in execution order
 	// (qcache_lookup, then bound_check when the pruning tier is active,
-	// then scan or rerank, then one dma stage per GetResults call). Stage
-	// durations always sum exactly to Latency.
+	// then scan or rerank, then rerank_exact in two-pass quantized mode,
+	// then one dma stage per GetResults call). Stage durations always sum
+	// exactly to Latency.
 	Stages []obs.Stage
 	// Prune reports what the exact-pruning tier did for this query (all
 	// zeros when the tier is inactive or the query hit the cache).
@@ -235,6 +264,12 @@ func New(opts Options) (*DeepStore, error) {
 	if opts.Device.Geometry.Channels == 0 {
 		opts.Device = ssd.DefaultConfig()
 	}
+	if opts.RerankMargin < 0 {
+		return nil, fmt.Errorf("core: negative RerankMargin %d", opts.RerankMargin)
+	}
+	if opts.Quantized && opts.Prune && opts.RerankMargin == 0 {
+		return nil, ErrQuantPruneApprox
+	}
 	e := sim.NewEngine()
 	dev, err := ssd.New(e, opts.Device)
 	if err != nil {
@@ -255,6 +290,7 @@ func New(opts Options) (*DeepStore, error) {
 	}
 	dev.AttachObs(ds.obs, ds.tracer)
 	ds.pools.batch = ds.scoreBatch()
+	ds.pools.quantized = opts.Quantized
 	return ds, nil
 }
 

@@ -141,11 +141,18 @@ func (ds *DeepStore) QueryMulti(specs []QuerySpec) ([]QueryID, error) {
 	// with pruning off that is exactly one scan per group, as before.
 	for _, g := range groups {
 		tier := ds.pruneTier(g.key.st)
+		// Two-pass exact quantized mode: the shared sweep collects K·margin
+		// candidates per member; each member's fp32 rerank below restores its
+		// exact top-K before the cache entry is filled.
+		exact := ds.quantFor(g.key.st) != nil && ds.opts.RerankMargin > 0
 		qfvs := make([][]float32, len(g.members))
 		ks := make([]int, len(g.members))
 		for j, qi := range g.members {
 			qfvs[j] = items[qi].spec.QFV
 			ks[j] = items[qi].spec.K
+			if exact {
+				ks[j] *= ds.opts.RerankMargin
+			}
 		}
 		var tops [][]topk.Entry
 		var pss []pruneStats
@@ -196,11 +203,20 @@ func (ds *DeepStore) QueryMulti(specs []QuerySpec) ([]QueryID, error) {
 			}
 			r.Energy.Add(ds.emodel.Energy(scanOut.Activity))
 			if tops != nil {
+				final := tops[j]
+				if exact {
+					cands := int64(len(final))
+					final = ds.rerank(g.key.net, g.key.st, it.spec.QFV, final, it.spec.K)
+					rrLat := ds.rerankExactLatency(g.key.net, g.key.st, g.key.level, cands)
+					r.Latency += rrLat
+					r.Stages = append(r.Stages, obs.Stage{Name: obs.StageRerankExact, Dur: rrLat})
+					r.Energy.Add(ds.rerankExactEnergy(g.key.net, g.key.st, g.key.level, cands))
+				}
 				if it.pending != nil {
-					copy(it.pending, tops[j])
+					copy(it.pending, final)
 					r.TopK = it.pending
 				} else {
-					r.TopK = tops[j]
+					r.TopK = final
 				}
 			}
 		}
@@ -250,6 +266,14 @@ func (ds *DeepStore) scoreRangeMulti(net *nn.Network, st *dbState, qfvs [][]floa
 	layout := st.meta.Layout
 	channels := layout.Geom.Channels
 	tier := ds.pruneTier(st)
+	qt := ds.quantFor(st)
+	var qqs []nn.QuantQuery
+	if qt != nil {
+		qqs = make([]nn.QuantQuery, len(qfvs))
+		for q := range qfvs {
+			qqs[q] = nn.PrepareQuantQuery(qfvs[q])
+		}
+	}
 	nq := len(qfvs)
 	queues := make([][]*topk.Queue, channels)
 	chStats := make([][]pruneStats, channels)
@@ -272,9 +296,28 @@ func (ds *DeepStore) scoreRangeMulti(net *nn.Network, st *dbState, qfvs [][]floa
 			defer wg.Done()
 			ctx := ds.pools.getMulti(net)
 			defer ds.pools.putMulti(net, ctx)
+			batch := len(ctx.ids)
 			scores := make([][]float32, nq)
 			for q := range scores {
-				scores[q] = make([]float32, len(ctx.dfvs))
+				scores[q] = make([]float32, batch)
+			}
+			// gather/drain pick the fp32 or int8 family of the pooled
+			// context; offer order is identical either way.
+			gather := func(i int64, n int) {
+				if qt != nil {
+					ctx.qdfvs[n] = qt.vecs[i]
+				} else {
+					ctx.dfvs[n] = st.vectors[i]
+				}
+				ctx.ids[n] = i
+				ctx.objs[n] = uint64(layout.Geom.Linear(layout.FeatureAddr(i)))
+			}
+			drain := func(qs []*topk.Queue, n int, active []bool) {
+				if qt != nil {
+					ctx.flushMultiQ(qs, scores, qqs, n, active)
+				} else {
+					ctx.flushMulti(qs, scores, qfvs, n, active)
+				}
 			}
 			var bnd *nn.BoundScorer
 			var active []bool
@@ -297,16 +340,14 @@ func (ds *DeepStore) scoreRangeMulti(net *nn.Network, st *dbState, qfvs [][]floa
 				if tier == nil {
 					n := 0
 					for i := first; i < end; i += stride {
-						ctx.dfvs[n] = st.vectors[i]
-						ctx.ids[n] = i
-						ctx.objs[n] = uint64(layout.Geom.Linear(layout.FeatureAddr(i)))
+						gather(i, n)
 						n++
-						if n == len(ctx.dfvs) {
-							ctx.flushMulti(qs, scores, qfvs, n, nil)
+						if n == batch {
+							drain(qs, n, nil)
 							n = 0
 						}
 					}
-					ctx.flushMulti(qs, scores, qfvs, n, nil)
+					drain(qs, n, nil)
 					queues[ch] = qs
 					continue
 				}
@@ -335,18 +376,16 @@ func (ds *DeepStore) scoreRangeMulti(net *nn.Network, st *dbState, qfvs [][]floa
 					}
 					n := 0
 					for ; i < segEnd; i += stride {
-						ctx.dfvs[n] = st.vectors[i]
-						ctx.ids[n] = i
-						ctx.objs[n] = uint64(layout.Geom.Linear(layout.FeatureAddr(i)))
+						gather(i, n)
 						n++
-						if n == len(ctx.dfvs) {
-							ctx.flushMulti(qs, scores, qfvs, n, active)
+						if n == batch {
+							drain(qs, n, active)
 							n = 0
 						}
 					}
 					// Segment boundary: drain so the next per-query skip
 					// decisions see every offer of this channel so far.
-					ctx.flushMulti(qs, scores, qfvs, n, active)
+					drain(qs, n, active)
 				}
 				queues[ch] = qs
 				chStats[ch] = st8

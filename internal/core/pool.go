@@ -12,13 +12,17 @@ import (
 // feature-vector slots, their feature IDs and object IDs, and the score
 // output. Everything is sized to the engine's score batch at construction,
 // so a worker that holds a batchCtx scores its whole stripe without
-// allocating.
+// allocating. On a quantized engine the context additionally carries the
+// int8 scorer and quantized-vector slots (qbs/qdfvs); a scan uses one family
+// or the other, never both.
 type batchCtx struct {
 	bs     *nn.BatchScorer
 	dfvs   [][]float32
 	ids    []int64
 	objs   []uint64
 	scores []float32
+	qbs    *nn.QuantBatchScorer
+	qdfvs  []nn.QuantizedVector
 }
 
 // reset drops the feature-vector references so pooled contexts do not pin
@@ -26,6 +30,25 @@ type batchCtx struct {
 func (c *batchCtx) reset() {
 	for i := range c.dfvs {
 		c.dfvs[i] = nil
+	}
+	for i := range c.qdfvs {
+		c.qdfvs[i] = nn.QuantizedVector{}
+	}
+}
+
+// flush scores the gathered batch against qfv and offers the entries in
+// gather order.
+func (c *batchCtx) flushQ(q *topk.Queue, qq nn.QuantQuery, n int) {
+	if n == 0 {
+		return
+	}
+	c.qbs.ScoreBatch(c.scores[:n], qq, c.qdfvs[:n])
+	for j := 0; j < n; j++ {
+		q.Offer(topk.Entry{
+			FeatureID: c.ids[j],
+			Score:     c.scores[j],
+			ObjectID:  c.objs[j],
+		})
 	}
 }
 
@@ -40,15 +63,20 @@ const multiScoreRows = 512
 // the same gather scratch batchCtx carries. Per-query score rows are
 // allocated by the sweep (their count depends on the batch's Q).
 type multiCtx struct {
-	bs   *nn.BatchScorer
-	dfvs [][]float32
-	ids  []int64
-	objs []uint64
+	bs    *nn.BatchScorer
+	dfvs  [][]float32
+	ids   []int64
+	objs  []uint64
+	qbs   *nn.QuantBatchScorer
+	qdfvs []nn.QuantizedVector
 }
 
 func (c *multiCtx) reset() {
 	for i := range c.dfvs {
 		c.dfvs[i] = nil
+	}
+	for i := range c.qdfvs {
+		c.qdfvs[i] = nn.QuantizedVector{}
 	}
 }
 
@@ -62,6 +90,20 @@ func (c *multiCtx) flushMulti(qs []*topk.Queue, scores [][]float32, qfvs [][]flo
 		return
 	}
 	c.bs.ScoreMulti(scores, qfvs, c.dfvs[:n])
+	c.offerMulti(qs, scores, n, active)
+}
+
+// flushMultiQ is flushMulti's quantized counterpart: same offer discipline,
+// int8 scoring.
+func (c *multiCtx) flushMultiQ(qs []*topk.Queue, scores [][]float32, qqs []nn.QuantQuery, n int, active []bool) {
+	if n == 0 {
+		return
+	}
+	c.qbs.ScoreMulti(scores, qqs, c.qdfvs[:n])
+	c.offerMulti(qs, scores, n, active)
+}
+
+func (c *multiCtx) offerMulti(qs []*topk.Queue, scores [][]float32, n int, active []bool) {
 	for q := range qs {
 		if active != nil && !active[q] {
 			continue
@@ -81,12 +123,37 @@ func (c *multiCtx) flushMulti(qs []*topk.Queue, scores [][]float32, qfvs [][]flo
 // BatchScorer's scratch is shaped by its network, so contexts cannot be
 // shared across models). Get/put are called from scan workers without the
 // engine mutex; the map is guarded by its own mutex and the pools themselves
-// are concurrency-safe.
+// are concurrency-safe. On a quantized engine the pools also memoize one
+// QuantNetwork per network (the int8 weight images are immutable and shared;
+// per-worker scratch stays in the contexts).
 type batchPools struct {
-	mu    sync.Mutex
-	batch int
-	pools map[*nn.Network]*sync.Pool
-	multi map[*nn.Network]*sync.Pool
+	mu        sync.Mutex
+	batch     int
+	quantized bool
+	pools     map[*nn.Network]*sync.Pool
+	multi     map[*nn.Network]*sync.Pool
+	qnets     map[*nn.Network]*nn.QuantNetwork
+}
+
+// quantNetLocked returns the memoized int8 image of net. Caller holds p.mu.
+func (p *batchPools) quantNetLocked(net *nn.Network) *nn.QuantNetwork {
+	if p.qnets == nil {
+		p.qnets = make(map[*nn.Network]*nn.QuantNetwork)
+	}
+	qn, ok := p.qnets[net]
+	if !ok {
+		qn = net.Quantize()
+		p.qnets[net] = qn
+	}
+	return qn
+}
+
+// quant returns the memoized int8 image of net (for per-feature and serial
+// scan workers that build their own small scorers).
+func (p *batchPools) quant(net *nn.Network) *nn.QuantNetwork {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quantNetLocked(net)
 }
 
 func (p *batchPools) get(net *nn.Network) *batchCtx {
@@ -97,14 +164,23 @@ func (p *batchPools) get(net *nn.Network) *batchCtx {
 	pool, ok := p.pools[net]
 	if !ok {
 		b := p.batch
+		var qn *nn.QuantNetwork
+		if p.quantized {
+			qn = p.quantNetLocked(net)
+		}
 		pool = &sync.Pool{New: func() any {
-			return &batchCtx{
+			c := &batchCtx{
 				bs:     net.BatchScorer(b),
 				dfvs:   make([][]float32, b),
 				ids:    make([]int64, b),
 				objs:   make([]uint64, b),
 				scores: make([]float32, b),
 			}
+			if qn != nil {
+				c.qbs = qn.BatchScorer(b)
+				c.qdfvs = make([]nn.QuantizedVector, b)
+			}
+			return c
 		}}
 		p.pools[net] = pool
 	}
@@ -128,13 +204,22 @@ func (p *batchPools) getMulti(net *nn.Network) *multiCtx {
 	pool, ok := p.multi[net]
 	if !ok {
 		b := p.batch
+		var qn *nn.QuantNetwork
+		if p.quantized {
+			qn = p.quantNetLocked(net)
+		}
 		pool = &sync.Pool{New: func() any {
-			return &multiCtx{
+			c := &multiCtx{
 				bs:   net.BatchScorer(multiScoreRows),
 				dfvs: make([][]float32, b),
 				ids:  make([]int64, b),
 				objs: make([]uint64, b),
 			}
+			if qn != nil {
+				c.qbs = qn.BatchScorer(multiScoreRows)
+				c.qdfvs = make([]nn.QuantizedVector, b)
+			}
+			return c
 		}}
 		p.multi[net] = pool
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/systolic"
 	"repro/internal/topk"
 )
 
@@ -136,10 +137,16 @@ func (ds *DeepStore) queryLocked(spec QuerySpec) (QueryID, error) {
 	// Miss: scan of the requested range, mapped across accelerators. The
 	// functional scoring runs first — with the pruning tier active it also
 	// decides which stripes the hardware would skip — and the event-driven
-	// scan is then charged for exactly the surviving features.
+	// scan is then charged for exactly the surviving features. On a quantized
+	// engine in two-pass exact mode the scan phase collects K·margin
+	// candidates; the fp32 rerank below restores the exact top-K.
 	tier := ds.pruneTier(st)
+	exact, kScan := false, spec.K
+	if ds.quantFor(st) != nil {
+		exact, kScan = ds.twoPass(spec.K)
+	}
 	var ps pruneStats
-	result.TopK, ps = ds.scoreRange(net, st, spec.QFV, start, end, spec.K)
+	result.TopK, ps = ds.scoreRange(net, st, spec.QFV, start, end, kScan)
 	survivors := end - start - ps.featuresSkipped
 	scanOut, err := ds.simulateScanCount(net, st, level, survivors)
 	if err != nil {
@@ -169,6 +176,18 @@ func (ds *DeepStore) queryLocked(spec QuerySpec) (QueryID, error) {
 		result.Energy.Add(ds.boundCheckEnergy(net, level, tier, ps.checked))
 	}
 	result.Energy.Add(ds.emodel.Energy(scanOut.Activity))
+	if exact {
+		// Second pass: re-score the int8 candidate set at full precision.
+		// The fp32 rerank batches through the same pooled GEMM path, and
+		// topk's strict (score, featureID) total order makes the final top-K
+		// independent of candidate order.
+		cands := int64(len(result.TopK))
+		result.TopK = ds.rerank(net, st, spec.QFV, result.TopK, spec.K)
+		rrLat := ds.rerankExactLatency(net, st, level, cands)
+		result.Latency += rrLat
+		result.Stages = append(result.Stages, obs.Stage{Name: obs.StageRerankExact, Dur: rrLat})
+		result.Energy.Add(ds.rerankExactEnergy(net, st, level, cands))
+	}
 
 	if ds.qc != nil {
 		ds.qc.Insert(cloneVec(spec.QFV), result.TopK)
@@ -297,16 +316,25 @@ func (ds *DeepStore) simulateScan(net *nn.Network, st *dbState, level accel.Leve
 // simulateScanCount runs the event-driven scan for `features` surviving
 // features. A sub-range (or pruned) scan is striped identically to a full
 // scan (§4.4), so a layout with the surviving feature count models it. A
-// fully-pruned scan does no device work at all.
+// fully-pruned scan does no device work at all. A quantized scan reads the
+// int8 table instead of the fp32 data — a quarter of the flash, NoC, and
+// DRAM bytes per feature — and runs the arrays at INT8.
 func (ds *DeepStore) simulateScanCount(net *nn.Network, st *dbState, level accel.Level, features int64) (accel.ScanResult, error) {
 	if features <= 0 {
 		return accel.ScanResult{}, nil
 	}
 	layout := st.meta.Layout
+	spec := specFor(ds, level)
+	if ds.quantFor(st) != nil {
+		if ql, ok := st.meta.QuantTable(); ok {
+			layout = ql
+			spec.Array.Precision = systolic.INT8
+		}
+	}
 	layout.Features = features
 	return accel.Scan(accel.ScanRequest{
 		Device:                 ds.dev,
-		Spec:                   specFor(ds, level),
+		Spec:                   spec,
 		Net:                    net,
 		Layout:                 layout,
 		WindowFeaturesPerAccel: ds.opts.TimingWindow,
@@ -387,6 +415,11 @@ func (ds *DeepStore) scoreRangeBatched(net *nn.Network, st *dbState, qfv []float
 	layout := st.meta.Layout
 	channels := layout.Geom.Channels
 	tier := ds.pruneTier(st)
+	qt := ds.quantFor(st)
+	var qq nn.QuantQuery
+	if qt != nil {
+		qq = nn.PrepareQuantQuery(qfv)
+	}
 	shards := make([]*topk.Queue, channels)
 	stats := make([]pruneStats, channels)
 	workers := runtime.GOMAXPROCS(0)
@@ -405,6 +438,26 @@ func (ds *DeepStore) scoreRangeBatched(net *nn.Network, st *dbState, qfv []float
 			defer wg.Done()
 			ctx := ds.pools.get(net)
 			defer ds.pools.put(net, ctx)
+			// gather/drain pick the fp32 or int8 family of the pooled
+			// context; both offer in the same gather order, so the merged
+			// top-K ordering properties are mode-independent.
+			batch := len(ctx.ids)
+			gather := func(i int64, n int) {
+				if qt != nil {
+					ctx.qdfvs[n] = qt.vecs[i]
+				} else {
+					ctx.dfvs[n] = st.vectors[i]
+				}
+				ctx.ids[n] = i
+				ctx.objs[n] = uint64(layout.Geom.Linear(layout.FeatureAddr(i)))
+			}
+			drain := func(q *topk.Queue, n int) {
+				if qt != nil {
+					ctx.flushQ(q, qq, n)
+				} else {
+					ctx.flush(q, qfv, n)
+				}
+			}
 			var bnd *nn.BoundScorer
 			if tier != nil {
 				bnd = net.BoundScorer()
@@ -421,16 +474,14 @@ func (ds *DeepStore) scoreRangeBatched(net *nn.Network, st *dbState, qfv []float
 				if tier == nil {
 					n := 0
 					for i := first; i < end; i += stride {
-						ctx.dfvs[n] = st.vectors[i]
-						ctx.ids[n] = i
-						ctx.objs[n] = uint64(layout.Geom.Linear(layout.FeatureAddr(i)))
+						gather(i, n)
 						n++
-						if n == len(ctx.dfvs) {
-							ctx.flush(q, qfv, n)
+						if n == batch {
+							drain(q, n)
 							n = 0
 						}
 					}
-					ctx.flush(q, qfv, n)
+					drain(q, n)
 					shards[ch] = q
 					continue
 				}
@@ -448,18 +499,16 @@ func (ds *DeepStore) scoreRangeBatched(net *nn.Network, st *dbState, qfv []float
 					}
 					n := 0
 					for ; i < segEnd; i += stride {
-						ctx.dfvs[n] = st.vectors[i]
-						ctx.ids[n] = i
-						ctx.objs[n] = uint64(layout.Geom.Linear(layout.FeatureAddr(i)))
+						gather(i, n)
 						n++
-						if n == len(ctx.dfvs) {
-							ctx.flush(q, qfv, n)
+						if n == batch {
+							drain(q, n)
 							n = 0
 						}
 					}
 					// Segment boundary: drain so the next skip decision sees
 					// every offer of this channel so far.
-					ctx.flush(q, qfv, n)
+					drain(q, n)
 				}
 				shards[ch] = q
 			}
@@ -497,6 +546,11 @@ func (ds *DeepStore) scoreRangePerFeature(net *nn.Network, st *dbState, qfv []fl
 	layout := st.meta.Layout
 	channels := layout.Geom.Channels
 	tier := ds.pruneTier(st)
+	qt := ds.quantFor(st)
+	var qq nn.QuantQuery
+	if qt != nil {
+		qq = nn.PrepareQuantQuery(qfv)
+	}
 	shards := make([]*topk.Queue, channels)
 	stats := make([]pruneStats, channels)
 	workers := runtime.GOMAXPROCS(0)
@@ -514,6 +568,16 @@ func (ds *DeepStore) scoreRangePerFeature(net *nn.Network, st *dbState, qfv []fl
 		go func() {
 			defer wg.Done()
 			scorer := net.Scorer()
+			var qsc *nn.QuantScorer
+			if qt != nil {
+				qsc = ds.pools.quant(net).Scorer()
+			}
+			score := func(i int64) float32 {
+				if qsc != nil {
+					return qsc.Score(qq, qt.vecs[i])
+				}
+				return scorer.Score(qfv, st.vectors[i])
+			}
 			var bnd *nn.BoundScorer
 			if tier != nil {
 				bnd = net.BoundScorer()
@@ -542,7 +606,7 @@ func (ds *DeepStore) scoreRangePerFeature(net *nn.Network, st *dbState, qfv []fl
 						for ; i < segEnd; i += stride {
 							q.Offer(topk.Entry{
 								FeatureID: i,
-								Score:     scorer.Score(qfv, st.vectors[i]),
+								Score:     score(i),
 								ObjectID:  uint64(layout.Geom.Linear(layout.FeatureAddr(i))),
 							})
 						}
@@ -550,7 +614,7 @@ func (ds *DeepStore) scoreRangePerFeature(net *nn.Network, st *dbState, qfv []fl
 					}
 					q.Offer(topk.Entry{
 						FeatureID: i,
-						Score:     scorer.Score(qfv, st.vectors[i]),
+						Score:     score(i),
 						ObjectID:  uint64(layout.Geom.Linear(layout.FeatureAddr(i))),
 					})
 					i += stride
@@ -579,11 +643,24 @@ func (ds *DeepStore) scoreRangeSerial(net *nn.Network, st *dbState, qfv []float3
 	}
 	layout := st.meta.Layout
 	tier := ds.pruneTier(st)
+	qt := ds.quantFor(st)
 	shards := make([]*topk.Queue, layout.Geom.Channels)
 	for i := range shards {
 		shards[i] = topk.New(k)
 	}
 	scorer := net.Scorer()
+	var qq nn.QuantQuery
+	var qsc *nn.QuantScorer
+	if qt != nil {
+		qq = nn.PrepareQuantQuery(qfv)
+		qsc = ds.pools.quant(net).Scorer()
+	}
+	score := func(i int64) float32 {
+		if qsc != nil {
+			return qsc.Score(qq, qt.vecs[i])
+		}
+		return scorer.Score(qfv, st.vectors[i])
+	}
 	var total pruneStats
 	var bnd *nn.BoundScorer
 	type chState struct {
@@ -614,7 +691,7 @@ func (ds *DeepStore) scoreRangeSerial(net *nn.Network, st *dbState, qfv []float3
 		}
 		shards[ch].Offer(topk.Entry{
 			FeatureID: i,
-			Score:     scorer.Score(qfv, st.vectors[i]),
+			Score:     score(i),
 			ObjectID:  uint64(layout.Geom.Linear(layout.FeatureAddr(i))),
 		})
 	}

@@ -112,6 +112,10 @@ type Activity struct {
 	FlashBytes int64
 	// NoCBytes is bytes moved across the internal interconnect.
 	NoCBytes int64
+	// MACScale scales the per-MAC energy for reduced-precision arithmetic
+	// (systolic.Precision.MACEnergyScale); 0 means unscaled FP32 (1.0), so
+	// zero-valued records keep their historical meaning.
+	MACScale float64
 }
 
 // Add accumulates another activity record.
@@ -128,6 +132,9 @@ func (a *Activity) Add(b Activity) {
 	a.DRAMBytes += b.DRAMBytes
 	a.FlashBytes += b.FlashBytes
 	a.NoCBytes += b.NoCBytes
+	if a.MACScale == 0 {
+		a.MACScale = b.MACScale
+	}
 }
 
 // Scale multiplies all counts by f (for window extrapolation).
@@ -177,6 +184,9 @@ func (m Model) Energy(a Activity) Breakdown {
 	}
 	var b Breakdown
 	b.ComputeJ = float64(a.MACs) * m.MACJoules
+	if a.MACScale > 0 {
+		b.ComputeJ *= a.MACScale
+	}
 	if a.SRAMBytes > 0 {
 		b.MemoryJ += float64(a.SRAMBytes) * SRAMJoulesPerByte(a.SRAMSize, a.SRAMKind)
 	}

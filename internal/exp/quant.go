@@ -1,0 +1,341 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/topk"
+	"repro/internal/workload"
+)
+
+// Quantized-scoring study (DESIGN.md §12). The int8 feature table quarters
+// the bytes every scanned feature drags through flash, the NoC, and DRAM,
+// and runs the systolic arrays at 4 MACs/PE — the §7 precision win — at the
+// price of quantization error in the scan scores. QuantSweep measures the
+// simulated corpus throughput and the answer quality of both quantized
+// modes against the fp32 engine on the same planted-intent database, and is
+// the artifact CI validates (BENCH_quant.json: int8 features/s above fp32,
+// approximate recall@K ≥ 0.95, zero two-pass mismatches).
+//
+// The database must span several pages per channel at int8 width: the event
+// model reads page-granular, so a table under one page per channel shows no
+// flash win (the same holds on real hardware).
+
+// QuantConfig sizes the quantization study.
+type QuantConfig struct {
+	Features int   // materialized database size
+	Intents  int   // distinct query intents (planted clusters)
+	Queries  int   // query-stream length
+	K        int   // top-K
+	Margin   int   // two-pass candidate multiplier (int8-exact mode)
+	Seed     int64 // database + stream seed
+	// Noise is the per-occurrence query paraphrase perturbation.
+	Noise float32
+}
+
+// DefaultQuant returns a CI-scale configuration (a few seconds total).
+func DefaultQuant() QuantConfig {
+	return QuantConfig{Features: 16384, Intents: 32, Queries: 6, K: 10,
+		Margin: 4, Seed: 9, Noise: 0.02}
+}
+
+// QuantRow is one engine mode of the study. Wall-clock time is reported for
+// interactive runs but excluded from the JSON artifact so BENCH_quant.json
+// is byte-identical across runs of the same configuration.
+type QuantRow struct {
+	Mode          string  `json:"mode"` // "fp32", "int8", or "int8-exact"
+	Queries       int     `json:"queries"`
+	Features      int     `json:"features"`
+	K             int     `json:"k"`
+	Margin        int     `json:"margin"` // 0 outside int8-exact
+	SimSec        float64 `json:"sim_sec"`
+	FeaturesSec   float64 `json:"features_per_sec"` // Features*Queries/SimSec
+	SpeedupVsFP32 float64 `json:"speedup_vs_fp32"`
+	// RecallAtK is the mean |topK ∩ fp32 topK| / K over the stream.
+	RecallAtK float64 `json:"recall_at_k"`
+	// Mismatches counts top-K entries (ID, score, object) differing from the
+	// fp32 engine's — the exactness check for the two-pass mode.
+	Mismatches int     `json:"mismatches"`
+	WallSec    float64 `json:"-"`
+}
+
+// quantVectors builds the planted-intent database shared by every engine:
+// each intent owns a run of features sitting in a tight ball around its
+// query vector, over a random background — real retrieval corpora contain
+// items that actually match each intent, so recall against fp32 measures
+// quantization error rather than ranking noise.
+func quantVectors(cfg QuantConfig, app *workload.App, intents [][]float32) [][]float32 {
+	fe := app.SCN.FeatureElems()
+	db := workload.NewFeatureDB(app, cfg.Features, cfg.Seed+1)
+	const relevantPerIntent = 15
+	planted := workload.NewFeatureDB(app, cfg.Intents*relevantPerIntent, cfg.Seed+500)
+	for i := 0; i < cfg.Intents; i++ {
+		for r := 0; r < relevantPerIntent; r++ {
+			idx := i*relevantPerIntent + r
+			if idx >= len(db.Vectors) {
+				break
+			}
+			for j := 0; j < fe; j++ {
+				db.Vectors[idx][j] = intents[i][j] + 0.15*planted.Vectors[idx][j]
+			}
+		}
+	}
+	return db.Vectors
+}
+
+// quantQueryStream derives the Zipfian intent stream with paraphrase noise.
+func quantQueryStream(cfg QuantConfig, app *workload.App, intents [][]float32) [][]float32 {
+	fe := app.SCN.FeatureElems()
+	trace := workload.GenerateTrace(workload.TraceConfig{
+		Universe: int64(cfg.Intents), Length: cfg.Queries,
+		Dist: workload.Zipfian, Alpha: 0.7, Seed: cfg.Seed,
+	})
+	noise := workload.NewFeatureDB(app, cfg.Queries, cfg.Seed+999)
+	qfvs := make([][]float32, cfg.Queries)
+	for qi, q := range trace.Queries {
+		qfv := make([]float32, fe)
+		base := intents[q.SemanticID]
+		for j := range qfv {
+			qfv[j] = base[j] + cfg.Noise*noise.Vectors[qi][j]
+		}
+		qfvs[qi] = qfv
+	}
+	return qfvs
+}
+
+// QuantSweep runs the study: the same query stream on an fp32 engine, an
+// approximate int8 engine, and a two-pass exact int8 engine over the same
+// database, comparing every answer against the fp32 reference.
+func QuantSweep(cfg QuantConfig) ([]QuantRow, error) {
+	if cfg.Features < 1 || cfg.Intents < 1 || cfg.Queries < 1 || cfg.K < 1 || cfg.Margin < 1 {
+		return nil, fmt.Errorf("exp: quant config %+v invalid", cfg)
+	}
+	app, err := workload.ByName("TextQA")
+	if err != nil {
+		return nil, err
+	}
+	fe := app.SCN.FeatureElems()
+	scn, err := dotNet("quant-scn", fe)
+	if err != nil {
+		return nil, err
+	}
+	intents := make([][]float32, cfg.Intents)
+	for i := range intents {
+		intents[i] = workload.NewFeatureDB(app, 1, cfg.Seed+100+int64(i)).Vectors[0]
+	}
+	vectors := quantVectors(cfg, app, intents)
+	qfvs := quantQueryStream(cfg, app, intents)
+
+	run := func(quantized bool, margin int) (tops [][]topk.Entry, simSec, wallSec float64, err error) {
+		opts := core.DefaultOptions()
+		opts.Quantized = quantized
+		opts.RerankMargin = margin
+		ds, err := core.New(opts)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		dbID, err := ds.WriteDB(vectors)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		model, err := ds.LoadModelNetwork(scn)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		wallStart := time.Now()
+		// Sum per-query latency rather than differencing ds.Now(): the exact
+		// mode's rerank stage (like pruning's bound checks) is charged to the
+		// query's latency, not the engine event clock, and the study must see
+		// the two-pass tax.
+		var sum sim.Duration
+		for _, q := range qfvs {
+			qid, err := ds.Query(core.QuerySpec{QFV: q, K: cfg.K, Model: model, DB: dbID})
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			res, err := ds.GetResults(qid)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			sum += res.Latency
+			tops = append(tops, res.TopK)
+		}
+		return tops, sum.Seconds(), time.Since(wallStart).Seconds(), nil
+	}
+
+	ref, refSim, refWall, err := run(false, 0)
+	if err != nil {
+		return nil, err
+	}
+	corpus := float64(cfg.Features) * float64(cfg.Queries)
+	rows := []QuantRow{{
+		Mode: "fp32", Queries: cfg.Queries, Features: cfg.Features, K: cfg.K,
+		SimSec: refSim, FeaturesSec: corpus / refSim,
+		SpeedupVsFP32: 1, RecallAtK: 1, WallSec: refWall,
+	}}
+	for _, m := range []struct {
+		name   string
+		margin int
+	}{{"int8", 0}, {"int8-exact", cfg.Margin}} {
+		tops, simSec, wallSec, err := run(true, m.margin)
+		if err != nil {
+			return nil, err
+		}
+		recall, mismatches := scoreAgainstRef(ref, tops, cfg.K)
+		rows = append(rows, QuantRow{
+			Mode: m.name, Queries: cfg.Queries, Features: cfg.Features, K: cfg.K,
+			Margin: m.margin, SimSec: simSec, FeaturesSec: corpus / simSec,
+			SpeedupVsFP32: refSim / simSec,
+			RecallAtK:     recall, Mismatches: mismatches, WallSec: wallSec,
+		})
+	}
+	return rows, nil
+}
+
+// scoreAgainstRef computes the stream's mean recall@K (feature-ID overlap)
+// and the entry-exact mismatch count against the fp32 reference answers.
+func scoreAgainstRef(ref, got [][]topk.Entry, k int) (recall float64, mismatches int) {
+	for i := range ref {
+		truth := map[int64]bool{}
+		for _, e := range ref[i] {
+			truth[e.FeatureID] = true
+		}
+		overlap := 0
+		for _, e := range got[i] {
+			if truth[e.FeatureID] {
+				overlap++
+			}
+		}
+		recall += float64(overlap) / float64(k)
+		if len(got[i]) != len(ref[i]) {
+			mismatches += len(ref[i])
+			continue
+		}
+		for j := range ref[i] {
+			if got[i][j] != ref[i][j] {
+				mismatches++
+			}
+		}
+	}
+	return recall / float64(len(ref)), mismatches
+}
+
+// QuantMarginRow is one point of the margin sweep.
+type QuantMarginRow struct {
+	Margin     int     `json:"margin"`
+	RecallAtK  float64 `json:"recall_at_k"`
+	Mismatches int     `json:"mismatches"`
+}
+
+// QuantMarginRecall sweeps the two-pass candidate margin: with margin 1 the
+// fp32 rerank can only reorder the int8 top-K (not recover candidates the
+// int8 scan ranked below K), so recall may dip below 1; growing the margin
+// widens the candidate set until the exact top-K always survives the first
+// pass. The sweep quantifies how small a margin buys exactness on a
+// realistic score landscape.
+func QuantMarginRecall(cfg QuantConfig, margins []int) ([]QuantMarginRow, error) {
+	if len(margins) == 0 {
+		margins = []int{1, 2, 4, 8}
+	}
+	app, err := workload.ByName("TextQA")
+	if err != nil {
+		return nil, err
+	}
+	fe := app.SCN.FeatureElems()
+	scn, err := dotNet("quant-margin-scn", fe)
+	if err != nil {
+		return nil, err
+	}
+	intents := make([][]float32, cfg.Intents)
+	for i := range intents {
+		intents[i] = workload.NewFeatureDB(app, 1, cfg.Seed+100+int64(i)).Vectors[0]
+	}
+	vectors := quantVectors(cfg, app, intents)
+	qfvs := quantQueryStream(cfg, app, intents)
+
+	run := func(quantized bool, margin int) ([][]topk.Entry, error) {
+		opts := core.DefaultOptions()
+		opts.Quantized = quantized
+		opts.RerankMargin = margin
+		ds, err := core.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		dbID, err := ds.WriteDB(vectors)
+		if err != nil {
+			return nil, err
+		}
+		model, err := ds.LoadModelNetwork(scn)
+		if err != nil {
+			return nil, err
+		}
+		var tops [][]topk.Entry
+		for _, q := range qfvs {
+			qid, err := ds.Query(core.QuerySpec{QFV: q, K: cfg.K, Model: model, DB: dbID})
+			if err != nil {
+				return nil, err
+			}
+			res, err := ds.GetResults(qid)
+			if err != nil {
+				return nil, err
+			}
+			tops = append(tops, res.TopK)
+		}
+		return tops, nil
+	}
+
+	ref, err := run(false, 0)
+	if err != nil {
+		return nil, err
+	}
+	var rows []QuantMarginRow
+	for _, m := range margins {
+		if m < 1 {
+			return nil, fmt.Errorf("exp: margin %d < 1", m)
+		}
+		tops, err := run(true, m)
+		if err != nil {
+			return nil, err
+		}
+		recall, mismatches := scoreAgainstRef(ref, tops, cfg.K)
+		rows = append(rows, QuantMarginRow{Margin: m, RecallAtK: recall, Mismatches: mismatches})
+	}
+	return rows, nil
+}
+
+// CellsQuant returns the study as header and rows.
+func CellsQuant(rows []QuantRow) ([]string, [][]string) {
+	header := []string{"Mode", "Queries", "Features", "K", "Margin",
+		"Sim (s)", "Features/s", "vs fp32", "Recall@K", "Mismatch", "Wall (s)"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Mode, fmt.Sprint(r.Queries), fmt.Sprint(r.Features), fmt.Sprint(r.K),
+			fmt.Sprint(r.Margin), F(r.SimSec), F(r.FeaturesSec),
+			F(r.SpeedupVsFP32) + "x", F(r.RecallAtK), fmt.Sprint(r.Mismatches), F(r.WallSec),
+		})
+	}
+	return header, out
+}
+
+// FormatQuant renders the study.
+func FormatQuant(rows []QuantRow) string {
+	return FormatTable(CellsQuant(rows))
+}
+
+// CellsQuantMargin returns the margin sweep as header and rows.
+func CellsQuantMargin(rows []QuantMarginRow) ([]string, [][]string) {
+	header := []string{"Margin", "Recall@K", "Mismatch"}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{fmt.Sprint(r.Margin), F(r.RecallAtK), fmt.Sprint(r.Mismatches)})
+	}
+	return header, out
+}
+
+// FormatQuantMargin renders the margin sweep.
+func FormatQuantMargin(rows []QuantMarginRow) string {
+	return FormatTable(CellsQuantMargin(rows))
+}

@@ -18,6 +18,9 @@ type DBMeta struct {
 	// Bound describes the database's stripe-bound table when the exact
 	// pruning tier has built one (nil otherwise). See bound.go.
 	Bound *BoundLayout
+	// Quant describes the database's quantized (int8) feature table when
+	// the precision extension has built one (nil otherwise). See quant.go.
+	Quant *QuantLayout
 }
 
 // FTL is a block-granular flash translation layer. DeepStore uses a regular
@@ -154,11 +157,14 @@ func (f *FTL) AppendDB(id DBID, extra int64) (*DBMeta, error) {
 			owned++
 		}
 	}
-	// Block columns holding the stripe-bound table are owned by this id but
-	// not available to feature data; counting them would let an append
-	// silently overflow into the table.
+	// Block columns holding the stripe-bound and quantized tables are owned
+	// by this id but not available to feature data; counting them would let
+	// an append silently overflow into the tables.
 	if meta.Bound != nil {
 		owned -= meta.Bound.Blocks
+	}
+	if meta.Quant != nil {
+		owned -= meta.Quant.Blocks
 	}
 	if grown.BlocksPerPlane() > owned {
 		return nil, fmt.Errorf("ftl: append of %d features overflows the %d allocated block columns", extra, owned)

@@ -88,9 +88,9 @@ func (f *FTL) Compact() int {
 			}
 			f.wear[col]++ // source erased after the move
 		}
-		// A database can own two disjoint regions (feature data and its
-		// stripe-bound table), so only retarget the start block that actually
-		// lived inside the region being moved.
+		// A database can own several disjoint regions (feature data, its
+		// stripe-bound table, its quantized table), so only retarget the
+		// start blocks that actually lived inside the region being moved.
 		if meta, ok := f.dbs[r.id]; ok {
 			delta := next - r.start
 			if meta.Layout.StartBlock >= r.start && meta.Layout.StartBlock < r.start+r.size {
@@ -98,6 +98,9 @@ func (f *FTL) Compact() int {
 			}
 			if meta.Bound != nil && meta.Bound.StartBlock >= r.start && meta.Bound.StartBlock < r.start+r.size {
 				meta.Bound.StartBlock += delta
+			}
+			if meta.Quant != nil && meta.Quant.StartBlock >= r.start && meta.Quant.StartBlock < r.start+r.size {
+				meta.Quant.StartBlock += delta
 			}
 		}
 		moved += r.size

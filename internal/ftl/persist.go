@@ -19,9 +19,10 @@ import (
 const (
 	persistMagic = "DSFT"
 	// persistVersion 2 appends an optional per-database stripe-bound table
-	// record after the layout fields; version-1 images (no bound tables)
-	// still restore.
-	persistVersion = 2
+	// record after the layout fields; version 3 appends an optional
+	// quantized-table record after that. Older images (no tables) still
+	// restore.
+	persistVersion = 3
 )
 
 var persistOrder = binary.LittleEndian
@@ -61,6 +62,16 @@ func (f *FTL) Snapshot() ([]byte, error) {
 			for _, v := range []int64{
 				m.Bound.StripeFeatures, m.Bound.EntryBytes,
 				int64(m.Bound.StartBlock), int64(m.Bound.Blocks),
+			} {
+				writeU64(w, uint64(v))
+			}
+		}
+		if m.Quant == nil {
+			writeU32(w, 0)
+		} else {
+			writeU32(w, 1)
+			for _, v := range []int64{
+				m.Quant.ElemBytes, int64(m.Quant.StartBlock), int64(m.Quant.Blocks),
 			} {
 				writeU64(w, uint64(v))
 			}
@@ -183,6 +194,30 @@ func Restore(data []byte) (*FTL, error) {
 					EntryBytes:     bv[1],
 					StartBlock:     int(bv[2]),
 					Blocks:         int(bv[3]),
+				}
+			}
+		}
+		if version >= 3 {
+			hasQuant, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			if hasQuant != 0 {
+				var qv [3]int64
+				for j := range qv {
+					v, err := readU64(r)
+					if err != nil {
+						return nil, err
+					}
+					qv[j] = int64(v)
+				}
+				if qv[0] <= 0 || qv[0] >= 4 || qv[1] < 0 || qv[2] <= 0 {
+					return nil, fmt.Errorf("ftl: snapshot db %d: invalid quantized table record %v", id, qv)
+				}
+				meta.Quant = &QuantLayout{
+					ElemBytes:  qv[0],
+					StartBlock: int(qv[1]),
+					Blocks:     int(qv[2]),
 				}
 			}
 		}

@@ -1,0 +1,101 @@
+package ftl
+
+import "fmt"
+
+// Quantized-table allocation. The §7 precision extension materializes an
+// int8 image of each feature database next to the fp32 original: same
+// feature count, same round-robin channel striping, 1 byte per element
+// instead of 4, so a quantized scan reads a quarter of the flash pages. Like
+// the bound table, the quantized table IS a derived DBLayout — entry i is
+// feature i's int8 vector, placed on the same channel as the fp32 vector —
+// so every layout/addressing/accounting path works on it unchanged.
+// Per-vector scales ride in the page spare (OOB) area, the same place flash
+// keeps ECC, so they do not perturb the in-band byte math.
+
+// QuantLayout records where a database's quantized feature table lives.
+type QuantLayout struct {
+	// ElemBytes is the quantized element width (1 = int8).
+	ElemBytes int64
+	// StartBlock / Blocks delimit the table's block columns.
+	StartBlock int
+	Blocks     int
+}
+
+// QuantTable returns the derived layout of the database's quantized feature
+// table (ok=false when none is allocated): one entry per feature, at
+// (FeatureBytes/4)*ElemBytes bytes each — the fp32 element count re-encoded
+// at the narrow width.
+func (m *DBMeta) QuantTable() (DBLayout, bool) {
+	if m.Quant == nil {
+		return DBLayout{}, false
+	}
+	return DBLayout{
+		Geom:         m.Layout.Geom,
+		FeatureBytes: m.Layout.FeatureBytes / 4 * m.Quant.ElemBytes,
+		Features:     m.Layout.Features,
+		StartBlock:   m.Quant.StartBlock,
+	}, true
+}
+
+// SetQuantTable allocates (or reallocates) a database's quantized feature
+// table for the database's CURRENT layout and records it in the metadata.
+// Any previous table is freed first; on failure the database is left with no
+// table (meta.Quant == nil) and the error returned, so callers can fall back
+// to the fp32 scan — a missing table is safe, a stale one is not.
+func (f *FTL) SetQuantTable(id DBID, elemBytes int64) (*DBMeta, error) {
+	meta, ok := f.dbs[id]
+	if !ok {
+		return nil, fmt.Errorf("ftl: unknown database %d", id)
+	}
+	if elemBytes <= 0 || elemBytes >= 4 {
+		return nil, fmt.Errorf("ftl: invalid quantized element width %d B", elemBytes)
+	}
+	if meta.Layout.FeatureBytes%4 != 0 {
+		return nil, fmt.Errorf("ftl: db %d feature size %d B is not fp32-aligned",
+			id, meta.Layout.FeatureBytes)
+	}
+	f.DropQuantTable(id)
+	table := DBLayout{
+		Geom:         meta.Layout.Geom,
+		FeatureBytes: meta.Layout.FeatureBytes / 4 * elemBytes,
+		Features:     meta.Layout.Features,
+		StartBlock:   f.reservedBlocks, // placeholder for validation
+	}
+	if err := table.Validate(); err != nil {
+		return nil, err
+	}
+	need := table.BlocksPerPlane()
+	if need == 0 {
+		need = 1
+	}
+	start, err := f.allocate(need)
+	if err != nil {
+		return nil, fmt.Errorf("ftl: allocating quantized table for db %d: %w", id, err)
+	}
+	for i := start; i < start+need; i++ {
+		f.blockOwner[i] = id
+	}
+	meta.Quant = &QuantLayout{
+		ElemBytes:  elemBytes,
+		StartBlock: start,
+		Blocks:     need,
+	}
+	return meta, nil
+}
+
+// DropQuantTable frees a database's quantized table columns (erasing them,
+// so wear is accounted) and clears the metadata record. Dropping a database
+// with no table is a no-op.
+func (f *FTL) DropQuantTable(id DBID) {
+	meta, ok := f.dbs[id]
+	if !ok || meta.Quant == nil {
+		return
+	}
+	for i := meta.Quant.StartBlock; i < meta.Quant.StartBlock+meta.Quant.Blocks; i++ {
+		if f.blockOwner[i] == id {
+			f.blockOwner[i] = 0
+			f.wear[i]++
+		}
+	}
+	meta.Quant = nil
+}

@@ -1,0 +1,165 @@
+package ftl
+
+import "testing"
+
+func TestSetQuantTable(t *testing.T) {
+	f := newTestFTL()
+	meta, err := f.CreateDB("db", template(2048, 100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := f.FreeBlocks()
+	meta, err = f.SetQuantTable(meta.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Quant == nil || meta.Quant.Blocks < 1 {
+		t.Fatalf("quant table not recorded: %+v", meta.Quant)
+	}
+	table, ok := meta.QuantTable()
+	if !ok {
+		t.Fatal("QuantTable not derivable")
+	}
+	if table.FeatureBytes != 512 {
+		t.Fatalf("quant entry = %d B, want 512 (2048/4)", table.FeatureBytes)
+	}
+	if table.Features != meta.Layout.Features {
+		t.Fatalf("quant features = %d, want %d", table.Features, meta.Layout.Features)
+	}
+	if got := f.FreeBlocks(); got != free-meta.Quant.Blocks {
+		t.Fatalf("free blocks %d, want %d (table owns %d)", got, free-meta.Quant.Blocks, meta.Quant.Blocks)
+	}
+	// The quantized image must land on the same channel as the fp32 vector.
+	for _, i := range []int64{0, 1, 137, meta.Layout.Features - 1} {
+		if a, b := meta.Layout.FeatureAddr(i).Channel, table.FeatureAddr(i).Channel; a != b {
+			t.Fatalf("feature %d: fp32 on channel %d, int8 on channel %d", i, a, b)
+		}
+	}
+
+	f.DropQuantTable(meta.ID)
+	if meta.Quant != nil {
+		t.Fatal("drop left quant layout")
+	}
+	if got := f.FreeBlocks(); got != free {
+		t.Fatalf("drop returned %d free blocks, want %d", got, free)
+	}
+}
+
+func TestSetQuantTableRejectsBadWidth(t *testing.T) {
+	f := newTestFTL()
+	meta, err := f.CreateDB("db", template(2048, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eb := range []int64{0, -1, 4, 8} {
+		if _, err := f.SetQuantTable(meta.ID, eb); err == nil {
+			t.Fatalf("element width %d accepted", eb)
+		}
+	}
+	if _, err := f.SetQuantTable(999, 1); err == nil {
+		t.Fatal("unknown db accepted")
+	}
+	// Feature sizes that are not whole fp32 vectors cannot be re-encoded.
+	odd, err := f.CreateDB("odd", template(2049, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SetQuantTable(odd.ID, 1); err == nil {
+		t.Fatal("non-fp32-aligned feature size accepted")
+	}
+}
+
+func TestQuantTablePersists(t *testing.T) {
+	f := newTestFTL()
+	meta, err := f.CreateDB("db", template(2048, 100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SetQuantTable(meta.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	img, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Restore(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := g.Lookup(meta.ID)
+	if !ok {
+		t.Fatal("db lost in restore")
+	}
+	if got.Quant == nil {
+		t.Fatal("quant layout lost in restore")
+	}
+	if *got.Quant != *meta.Quant {
+		t.Fatalf("restored quant %+v != %+v", *got.Quant, *meta.Quant)
+	}
+}
+
+func TestQuantTableAppendAccounting(t *testing.T) {
+	f := newTestFTL()
+	meta, err := f.CreateDB("db", template(2048, 100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownedData := 0
+	for _, o := range f.blockOwner {
+		if o == meta.ID {
+			ownedData++
+		}
+	}
+	if _, err := f.SetQuantTable(meta.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Find an append that needs exactly one more data column than the db
+	// owns: it must fail rather than spill into the quant table's columns
+	// (which this id also owns).
+	extra := int64(1)
+	for {
+		grown := meta.Layout
+		grown.Features += extra
+		if grown.BlocksPerPlane() > ownedData {
+			break
+		}
+		extra *= 2
+	}
+	if _, err := f.AppendDB(meta.ID, extra); err == nil {
+		t.Fatal("append overflowed into the quantized table's block columns")
+	}
+}
+
+func TestCompactRetargetsQuantTable(t *testing.T) {
+	f := newTestFTL()
+	a, err := f.CreateDB("a", template(2048, 100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.CreateDB("b", template(2048, 100000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SetQuantTable(b.ID, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.DeleteDB(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	table, _ := b.QuantTable()
+	want := table.Features
+	if moved := f.Compact(); moved == 0 {
+		t.Fatal("compaction moved nothing")
+	}
+	table, ok := b.QuantTable()
+	if !ok {
+		t.Fatal("quant table lost in compaction")
+	}
+	if table.Features != want {
+		t.Fatalf("quant table features changed: %d != %d", table.Features, want)
+	}
+	// The retargeted start block must be owned by b.
+	if owner := f.blockOwner[b.Quant.StartBlock]; owner != b.ID {
+		t.Fatalf("quant table start block owned by %d, want %d", owner, b.ID)
+	}
+}

@@ -20,29 +20,41 @@ type QuantizedVector struct {
 // QuantizeVector converts a float32 feature vector to int8 with symmetric
 // per-vector scaling (max-abs calibration).
 func QuantizeVector(v []float32) QuantizedVector {
+	q := QuantizedVector{Data: make([]int8, len(v))}
+	q.Scale = quantizeInto(q.Data, v)
+	return q
+}
+
+// quantizeInto writes the symmetric max-abs int8 quantization of v into dst
+// (len(dst) must equal len(v)) and returns the scale. Zero vectors quantize
+// to all zeros with scale 1. This is the single rounding rule shared by
+// feature, weight-row, and activation-row quantization, so every int8 path
+// sees identical values for identical inputs.
+func quantizeInto(dst []int8, v []float32) float32 {
 	var maxAbs float32
 	for _, x := range v {
 		if a := float32(math.Abs(float64(x))); a > maxAbs {
 			maxAbs = a
 		}
 	}
-	q := QuantizedVector{Data: make([]int8, len(v))}
 	if maxAbs == 0 {
-		q.Scale = 1
-		return q
+		for i := range dst {
+			dst[i] = 0
+		}
+		return 1
 	}
-	q.Scale = maxAbs / 127
+	scale := maxAbs / 127
 	for i, x := range v {
-		r := x / q.Scale
+		r := x / scale
 		switch {
 		case r > 127:
 			r = 127
 		case r < -127:
 			r = -127
 		}
-		q.Data[i] = int8(math.RoundToEven(float64(r)))
+		dst[i] = int8(math.RoundToEven(float64(r)))
 	}
-	return q
+	return scale
 }
 
 // Dequantize reconstructs the float32 vector.
@@ -92,14 +104,19 @@ func ScoreDrift(net *Network, qfvs, dfvs [][]float32) (float64, error) {
 	if len(qfvs) == 0 || len(dfvs) == 0 {
 		return 0, fmt.Errorf("nn: no vectors")
 	}
+	// Quantize the database once up front: re-quantizing every feature
+	// vector per query would repeat O(Q·D) identical conversions.
+	dds := make([][]float32, len(dfvs))
+	for i, d := range dfvs {
+		dds[i] = QuantizeVector(d).Dequantize()
+	}
 	var sum float64
 	n := 0
 	for _, q := range qfvs {
 		dq := QuantizeVector(q).Dequantize()
-		for _, d := range dfvs {
-			dd := QuantizeVector(d).Dequantize()
+		for i, d := range dfvs {
 			exact := net.Score(q, d)
-			quant := net.Score(dq, dd)
+			quant := net.Score(dq, dds[i])
 			sum += math.Abs(float64(exact - quant))
 			n++
 		}

@@ -26,6 +26,9 @@ const (
 	StageBoundCheck = "bound_check"
 	// StageRerank is the SCN re-scoring of a cache hit's stored top-K.
 	StageRerank = "rerank"
+	// StageRerankExact is the float32 re-scoring of the int8 scan's K·margin
+	// candidate set in two-pass exact quantized mode (DESIGN.md §12).
+	StageRerankExact = "rerank_exact"
 	// StageDMA is the getResults transfer of the top-K to the host.
 	StageDMA = "dma"
 	// SpanFlashRead is one page read (array sense + channel bus transfer).

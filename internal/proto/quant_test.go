@@ -1,0 +1,69 @@
+package proto
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestClientQuantizedEngine: the wire protocol carries no engine options, so
+// a quantized two-pass engine drops in behind the Handler unchanged — and
+// because two-pass mode is exact, the completions a client reads off a
+// quantized device are bit-identical to an fp32 device's.
+func TestClientQuantizedEngine(t *testing.T) {
+	app, err := workload.ByName("TextQA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(3)
+	build := func(quantized bool) *Client {
+		opts := core.DefaultOptions()
+		opts.Quantized = quantized
+		opts.RerankMargin = 4
+		ds, err := core.New(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewClient(Loopback{Handler: &Handler{DS: ds}})
+	}
+	quant := build(true)
+	dense := build(false)
+
+	db := workload.NewFeatureDB(app, 64, 5)
+	run := func(c *Client) Results {
+		t.Helper()
+		dbID, err := c.WriteDB(db.Vectors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := c.LoadModelNetwork(app.SCN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := workload.NewFeatureDB(app, 1, 9).Vectors[0]
+		qid, err := c.Query(q, 5, model, dbID, 0, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.GetResults(qid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	qr := run(quant)
+	dr := run(dense)
+	if len(qr.IDs) != len(dr.IDs) {
+		t.Fatalf("quantized device returned %d rows, dense %d", len(qr.IDs), len(dr.IDs))
+	}
+	for i := range dr.IDs {
+		if qr.IDs[i] != dr.IDs[i] || qr.Scores[i] != dr.Scores[i] {
+			t.Fatalf("row %d: quantized (%d, %v) != dense (%d, %v)",
+				i, qr.IDs[i], qr.Scores[i], dr.IDs[i], dr.Scores[i])
+		}
+	}
+	if qr.Latency <= 0 {
+		t.Error("no latency in quantized completion")
+	}
+}

@@ -298,6 +298,29 @@ func (d *Device) ProgramBoundTable(meta *ftl.DBMeta) error {
 	return nil
 }
 
+// ProgramQuantTable charges the flash programming of a database's quantized
+// (int8) feature table (ftl.SetQuantTable must have allocated it first). The
+// conversion runs inside the controller, so each page crosses controller
+// DRAM and is programmed — nothing crosses the external link. Runs the
+// engine to completion, like the writeDB path it extends.
+func (d *Device) ProgramQuantTable(meta *ftl.DBMeta) error {
+	table, ok := meta.QuantTable()
+	if !ok {
+		return fmt.Errorf("ssd: db %d has no quantized table allocated", meta.ID)
+	}
+	for ch := 0; ch < table.Geom.Channels; ch++ {
+		pages := table.ChannelPages(ch)
+		for p := int64(0); p < pages; p++ {
+			addr := table.ChannelPageAddr(ch, p)
+			d.DRAM.Transfer(table.Geom.PageBytes, func() {
+				d.Flash.ProgramPage(addr, nil)
+			})
+		}
+	}
+	d.Engine.Run()
+	return nil
+}
+
 // InternalBandwidth returns the aggregate flash-channel bandwidth.
 func (d *Device) InternalBandwidth() float64 { return d.Flash.InternalBandwidth() }
 

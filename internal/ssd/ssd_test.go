@@ -186,3 +186,40 @@ func TestStreamRespectsFlashGeometry(t *testing.T) {
 		t.Errorf("flash reads = %d, want 64", reads)
 	}
 }
+
+// TestProgramQuantTable: programming the int8 table advances simulated time
+// (DRAM crossing + page programs) and costs a quarter of the fp32 pages.
+func TestProgramQuantTable(t *testing.T) {
+	e := sim.NewEngine()
+	d, _ := New(e, DefaultConfig())
+	meta, err := d.CreateDB("tir", 2048, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProgramQuantTable(meta); err == nil {
+		t.Fatal("programmed a table that was never allocated")
+	}
+	meta, err = d.FTL.SetQuantTable(meta.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := e.Now()
+	if err := d.ProgramQuantTable(meta); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() == start {
+		t.Error("quant table programming advanced no simulated time")
+	}
+	table, ok := meta.QuantTable()
+	if !ok {
+		t.Fatal("QuantTable not derivable after Set")
+	}
+	var dataPages, quantPages int64
+	for ch := 0; ch < meta.Layout.Geom.Channels; ch++ {
+		dataPages += meta.Layout.ChannelPages(ch)
+		quantPages += table.ChannelPages(ch)
+	}
+	if quantPages*4 > dataPages+int64(meta.Layout.Geom.Channels)*4 {
+		t.Errorf("quant table spans %d pages vs %d fp32 pages; want ~1/4", quantPages, dataPages)
+	}
+}

@@ -1,0 +1,167 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refInt8 runs GemvInt8 row by row — the equivalence oracle.
+func refInt8(c []float32, a, w []int8, bias []float32, m, n, k int, aScales, wScales []float32) {
+	for i := 0; i < m; i++ {
+		GemvInt8(c[i*n:(i+1)*n], w, a[i*k:(i+1)*k], bias, aScales[i], wScales)
+	}
+}
+
+func randInt8(rng *rand.Rand, n int) []int8 {
+	out := make([]int8, n)
+	for i := range out {
+		out[i] = int8(rng.Intn(255) - 127) // full ±127 range
+	}
+	return out
+}
+
+func randScales(rng *rand.Rand, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = rng.Float32()*0.1 + 1e-3
+	}
+	return out
+}
+
+// TestGemmInt8MatchesGemv checks bit-identity against the per-row reference
+// across shapes straddling every blocking boundary (micro-tile edges, KC
+// panel resume, MC blocks) including odd and degenerate dimensions.
+func TestGemmInt8MatchesGemv(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1}, {1, 1, 0}, {0, 3, 4}, {3, 0, 4},
+		{2, 4, 8}, {3, 5, 7}, {1, 7, 513}, {5, 3, 512},
+		{7, 9, 1025}, {2, 4, 1024}, {257, 4, 33}, {258, 5, 100},
+		{64, 1, 2048}, {13, 13, 13},
+	}
+	for _, s := range shapes {
+		for _, withBias := range []bool{false, true} {
+			a := randInt8(rng, s.m*s.k)
+			w := randInt8(rng, s.n*s.k)
+			as := randScales(rng, s.m)
+			ws := randScales(rng, s.n)
+			var bias []float32
+			if withBias {
+				bias = make([]float32, s.n)
+				for i := range bias {
+					bias[i] = rng.Float32() - 0.5
+				}
+			}
+			got := make([]float32, s.m*s.n)
+			acc := make([]int32, s.m*s.n)
+			GemmInt8(got, acc, a, w, bias, s.m, s.n, s.k, as, ws)
+			want := make([]float32, s.m*s.n)
+			refInt8(want, a, w, bias, s.m, s.n, s.k, as, ws)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("shape %v bias=%v: c[%d] = %v, reference %v",
+						s, withBias, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGemmInt8Saturation runs all-±127 operands (the quantizer's clamp
+// values) at a K large enough to stress the int32 accumulators' headroom:
+// 127·127·4096 ≈ 6.6e7, exact in int32.
+func TestGemmInt8Saturation(t *testing.T) {
+	const m, n, k = 3, 5, 4096
+	a := make([]int8, m*k)
+	w := make([]int8, n*k)
+	for i := range a {
+		if i%2 == 0 {
+			a[i] = 127
+		} else {
+			a[i] = -127
+		}
+	}
+	for i := range w {
+		w[i] = 127
+	}
+	as := []float32{1, 0.5, 0.25}
+	ws := []float32{1, 1, 0.5, 0.5, 0.25}
+	got := make([]float32, m*n)
+	acc := make([]int32, m*n)
+	GemmInt8(got, acc, a, w, nil, m, n, k, as, ws)
+	want := make([]float32, m*n)
+	refInt8(want, a, w, nil, m, n, k, as, ws)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("c[%d] = %v, reference %v", i, got[i], want[i])
+		}
+	}
+	// Even/odd ±127 cancel pairwise: every integer sum is exactly zero.
+	for i, v := range acc {
+		if v != 0 {
+			t.Fatalf("acc[%d] = %d, want 0 (pairwise cancellation)", i, v)
+		}
+	}
+}
+
+// TestGemmInt8ZeroVectors: all-zero rows must produce exactly zero scores
+// (and bias only when present), matching the quantizer's zero-vector
+// convention (scale 1, all-zero data).
+func TestGemmInt8ZeroVectors(t *testing.T) {
+	const m, n, k = 4, 3, 129
+	a := make([]int8, m*k)
+	w := randInt8(rand.New(rand.NewSource(5)), n*k)
+	as := []float32{1, 1, 1, 1}
+	ws := []float32{0.01, 0.02, 0.03}
+	bias := []float32{0.5, -0.25, 0.125}
+	got := make([]float32, m*n)
+	acc := make([]int32, m*n)
+	GemmInt8(got, acc, a, w, bias, m, n, k, as, ws)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			if got[i*n+j] != bias[j] {
+				t.Fatalf("zero row %d output %d = %v, want bias %v", i, j, got[i*n+j], bias[j])
+			}
+		}
+	}
+}
+
+// TestGemmInt8AccResume verifies the KC-panel resume path: K spanning
+// multiple panels must equal a single-panel-equivalent reference (covered by
+// the shape table, but this pins the exact boundary k = gemmKC and k = 2·KC).
+func TestGemmInt8AccResume(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, k := range []int{gemmKC - 1, gemmKC, gemmKC + 1, 2 * gemmKC} {
+		const m, n = 3, 6
+		a := randInt8(rng, m*k)
+		w := randInt8(rng, n*k)
+		as := randScales(rng, m)
+		ws := randScales(rng, n)
+		got := make([]float32, m*n)
+		acc := make([]int32, m*n)
+		GemmInt8(got, acc, a, w, nil, m, n, k, as, ws)
+		want := make([]float32, m*n)
+		refInt8(want, a, w, nil, m, n, k, as, ws)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d: c[%d] = %v, reference %v", k, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func BenchmarkGemmInt8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const m, n, k = 256, 64, 512
+	a := randInt8(rng, m*k)
+	w := randInt8(rng, n*k)
+	as := randScales(rng, m)
+	ws := randScales(rng, n)
+	c := make([]float32, m*n)
+	acc := make([]int32, m*n)
+	b.SetBytes(int64(m*k + n*k))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GemmInt8(c, acc, a, w, nil, m, n, k, as, ws)
+	}
+}
