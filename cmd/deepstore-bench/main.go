@@ -43,6 +43,9 @@ var lastPruneRows []exp.PruneRow
 // lastQuantRows captures the quantized-scoring study for -quantjson.
 var lastQuantRows []exp.QuantRow
 
+// lastServeRows captures the multi-tenant serving study for -servejson.
+var lastServeRows []exp.ServeRow
+
 // experiment couples an id with the code that produces its tables, and an
 // optional terminal-chart rendering for the sweep/comparison figures.
 type experiment struct {
@@ -302,6 +305,16 @@ func experiments() []experiment {
 				}, exp.FormatQuant(rows) + "\n" + exp.FormatQuantMargin(margins),
 				nil
 		}},
+		{name: "serve", run: func(int64) ([]report.Table, string, error) {
+			rows, err := exp.ServeBench(exp.DefaultServe())
+			if err != nil {
+				return nil, "", err
+			}
+			lastServeRows = rows
+			h, c := exp.CellsServe(rows)
+			return []report.Table{{Name: "serve", Header: h, Rows: c}},
+				exp.FormatServe(rows), nil
+		}},
 		{name: "faults", run: func(int64) ([]report.Table, string, error) {
 			rows, err := exp.FaultSweep(exp.DefaultFaults())
 			if err != nil {
@@ -358,7 +371,7 @@ func experiments() []experiment {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,scan,mq,prune,quant,faults,breakdown,recall,ablations")
+	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,scan,mq,prune,quant,serve,faults,breakdown,recall,ablations")
 	window := flag.Int64("window", exp.DefaultWindow, "features per accelerator simulated before extrapolation (0 = exact)")
 	formatFlag := flag.String("format", "text", "output format: text, csv, markdown, chart")
 	scanJSON := flag.String("scanjson", "", "write the scan experiment's rows as JSON to this file (e.g. BENCH_scan.json); implies running scan")
@@ -366,6 +379,7 @@ func main() {
 	mqJSON := flag.String("mqjson", "", "write the multi-query study's rows as JSON to this file (e.g. BENCH_mq.json); implies running mq")
 	pruneJSON := flag.String("prunejson", "", "write the exact-pruning study's rows as JSON to this file (e.g. BENCH_prune.json); implies running prune")
 	quantJSON := flag.String("quantjson", "", "write the quantized-scoring study's rows as JSON to this file (e.g. BENCH_quant.json); implies running quant")
+	serveJSON := flag.String("servejson", "", "write the multi-tenant serving study's rows as JSON to this file (e.g. BENCH_serve.json); implies running serve")
 	metricsJSON := flag.String("metricsjson", "", "write the breakdown replay's metrics snapshot as JSON to this file; implies running breakdown")
 	traceJSON := flag.String("tracejson", "", "write the breakdown replay's span trace in Chrome trace-event format to this file (load in chrome://tracing or Perfetto); implies running breakdown")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
@@ -437,6 +451,9 @@ func main() {
 	}
 	if *quantJSON != "" {
 		want["quant"] = true
+	}
+	if *serveJSON != "" {
+		want["serve"] = true
 	}
 	if *metricsJSON != "" || *traceJSON != "" {
 		want["breakdown"] = true
@@ -510,6 +527,9 @@ func main() {
 	}
 	if *quantJSON != "" && lastQuantRows != nil {
 		writeJSON(*quantJSON, lastQuantRows)
+	}
+	if *serveJSON != "" && lastServeRows != nil {
+		writeJSON(*serveJSON, lastServeRows)
 	}
 	if *metricsJSON != "" && lastBreakdown != nil {
 		writeJSON(*metricsJSON, lastBreakdown.Snapshot)

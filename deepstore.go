@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ftl"
 	"repro/internal/nn"
+	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/topk"
 	"repro/internal/workload"
@@ -231,4 +232,74 @@ type ClusterAnswer = cluster.Answer
 // NewClusterEngines creates n DeepStore engines with identical options.
 func NewClusterEngines(n int, opts Options) (*ClusterEngines, error) {
 	return cluster.NewEngines(n, opts)
+}
+
+// SimTime is an absolute simulated timestamp (picoseconds); SimDuration a
+// simulated span. QueryResult latencies, tenant SLOs, and open-loop horizons
+// are all expressed in these units.
+type (
+	SimTime     = sim.Time
+	SimDuration = sim.Duration
+)
+
+// Simulated time units.
+const (
+	SimMicrosecond = sim.Microsecond
+	SimMillisecond = sim.Millisecond
+	SimSecond      = sim.Second
+)
+
+// Server is the multi-tenant SLO-aware serving tier in front of a System:
+// per-tenant weighted-fair queues (start-time fair queueing with optional
+// priority aging), per-tenant admission budgets shed with ErrQueueFull, and
+// deadline-aware batch cuts on the simulated clock. Results stay
+// bit-identical to direct Query calls.
+type Server = core.Server
+
+// ServerConfig configures the serving tier's tenants, batch size, deadline
+// slack, aging rate, and dispatch mode.
+type ServerConfig = core.ServerConfig
+
+// TenantConfig is one tenant's weight, queue budget, and latency SLO.
+type TenantConfig = core.TenantConfig
+
+// TenantStats is one tenant's admission and service accounting.
+type TenantStats = core.TenantStats
+
+// NewServer builds a serving tier over an engine; Close it to drain.
+func NewServer(sys *System, cfg ServerConfig) (*Server, error) {
+	return core.NewServer(sys, cfg)
+}
+
+// Serving-tier sentinel errors.
+var (
+	ErrUnknownTenant = core.ErrUnknownTenant
+	ErrServerClosed  = core.ErrServerClosed
+)
+
+// NewTrace builds a deterministic query trace, rejecting degenerate
+// configurations with the workload package's typed validation errors
+// (GenerateTrace panics instead).
+func NewTrace(cfg TraceConfig) (*Trace, error) { return workload.NewTrace(cfg) }
+
+// TenantLoad describes one tenant's open-loop Poisson arrival stream.
+type TenantLoad = workload.TenantLoad
+
+// Arrival is one open-loop arrival: a trace query landing at a simulated
+// timestamp.
+type Arrival = workload.Arrival
+
+// OpenLoop merges per-tenant Poisson arrival streams over a simulated
+// horizon into one deterministic time-ordered schedule — the overload
+// driver for the serving tier.
+func OpenLoop(loads []TenantLoad, horizon SimDuration, seed int64) ([]Arrival, error) {
+	return workload.OpenLoop(loads, horizon, seed)
+}
+
+// NewReplicatedClusterEngines creates a shards×replicas cluster: every
+// shard's data is written to each of its replicas, reads rotate across
+// replicas, and injected faults fail over to a healthy sibling before
+// degrading the answer.
+func NewReplicatedClusterEngines(shards, replicas int, opts Options) (*ClusterEngines, error) {
+	return cluster.NewReplicatedEngines(shards, replicas, opts)
 }

@@ -33,9 +33,15 @@ var (
 // per-shard top-K queues reduce into a global answer. Batches drive each
 // engine's concurrent query path via core.DeepStore.Queries.
 type Engines struct {
+	// shards[s] is shard s's primary engine — always replicas[s][0].
 	shards []*core.DeepStore
-	dbs    []ftl.DBID
-	models []core.ModelID
+	// replicas[s] lists shard s's read replicas (primary first). Every
+	// replica holds the same slice of the database and the same model, so a
+	// query can route to any of them; routing rotates across calls and
+	// fails over when the routed replica draws an injected fault.
+	replicas [][]*core.DeepStore
+	dbs      []ftl.DBID
+	models   []core.ModelID
 	// offsets[s] is the global index of shard s's first feature.
 	offsets []int64
 
@@ -69,10 +75,19 @@ func (e *Engines) MetricsSnapshot() obs.Snapshot { return e.reg.Snapshot() }
 // deterministic fault injection. The zero value waits for every shard and
 // injects nothing — today's behavior, bit for bit.
 type Tolerance struct {
-	// ShardTimeout caps the wall-clock wait for shard answers (0 = wait
-	// forever). Shards that miss it are reported as ErrShardTimeout and the
-	// query degrades to the shards that did answer.
+	// ShardTimeout caps the wait for shard answers (0 = wait forever).
+	// Shards that miss it are reported as ErrShardTimeout and the query
+	// degrades to the shards that did answer. The shard engines advance
+	// SIMULATED time while executing, so this bound is meaningful only for
+	// real goroutine stalls — the wall-clock delays DelayRate injects — or
+	// with a Timer injected below; it cannot observe simulated latencies.
 	ShardTimeout time.Duration
+	// Timer overrides the timeout clock (nil = time.NewTimer). Tests inject
+	// a manual trigger so timeout classification is deterministic: answers
+	// already delivered are always collected before a fired timer is
+	// honored, so "who timed out" is a pure function of which shards had
+	// answered when the injected timer fired.
+	Timer func(d time.Duration) <-chan time.Time
 	// Quorum answers as soon as this many shards have reported healthy
 	// results (0 = all shards). Stragglers are reported as ErrShardSkipped.
 	// A query that cannot reach quorum fails outright.
@@ -134,27 +149,52 @@ type Answer struct {
 	ShardErrs error
 }
 
-// NewEngines creates n DeepStore engines with identical options.
+// NewEngines creates n single-replica DeepStore engines with identical
+// options.
 func NewEngines(n int, opts core.Options) (*Engines, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("cluster: %d engines invalid", n)
+	return NewReplicatedEngines(n, 1, opts)
+}
+
+// NewReplicatedEngines creates a shards×replicas cluster: every shard's
+// slice of the database is held by `replicas` identical engines, and each
+// query routes to one replica per shard (rotating across calls, failing
+// over past replicas that draw injected faults). Replication multiplies
+// simulated devices, not data: a degraded shard stays answerable as long as
+// one of its replicas survives.
+func NewReplicatedEngines(shards, replicas int, opts core.Options) (*Engines, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("cluster: %d shards invalid", shards)
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("cluster: %d replicas invalid", replicas)
 	}
 	e := &Engines{reg: obs.NewRegistry(), tracer: obs.NewTracer(0)}
-	for i := 0; i < n; i++ {
-		ds, err := core.New(opts)
-		if err != nil {
-			return nil, err
+	for s := 0; s < shards; s++ {
+		group := make([]*core.DeepStore, replicas)
+		for r := range group {
+			ds, err := core.New(opts)
+			if err != nil {
+				return nil, err
+			}
+			group[r] = ds
 		}
-		e.shards = append(e.shards, ds)
+		e.replicas = append(e.replicas, group)
+		e.shards = append(e.shards, group[0])
 	}
 	return e, nil
 }
 
-// Shards returns the number of engines.
+// Shards returns the number of shards.
 func (e *Engines) Shards() int { return len(e.shards) }
 
-// Engine exposes shard s's engine (for inspection and stats).
+// Replicas returns shard s's replica count.
+func (e *Engines) Replicas(s int) int { return len(e.replicas[s]) }
+
+// Engine exposes shard s's primary engine (for inspection and stats).
 func (e *Engines) Engine(s int) *core.DeepStore { return e.shards[s] }
+
+// Replica exposes shard s's replica r (replica 0 is the primary).
+func (e *Engines) Replica(s, r int) *core.DeepStore { return e.replicas[s][r] }
 
 // WriteDB splits the features contiguously across the shards (balanced to
 // within one feature) and writes each slice to its engine.
@@ -171,26 +211,43 @@ func (e *Engines) WriteDB(features [][]float32) error {
 		if s < int64(len(features))%n {
 			share++
 		}
-		id, err := e.shards[s].WriteDB(features[off : off+share])
-		if err != nil {
-			return err
+		// Every replica of the shard receives the identical slice; fresh
+		// identical engines assign identical IDs, so one DBID per shard
+		// covers the whole replica group (verified, not assumed).
+		for r, ds := range e.replicas[s] {
+			id, err := ds.WriteDB(features[off : off+share])
+			if err != nil {
+				return err
+			}
+			if r == 0 {
+				e.dbs = append(e.dbs, id)
+			} else if id != e.dbs[s] {
+				return fmt.Errorf("cluster: shard %d replica %d assigned DB %d, primary %d",
+					s, r, id, e.dbs[s])
+			}
 		}
-		e.dbs = append(e.dbs, id)
 		e.offsets = append(e.offsets, off)
 		off += share
 	}
 	return nil
 }
 
-// LoadModel registers the SCN with every shard's engine.
+// LoadModel registers the SCN with every replica of every shard.
 func (e *Engines) LoadModel(net *nn.Network) error {
 	e.models = e.models[:0]
-	for _, ds := range e.shards {
-		id, err := ds.LoadModelNetwork(net)
-		if err != nil {
-			return err
+	for s, group := range e.replicas {
+		for r, ds := range group {
+			id, err := ds.LoadModelNetwork(net)
+			if err != nil {
+				return err
+			}
+			if r == 0 {
+				e.models = append(e.models, id)
+			} else if id != e.models[s] {
+				return fmt.Errorf("cluster: shard %d replica %d assigned model %d, primary %d",
+					s, r, id, e.models[s])
+			}
 		}
-		e.models = append(e.models, id)
 	}
 	return nil
 }
@@ -231,6 +288,34 @@ func (e *Engines) QueriesShared(qfvs [][]float32, k int) ([]Answer, error) {
 	return e.run(qfvs, k, true)
 }
 
+// QueriesSharedAs is QueriesShared with the batch accounted to a tenant:
+// the cluster registry gains per-tenant served/degraded/failed counters, so
+// a multi-tenant serving tier fronting the cluster can attribute degraded
+// service to the tenants that absorbed it.
+func (e *Engines) QueriesSharedAs(tenant string, qfvs [][]float32, k int) ([]Answer, error) {
+	answers, err := e.run(qfvs, k, true)
+	if err != nil {
+		e.reg.Counter("cluster_tenant_" + tenant + "_failed").Add(int64(len(qfvs)))
+		return nil, err
+	}
+	e.reg.Counter("cluster_tenant_" + tenant + "_queries").Add(int64(len(qfvs)))
+	for _, a := range answers {
+		if a.Degraded {
+			e.reg.Counter("cluster_tenant_" + tenant + "_degraded").Inc()
+		}
+	}
+	return answers, nil
+}
+
+// QueryAs is Query accounted to a tenant (see QueriesSharedAs).
+func (e *Engines) QueryAs(tenant string, qfv []float32, k int) (Answer, error) {
+	answers, err := e.QueriesSharedAs(tenant, [][]float32{qfv}, k)
+	if err != nil {
+		return Answer{}, err
+	}
+	return answers[0], nil
+}
+
 // run is the shared fan-out/collect/merge engine behind Queries and
 // QueriesShared; shared selects each shard's execution path.
 func (e *Engines) run(qfvs [][]float32, k int, shared bool) ([]Answer, error) {
@@ -260,55 +345,97 @@ func (e *Engines) run(qfvs [][]float32, k int, shared bool) ([]Answer, error) {
 	// Buffered so stragglers skipped by quorum or timeout can still finish
 	// and send without leaking a goroutine.
 	ch := make(chan shardOut, len(e.shards))
+	// attempt is one routed replica try: which replica, and the fault/delay
+	// it drew.
+	type attempt struct {
+		rep      int
+		injected error
+		delay    time.Duration
+	}
 	for s := range e.shards {
-		// Fault draws happen on the caller, in shard order, so the schedule
-		// is deterministic regardless of goroutine interleaving.
-		var injected error
-		var delay time.Duration
-		if e.inj != nil {
-			inj := e.inj.Forkf("call%d-shard%d", call, s)
-			if inj.Hit(e.tol.FaultRate) {
-				injected = fmt.Errorf("cluster: shard %d: %w", s, fault.ErrInjected)
-				e.reg.Counter("cluster_injected_faults").Inc()
-			}
-			if inj.Hit(e.tol.DelayRate) {
-				delay = e.tol.Delay
-				if delay <= 0 {
-					delay = time.Millisecond
+		// Fault draws happen on the caller, in shard order then attempt
+		// order, so the routing and failure schedule is deterministic
+		// regardless of goroutine interleaving. Routing rotates the first
+		// replica with the call counter; each faulted attempt fails over to
+		// the next replica in rotation order. Replica 0 keeps the legacy
+		// "call<c>-shard<s>" stream so single-replica clusters are
+		// bit-identical to the pre-replication schedule.
+		nrep := len(e.replicas[s])
+		rot := 0
+		if nrep > 1 {
+			rot = int(call % uint64(nrep))
+		}
+		plan := make([]attempt, 0, nrep)
+		for a := 0; a < nrep; a++ {
+			at := attempt{rep: (rot + a) % nrep}
+			if e.inj != nil {
+				var inj *fault.Injector
+				if at.rep == 0 {
+					inj = e.inj.Forkf("call%d-shard%d", call, s)
+				} else {
+					inj = e.inj.Forkf("call%d-shard%d-rep%d", call, s, at.rep)
 				}
-				e.reg.Counter("cluster_injected_delays").Inc()
+				if inj.Hit(e.tol.FaultRate) {
+					at.injected = fmt.Errorf("cluster: shard %d replica %d: %w", s, at.rep, fault.ErrInjected)
+					e.reg.Counter("cluster_injected_faults").Inc()
+				}
+				if inj.Hit(e.tol.DelayRate) {
+					at.delay = e.tol.Delay
+					if at.delay <= 0 {
+						at.delay = time.Millisecond
+					}
+					e.reg.Counter("cluster_injected_delays").Inc()
+				}
+			}
+			plan = append(plan, at)
+			if at.injected == nil {
+				// Healthy replica reached: later replicas stay undrawn, so
+				// the draw count (and thus the schedule) is itself a pure
+				// function of the seed and call sequence.
+				break
 			}
 		}
-		go func(s int, injected error, delay time.Duration) {
-			if delay > 0 {
-				time.Sleep(delay)
-			}
-			if injected != nil {
-				ch <- shardOut{s: s, err: injected}
-				return
-			}
-			var ids []core.QueryID
-			var err error
-			if shared {
-				ids, err = e.shards[s].QueryMulti(shardSpecs[s])
-			} else {
-				ids, err = e.shards[s].Queries(shardSpecs[s])
-			}
-			if err != nil {
-				ch <- shardOut{s: s, err: fmt.Errorf("cluster: shard %d: %w", s, err)}
-				return
-			}
-			results := make([]*core.QueryResult, len(ids))
-			for i, id := range ids {
-				res, err := e.shards[s].GetResults(id)
+		go func(s int, plan []attempt) {
+			var errs []error
+			for i, at := range plan {
+				if at.delay > 0 {
+					time.Sleep(at.delay)
+				}
+				if at.injected != nil {
+					errs = append(errs, at.injected)
+					if i < len(plan)-1 {
+						e.reg.Counter("cluster_failovers").Inc()
+					}
+					continue
+				}
+				eng := e.replicas[s][at.rep]
+				var ids []core.QueryID
+				var err error
+				if shared {
+					ids, err = eng.QueryMulti(shardSpecs[s])
+				} else {
+					ids, err = eng.Queries(shardSpecs[s])
+				}
 				if err != nil {
+					// A real engine error is systematic (the same spec fails
+					// on every replica): no failover, fail the shard.
 					ch <- shardOut{s: s, err: fmt.Errorf("cluster: shard %d: %w", s, err)}
 					return
 				}
-				results[i] = res
+				results := make([]*core.QueryResult, len(ids))
+				for i, id := range ids {
+					res, err := eng.GetResults(id)
+					if err != nil {
+						ch <- shardOut{s: s, err: fmt.Errorf("cluster: shard %d: %w", s, err)}
+						return
+					}
+					results[i] = res
+				}
+				ch <- shardOut{s: s, results: results}
+				return
 			}
-			ch <- shardOut{s: s, results: results}
-		}(s, injected, delay)
+			ch <- shardOut{s: s, err: errors.Join(errs...)}
+		}(s, plan)
 	}
 
 	// Collect until every shard reports, the quorum of healthy answers is
@@ -320,14 +447,31 @@ func (e *Engines) run(qfvs [][]float32, k int, shared bool) ([]Answer, error) {
 	}
 	var timeout <-chan time.Time
 	if e.tol.ShardTimeout > 0 {
-		timer := time.NewTimer(e.tol.ShardTimeout)
-		defer timer.Stop()
-		timeout = timer.C
+		if e.tol.Timer != nil {
+			timeout = e.tol.Timer(e.tol.ShardTimeout)
+		} else {
+			timer := time.NewTimer(e.tol.ShardTimeout)
+			defer timer.Stop()
+			timeout = timer.C
+		}
 	}
 	reported, healthy := 0, 0
 	timedOut := false
 collect:
 	for reported < len(e.shards) && healthy < quorum {
+		// Answers already delivered win over a concurrently (or pre-) fired
+		// timeout: a shard that has answered is never classified as timed
+		// out, which keeps timeout tests with injected timers deterministic.
+		select {
+		case o := <-ch:
+			outs[o.s] = &o
+			reported++
+			if o.err == nil {
+				healthy++
+			}
+			continue
+		default:
+		}
 		select {
 		case o := <-ch:
 			outs[o.s] = &o

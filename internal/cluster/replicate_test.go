@@ -1,0 +1,308 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// replicatedFixture builds a shards×replicas cluster over a TextQA feature
+// database.
+func replicatedFixture(t *testing.T, shards, replicas, features int) (*Engines, *workload.FeatureDB) {
+	t.Helper()
+	app, err := workload.ByName("TextQA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(1)
+	db := workload.NewFeatureDB(app, features, 11)
+	e, err := NewReplicatedEngines(shards, replicas, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WriteDB(db.Vectors); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.LoadModel(app.SCN); err != nil {
+		t.Fatal(err)
+	}
+	return e, db
+}
+
+// expectedReplicaPlans mirrors the replicated routing/injection schedule of
+// Engines.run: call c rotates the first replica to c mod R, replica 0 draws
+// the legacy "call<c>-shard<s>" stream and replica r>0 draws
+// "call<c>-shard<s>-rep<r>", draws stop at the first healthy replica. It
+// returns, per shard: the serving replica (-1 when every replica faulted)
+// and the number of failovers taken.
+func expectedReplicaPlans(tol Tolerance, call uint64, shards, replicas int) (serving []int, failovers int) {
+	root := fault.New(tol.FaultSeed)
+	for s := 0; s < shards; s++ {
+		rot := 0
+		if replicas > 1 {
+			rot = int(call % uint64(replicas))
+		}
+		serve := -1
+		for a := 0; a < replicas; a++ {
+			rep := (rot + a) % replicas
+			var inj *fault.Injector
+			if rep == 0 {
+				inj = root.Forkf("call%d-shard%d", call, s)
+			} else {
+				inj = root.Forkf("call%d-shard%d-rep%d", call, s, rep)
+			}
+			faulted := inj.Hit(tol.FaultRate)
+			inj.Hit(tol.DelayRate)
+			if !faulted {
+				serve = rep
+				break
+			}
+			if a < replicas-1 {
+				failovers++
+			}
+		}
+		serving = append(serving, serve)
+	}
+	return serving, failovers
+}
+
+// TestReplicatedEnginesSurviveFaults is the replication acceptance test: a
+// 2×2 cluster at a 25% per-replica fault rate answers every call without
+// degradation whenever each shard keeps at least one healthy replica —
+// failover routes around the faulted replicas — and every answer is
+// bit-identical to a fault-free cluster's. The failover schedule matches
+// the documented injection contract and repeats bit for bit across runs.
+func TestReplicatedEnginesSurviveFaults(t *testing.T) {
+	const shards, replicas, features, k, calls = 2, 2, 300, 5, 16
+	tol := Tolerance{FaultRate: 0.25, FaultSeed: 4}
+
+	// The seed must exercise failover (a faulted first replica rescued by
+	// its sibling) and keep at least one healthy replica per shard in every
+	// call, so no answer degrades.
+	var wantFailovers int
+	sawFailover := false
+	for c := 0; c < calls; c++ {
+		serving, f := expectedReplicaPlans(tol, uint64(c), shards, replicas)
+		wantFailovers += f
+		if f > 0 {
+			sawFailover = true
+		}
+		for s, rep := range serving {
+			if rep < 0 {
+				t.Fatalf("seed %d call %d kills every replica of shard %d; pick another seed",
+					tol.FaultSeed, c, s)
+			}
+		}
+	}
+	if !sawFailover {
+		t.Fatalf("seed %d never exercises failover; pick another seed", tol.FaultSeed)
+	}
+
+	clean, db := replicatedFixture(t, shards, 1, features)
+	run := func() [][]float32 {
+		t.Helper()
+		e, _ := replicatedFixture(t, shards, replicas, features)
+		if err := e.SetTolerance(tol); err != nil {
+			t.Fatal(err)
+		}
+		var scores [][]float32
+		for c := 0; c < calls; c++ {
+			ans, err := e.Query(db.Vectors[c], k)
+			if err != nil {
+				t.Fatalf("call %d: %v", c, err)
+			}
+			if ans.Degraded || len(ans.FailedShards) != 0 {
+				t.Fatalf("call %d degraded (%v) despite surviving replicas", c, ans.FailedShards)
+			}
+			ref, err := clean.Query(db.Vectors[c], k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ans.TopK) != len(ref.TopK) {
+				t.Fatalf("call %d: %d entries, fault-free cluster %d", c, len(ans.TopK), len(ref.TopK))
+			}
+			row := make([]float32, len(ans.TopK))
+			for i := range ans.TopK {
+				if ans.TopK[i].FeatureID != ref.TopK[i].FeatureID || ans.TopK[i].Score != ref.TopK[i].Score {
+					t.Fatalf("call %d entry %d: replicated (%d, %v) != fault-free (%d, %v)",
+						c, i, ans.TopK[i].FeatureID, ans.TopK[i].Score, ref.TopK[i].FeatureID, ref.TopK[i].Score)
+				}
+				row[i] = ans.TopK[i].Score
+			}
+			scores = append(scores, row)
+		}
+		snap := e.MetricsSnapshot()
+		if got := snap.Counters["cluster_failovers"]; got != int64(wantFailovers) {
+			t.Fatalf("cluster_failovers = %d, schedule predicts %d", got, wantFailovers)
+		}
+		if snap.Counters["cluster_degraded_answers"] != 0 {
+			t.Fatal("degraded answers recorded despite full failover coverage")
+		}
+		return scores
+	}
+	a, b := run(), run()
+	for c := range a {
+		for i := range a[c] {
+			if a[c][i] != b[c][i] {
+				t.Fatalf("call %d entry %d: runs diverged", c, i)
+			}
+		}
+	}
+}
+
+// TestReplicatedEnginesAllReplicasFail: when every replica of a shard
+// faults, the shard fails over to nothing and the answer degrades exactly
+// as an unreplicated faulted shard would.
+func TestReplicatedEnginesAllReplicasFail(t *testing.T) {
+	e, db := replicatedFixture(t, 2, 2, 200)
+	if err := e.SetTolerance(Tolerance{FaultRate: 1, FaultSeed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Query(db.Vectors[0], 3)
+	if err == nil {
+		t.Fatal("all-replicas-failed query succeeded")
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("error %v does not wrap fault.ErrInjected", err)
+	}
+	// Four injected faults: both replicas of both shards.
+	if got := e.MetricsSnapshot().Counters["cluster_injected_faults"]; got != 4 {
+		t.Fatalf("cluster_injected_faults = %d, want 4", got)
+	}
+}
+
+// TestReplicatedEnginesRotation: with no faults the router rotates the
+// serving replica with the call counter, so every replica of a 1×3 group
+// ends up serving (its simulated clock advances) while answers stay
+// identical call over call.
+func TestReplicatedEnginesRotation(t *testing.T) {
+	const replicas = 3
+	e, db := replicatedFixture(t, 1, replicas, 120)
+	var first []int64
+	for c := 0; c < replicas; c++ {
+		ans, err := e.Query(db.Vectors[7], 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]int64, len(ans.TopK))
+		for i, entry := range ans.TopK {
+			ids[i] = entry.FeatureID
+		}
+		if c == 0 {
+			first = ids
+			continue
+		}
+		for i := range ids {
+			if ids[i] != first[i] {
+				t.Fatalf("call %d: replica rotation changed the answer (%v vs %v)", c, ids, first)
+			}
+		}
+	}
+	for r := 0; r < replicas; r++ {
+		if served := e.Replica(0, r).MetricsSnapshot().Counters["core_queries"]; served != 1 {
+			t.Fatalf("replica %d served %d queries over %d rotated calls, want 1", r, served, replicas)
+		}
+	}
+}
+
+// TestReplicatedEnginesValidation rejects malformed shapes.
+func TestReplicatedEnginesValidation(t *testing.T) {
+	if _, err := NewReplicatedEngines(0, 1, core.DefaultOptions()); err == nil {
+		t.Error("0 shards accepted")
+	}
+	if _, err := NewReplicatedEngines(1, 0, core.DefaultOptions()); err == nil {
+		t.Error("0 replicas accepted")
+	}
+}
+
+// TestEnginesInjectableTimeoutDeterministic is the deterministic timeout
+// test the wall-clock timer could never support: the timeout clock is
+// injected and fired only after the fast shard has answered (the engines
+// advance simulated time, so the wall-clock ShardTimeout cannot observe
+// simulated latencies — only real stalls). With answers collected before a
+// fired timer is honored, the classification is exact: the fast shard
+// contributes, the stalled shard times out, and the degraded answer
+// repeats bit for bit.
+func TestEnginesInjectableTimeoutDeterministic(t *testing.T) {
+	const shards, features, k = 2, 200, 5
+	tol := Tolerance{
+		DelayRate:    0.5,
+		Delay:        30 * time.Second, // far beyond the test: only the timeout can classify it
+		ShardTimeout: 10 * time.Millisecond,
+		FaultSeed:    12,
+	}
+	_, delayed := expectedEngineFaults(tol, 0, shards)
+	if len(delayed) != 1 {
+		t.Fatalf("seed %d delays %v of %d shards, want exactly 1; pick another seed", tol.FaultSeed, delayed, shards)
+	}
+	slow := delayed[0]
+	fast := 1 - slow
+
+	run := func() ([]int64, []float32) {
+		t.Helper()
+		e, db := enginesFixture(t, shards, features)
+		// The injected timer fires only once the fast shard has finished
+		// executing (its simulated clock has advanced) plus a settle margin
+		// for its in-flight channel send — so by firing time its answer is
+		// collectable and classification is deterministic.
+		fastEng := e.Engine(fast)
+		tol.Timer = func(d time.Duration) <-chan time.Time {
+			if d != tol.ShardTimeout {
+				t.Errorf("timer armed with %v, want %v", d, tol.ShardTimeout)
+			}
+			fired := make(chan time.Time, 1)
+			start := fastEng.Now()
+			go func() {
+				for fastEng.Now() == start {
+					time.Sleep(time.Millisecond)
+				}
+				time.Sleep(50 * time.Millisecond)
+				fired <- time.Time{}
+			}()
+			return fired
+		}
+		if err := e.SetTolerance(tol); err != nil {
+			t.Fatal(err)
+		}
+		ans, err := e.Query(db.Vectors[9], k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ans.Degraded {
+			t.Fatal("timed-out answer not marked Degraded")
+		}
+		if len(ans.FailedShards) != 1 || ans.FailedShards[0] != slow {
+			t.Fatalf("failed shards %v, want [%d]", ans.FailedShards, slow)
+		}
+		if !errors.Is(ans.ShardErrs, ErrShardTimeout) {
+			t.Fatalf("ShardErrs %v does not wrap ErrShardTimeout", ans.ShardErrs)
+		}
+		snap := e.MetricsSnapshot()
+		if got := snap.Counters["cluster_shard_timeouts"]; got != 1 {
+			t.Fatalf("cluster_shard_timeouts = %d, want 1", got)
+		}
+		if got := snap.Counters["cluster_timeouts"]; got != 1 {
+			t.Fatalf("cluster_timeouts = %d, want 1", got)
+		}
+		ids := make([]int64, len(ans.TopK))
+		scores := make([]float32, len(ans.TopK))
+		for i, entry := range ans.TopK {
+			ids[i], scores[i] = entry.FeatureID, entry.Score
+		}
+		return ids, scores
+	}
+	idsA, scoresA := run()
+	idsB, scoresB := run()
+	if len(idsA) == 0 {
+		t.Fatal("degraded answer empty")
+	}
+	for i := range idsA {
+		if idsA[i] != idsB[i] || scoresA[i] != scoresB[i] {
+			t.Fatalf("entry %d: degraded answers diverged across runs", i)
+		}
+	}
+}

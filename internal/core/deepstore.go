@@ -185,6 +185,13 @@ type QueryResult struct {
 	// Prune reports what the exact-pruning tier did for this query (all
 	// zeros when the tier is inactive or the query hit the cache).
 	Prune PruneStats
+	// Err carries a per-query failure through asynchronous delivery paths
+	// (Scheduler, Server): when a query in a dispatched batch fails, its
+	// submission channel delivers a result with Err set (and no TopK)
+	// instead of silently closing, so callers can distinguish "my query
+	// failed, and here is why" from "the result was dropped". Always nil on
+	// the synchronous Query/GetResults path, which reports errors directly.
+	Err error
 }
 
 // PruneStats counts the exact-pruning tier's work on one scan: how many
@@ -378,6 +385,22 @@ func (ds *DeepStore) Now() sim.Time {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
 	return ds.engine.Now()
+}
+
+// AdvanceTo moves the engine's virtual clock forward to t when the device is
+// idle — the open-loop serving driver uses it to let simulated time pass
+// between arrivals (a query arriving at t must not be charged queueing delay
+// for idle time before it existed). A timestamp at or before the current
+// clock is a no-op; the call never rewinds time.
+func (ds *DeepStore) AdvanceTo(t sim.Time) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	now := ds.engine.Now()
+	if t <= now {
+		return
+	}
+	ds.engine.After(sim.Duration(t-now), func() {})
+	ds.engine.Run()
 }
 
 func (ds *DeepStore) db(id ftl.DBID) (*dbState, error) {

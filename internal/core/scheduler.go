@@ -101,8 +101,10 @@ func NewScheduler(ds *DeepStore, cfg SchedulerConfig) *Scheduler {
 }
 
 // Submit admits one query. The returned channel delivers the query's
-// result exactly once (then closes); it is closed without a result if the
-// query itself fails. Submit never blocks: a full admission queue returns
+// result exactly once (then closes); if the query itself fails after
+// admission, the delivered result carries the failure in QueryResult.Err
+// (no TopK), so callers can always distinguish "query failed" from "result
+// dropped". Submit never blocks: a full admission queue returns
 // ErrQueueFull, a closed scheduler ErrSchedulerClosed.
 func (s *Scheduler) Submit(spec QuerySpec) (<-chan *QueryResult, error) {
 	s.mu.RLock()
@@ -204,8 +206,6 @@ func (s *Scheduler) run() {
 }
 
 // runBatch executes one batch as a shared sweep and delivers each result.
-// A batch-level validation error (all-or-nothing QueryMulti) falls back to
-// independent queries so one bad spec cannot sink its batch-mates.
 func (s *Scheduler) runBatch(batch []schedItem) {
 	specs := make([]QuerySpec, len(batch))
 	for i, it := range batch {
@@ -215,35 +215,63 @@ func (s *Scheduler) runBatch(batch []schedItem) {
 		fn(specs)
 	}
 	s.ds.obs.Counter("sched_batches").Inc()
-	started := s.ds.Now()
-	ids, err := s.ds.QueryMulti(specs)
-	if err != nil {
-		for i, it := range batch {
-			started := s.ds.Now()
-			id, qerr := s.ds.Query(specs[i])
-			if qerr != nil {
-				s.ds.obs.Counter("sched_errors").Inc()
-				close(it.ch)
-				continue
-			}
-			s.deliver(it, id, started)
-		}
-		return
-	}
-	for i, it := range batch {
-		s.deliver(it, ids[i], started)
-	}
+	runSharedBatch(s.ds, batch)
 }
 
-// deliver fetches one query's result, prepends the sched_queue stage (the
-// simulated wait between Submit and batch dispatch, so stage durations
-// still sum to Latency), and completes the submission channel.
-func (s *Scheduler) deliver(it schedItem, id QueryID, started sim.Time) {
-	res, err := s.ds.GetResults(id)
+// runSharedBatch executes one admitted batch as a shared multi-query sweep
+// and delivers every result — the dispatch engine shared by Scheduler and
+// Server. A batch-level validation error (all-or-nothing QueryMulti) falls
+// back to independent queries so one bad spec cannot sink its batch-mates;
+// the fallback is counted (sched_fallback) and a query that still fails
+// has its error delivered on its submission channel (never a silent drop).
+// The returned slice holds each item's delivery outcome (nil = a real
+// result was delivered) so callers can keep per-tenant failure accounts.
+func runSharedBatch(ds *DeepStore, batch []schedItem) []error {
+	specs := make([]QuerySpec, len(batch))
+	for i, it := range batch {
+		specs[i] = it.spec
+	}
+	errs := make([]error, len(batch))
+	started := ds.Now()
+	ids, err := ds.QueryMulti(specs)
 	if err != nil {
-		s.ds.obs.Counter("sched_errors").Inc()
-		close(it.ch)
-		return
+		ds.obs.Counter("sched_fallback").Inc()
+		for i, it := range batch {
+			started := ds.Now()
+			id, qerr := ds.Query(specs[i])
+			if qerr != nil {
+				failItem(ds, it, qerr)
+				errs[i] = qerr
+				continue
+			}
+			errs[i] = deliverItem(ds, it, id, started)
+		}
+		return errs
+	}
+	for i, it := range batch {
+		errs[i] = deliverItem(ds, it, ids[i], started)
+	}
+	return errs
+}
+
+// failItem completes a submission whose query failed: the channel delivers
+// a result carrying the typed error, then closes. Callers therefore always
+// receive exactly one value per accepted submission.
+func failItem(ds *DeepStore, it schedItem, err error) {
+	ds.obs.Counter("sched_errors").Inc()
+	it.ch <- &QueryResult{Err: err}
+	close(it.ch)
+}
+
+// deliverItem fetches one query's result, prepends the sched_queue stage
+// (the simulated wait between Submit and batch dispatch, so stage durations
+// still sum to Latency), and completes the submission channel. Returns the
+// delivery error, nil on success.
+func deliverItem(ds *DeepStore, it schedItem, id QueryID, started sim.Time) error {
+	res, err := ds.GetResults(id)
+	if err != nil {
+		failItem(ds, it, err)
+		return err
 	}
 	qwait := sim.Duration(started - it.submitted)
 	if qwait < 0 {
@@ -251,8 +279,9 @@ func (s *Scheduler) deliver(it schedItem, id QueryID, started sim.Time) {
 	}
 	res.Latency += qwait
 	res.Stages = append([]obs.Stage{{Name: obs.StageSchedQueue, Dur: qwait}}, res.Stages...)
-	s.ds.obs.Histogram("core_stage_"+obs.StageSchedQueue+"_ms", obs.LatencyBucketsMs()).
+	ds.obs.Histogram("core_stage_"+obs.StageSchedQueue+"_ms", obs.LatencyBucketsMs()).
 		Observe(qwait.Seconds() * 1e3)
 	it.ch <- res
 	close(it.ch)
+	return nil
 }

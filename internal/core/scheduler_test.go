@@ -192,8 +192,10 @@ func TestSchedulerWindowDispatch(t *testing.T) {
 }
 
 // TestSchedulerFallbackOnBadSpec: a batch containing an invalid spec falls
-// back to independent queries — the good specs still complete, the bad one
-// closes its channel empty, and the error counter records it.
+// back to independent queries — the good specs still complete without an
+// error, the bad one delivers exactly one result carrying the typed error
+// (never a silently closed channel), and the fallback and error counters
+// record the event.
 func TestSchedulerFallbackOnBadSpec(t *testing.T) {
 	engine, model, db := newEqEngine(t, DefaultOptions(), 7, false)
 	sched := NewScheduler(engine, SchedulerConfig{BatchSize: 3})
@@ -213,17 +215,77 @@ func TestSchedulerFallbackOnBadSpec(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res := <-chG1; res == nil {
-		t.Fatal("good query 1 dropped by fallback")
+	for i, ch := range []<-chan *QueryResult{chG1, chG2} {
+		res := <-ch
+		if res == nil {
+			t.Fatalf("good query %d dropped by fallback", i+1)
+		}
+		if res.Err != nil {
+			t.Fatalf("good query %d delivered error %v", i+1, res.Err)
+		}
+		if len(res.TopK) == 0 {
+			t.Fatalf("good query %d delivered no results", i+1)
+		}
 	}
-	if res, open := <-chB; open || res != nil {
-		t.Fatal("bad query delivered a result")
+	res, open := <-chB
+	if !open || res == nil {
+		t.Fatal("bad query's channel closed without a result — callers cannot tell failure from drop")
 	}
-	if res := <-chG2; res == nil {
-		t.Fatal("good query 2 dropped by fallback")
+	if res.Err == nil {
+		t.Fatalf("bad query delivered %+v without an error", res)
 	}
-	if n := engine.MetricsSnapshot().Counters["sched_errors"]; n != 1 {
+	if len(res.TopK) != 0 {
+		t.Fatalf("failed query delivered top-K entries: %+v", res.TopK)
+	}
+	if _, again := <-chB; again {
+		t.Fatal("bad query's channel delivered a second value")
+	}
+	snap := engine.MetricsSnapshot()
+	if n := snap.Counters["sched_errors"]; n != 1 {
 		t.Fatalf("sched_errors = %d, want 1", n)
+	}
+	if n := snap.Counters["sched_fallback"]; n != 1 {
+		t.Fatalf("sched_fallback = %d, want 1", n)
+	}
+}
+
+// TestSchedulerAllBadBatch covers the fallback path when every spec in the
+// batch is invalid: each submission delivers its own typed error, the
+// fallback is counted once per batch, and the error counter counts each
+// failed query.
+func TestSchedulerAllBadBatch(t *testing.T) {
+	engine, model, db := newEqEngine(t, DefaultOptions(), 7, false)
+	sched := NewScheduler(engine, SchedulerConfig{BatchSize: 2})
+	defer sched.Close()
+	bad := QuerySpec{QFV: eqVectors(1, 3)[0], K: 0, Model: model, DB: db}
+	ch1, err := sched.Submit(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch2, err := sched.Submit(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ch := range []<-chan *QueryResult{ch1, ch2} {
+		res, open := <-ch
+		if !open || res == nil {
+			t.Fatalf("bad query %d: channel closed without a result", i+1)
+		}
+		if res.Err == nil {
+			t.Fatalf("bad query %d: delivered without an error", i+1)
+		}
+	}
+	snap := engine.MetricsSnapshot()
+	if n := snap.Counters["sched_errors"]; n != 2 {
+		t.Fatalf("sched_errors = %d, want 2", n)
+	}
+	if n := snap.Counters["sched_fallback"]; n != 1 {
+		t.Fatalf("sched_fallback = %d, want 1", n)
+	}
+	// The batch never executed a sweep: no shared scans, no batches beyond
+	// the dispatched one.
+	if n := snap.Counters["core_shared_scans"]; n != 0 {
+		t.Fatalf("core_shared_scans = %d, want 0", n)
 	}
 }
 

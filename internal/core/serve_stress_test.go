@@ -1,0 +1,211 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestServerStress is the -race lockdown for the concurrent serving mode:
+// multi-tenant submit storms race each other, Flush, Pump, AdvanceTo, and
+// TenantStats snapshots at roughly 2× the heavy tenant's queue budget.
+// Every accepted submission must deliver exactly one result (no lost, no
+// duplicated, no deadlocked deliveries), shedding must stay scoped to the
+// over-budget tenant — the light tenant, which never queues more than one
+// query at a time, must never see ErrQueueFull no matter how hard the heavy
+// tenants hammer their own queues.
+func TestServerStress(t *testing.T) {
+	engine, model, db := newEqEngine(t, DefaultOptions(), 33, false)
+	srv, err := NewServer(engine, ServerConfig{
+		Tenants: []TenantConfig{
+			{Name: "heavy", Weight: 8, QueueDepth: 4},
+			{Name: "burst", Weight: 2, QueueDepth: 4},
+			{Name: "light", Weight: 1, QueueDepth: 4},
+		},
+		BatchSize: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted, delivered, shed atomic.Int64
+	var wg sync.WaitGroup
+	// submitLoop pushes n queries through one tenant, retrying sheds (the
+	// closed-loop behaviour of a client with its own retry budget).
+	submitLoop := func(tenant string, n, seed int, retryShed bool) {
+		defer wg.Done()
+		qfvs := eqVectors(n, int64(seed))
+		for _, qfv := range qfvs {
+			spec := QuerySpec{QFV: qfv, K: 3, Model: model, DB: db}
+			for {
+				ch, err := srv.Submit(tenant, spec)
+				if errors.Is(err, ErrQueueFull) {
+					shed.Add(1)
+					if !retryShed {
+						t.Errorf("tenant %s shed with its own queue under budget", tenant)
+						return
+					}
+					time.Sleep(time.Millisecond)
+					continue
+				}
+				if err != nil {
+					t.Errorf("tenant %s: %v", tenant, err)
+					return
+				}
+				accepted.Add(1)
+				got := 0
+				for res := range ch {
+					if res != nil {
+						got++
+					}
+				}
+				if got != 1 {
+					t.Errorf("tenant %s: %d results for one submission", tenant, got)
+				}
+				delivered.Add(int64(got))
+				break
+			}
+		}
+	}
+	// Two heavy submitters share one tenant queue (their combined in-flight
+	// demand overruns the depth-4 budget), one mid-rate burst tenant, one
+	// strictly closed-loop light tenant that must never be shed.
+	wg.Add(5)
+	go submitLoop("heavy", 15, 100, true)
+	go submitLoop("heavy", 15, 101, true)
+	go submitLoop("burst", 12, 200, true)
+	go submitLoop("burst", 12, 201, true)
+	go submitLoop("light", 10, 300, false)
+
+	// Racing control plane: flushes (so partial batches can't strand the
+	// closed-loop submitters), clock advances, pumps, and stats snapshots.
+	stop := make(chan struct{})
+	var raceWG sync.WaitGroup
+	raceWG.Add(1)
+	go func() {
+		defer raceWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			srv.Flush()
+			srv.AdvanceTo(engine.Now() + sim.Time(10*sim.Microsecond))
+			srv.Pump()
+			srv.TenantStats()
+			srv.Pending()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	raceWG.Wait()
+	srv.Close()
+
+	if delivered.Load() != accepted.Load() {
+		t.Fatalf("delivered %d results for %d accepted submissions", delivered.Load(), accepted.Load())
+	}
+	want := int64(15 + 15 + 12 + 12 + 10)
+	if accepted.Load() != want {
+		t.Fatalf("accepted %d submissions, want %d", accepted.Load(), want)
+	}
+	stats := srv.TenantStats()
+	var served, statShed, submitted int64
+	for _, s := range stats {
+		served += s.Served
+		statShed += s.Shed
+		submitted += s.Submitted
+	}
+	if served != want || submitted != want {
+		t.Fatalf("stats served=%d submitted=%d, want %d", served, submitted, want)
+	}
+	if statShed != shed.Load() {
+		t.Fatalf("stats shed %d, submitters observed %d", statShed, shed.Load())
+	}
+	if s := stats["light"]; s.Shed != 0 {
+		t.Fatalf("light tenant shed %d times despite per-tenant budgets", s.Shed)
+	}
+	snap := engine.MetricsSnapshot()
+	if snap.Counters["sched_errors"] != 0 {
+		t.Fatalf("sched_errors = %d, want 0", snap.Counters["sched_errors"])
+	}
+	if got := snap.Counters["serve_shed"]; int64(got) != shed.Load() {
+		t.Fatalf("serve_shed counter %d, submitters observed %d", got, shed.Load())
+	}
+}
+
+// TestServerStressCloseRace: Close racing in-flight submitters must drain
+// every accepted submission (exactly one result each) and reject the rest
+// with the typed ErrServerClosed — never a hang, never a dropped channel.
+func TestServerStressCloseRace(t *testing.T) {
+	engine, model, db := newEqEngine(t, DefaultOptions(), 17, false)
+	srv, err := NewServer(engine, ServerConfig{
+		Tenants: []TenantConfig{
+			{Name: "a", Weight: 2, QueueDepth: 32},
+			{Name: "b", Weight: 1, QueueDepth: 32},
+		},
+		BatchSize: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var accepted, delivered, rejected atomic.Int64
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tenant := "a"
+			if g%2 == 1 {
+				tenant = "b"
+			}
+			qfvs := eqVectors(10, int64(500+g))
+			for _, qfv := range qfvs {
+				ch, err := srv.Submit(tenant, QuerySpec{QFV: qfv, K: 2, Model: model, DB: db})
+				if errors.Is(err, ErrServerClosed) {
+					rejected.Add(1)
+					continue
+				}
+				if errors.Is(err, ErrQueueFull) {
+					continue
+				}
+				if err != nil {
+					t.Errorf("submit: %v", err)
+					return
+				}
+				accepted.Add(1)
+				got := 0
+				for res := range ch {
+					if res != nil {
+						got++
+					}
+				}
+				if got != 1 {
+					t.Errorf("%d results for one accepted submission", got)
+				}
+				delivered.Add(int64(got))
+			}
+		}(g)
+	}
+	// Close from a racing goroutine partway through the storm.
+	var closeWG sync.WaitGroup
+	closeWG.Add(2)
+	for c := 0; c < 2; c++ {
+		go func() {
+			defer closeWG.Done()
+			srv.Close() // concurrent Closes must both return
+		}()
+	}
+	closeWG.Wait()
+	wg.Wait()
+	if delivered.Load() != accepted.Load() {
+		t.Fatalf("delivered %d results for %d accepted submissions", delivered.Load(), accepted.Load())
+	}
+	if accepted.Load()+rejected.Load() == 0 {
+		t.Fatal("storm neither accepted nor rejected anything")
+	}
+}

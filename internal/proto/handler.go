@@ -201,9 +201,15 @@ func (h *Handler) await(cmd Command) Completion {
 	}
 	res, okRes := <-ch
 	if !okRes {
-		// The scheduler closes the channel without a result when the query
-		// itself failed (its batch-mates are unaffected).
-		return fail(cmd, StatusInternal, fmt.Sprintf("ticket %d: query failed", ticket))
+		// Defensive: the scheduler delivers exactly one result per accepted
+		// submission (failures arrive with QueryResult.Err set), so a closed
+		// empty channel would mean a dropped result.
+		return fail(cmd, StatusInternal, fmt.Sprintf("ticket %d: result dropped", ticket))
+	}
+	if res.Err != nil {
+		// The query itself failed inside its batch (its batch-mates are
+		// unaffected); surface the typed per-query error.
+		return fail(cmd, StatusInvalidField, fmt.Sprintf("ticket %d: %v", ticket, res.Err))
 	}
 	return h.resultCompletion(cmd, res)
 }

@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Typed validation errors for open-loop load configurations.
+var (
+	// ErrLoadRate marks a non-positive tenant arrival rate.
+	ErrLoadRate = errors.New("workload: open-loop rate must be positive")
+	// ErrLoadTenant marks a missing or duplicated tenant name.
+	ErrLoadTenant = errors.New("workload: open-loop tenant invalid")
+	// ErrLoadHorizon marks a non-positive horizon.
+	ErrLoadHorizon = errors.New("workload: open-loop horizon must be positive")
+)
+
+// TenantLoad describes one tenant's open-loop arrival process: a Poisson
+// stream at RatePerSec whose queries are drawn from the tenant's own trace
+// (its universe, skew, and jitter).
+type TenantLoad struct {
+	// Tenant names the stream; must be unique across the load set.
+	Tenant string
+	// RatePerSec is the mean Poisson arrival rate in simulated
+	// queries/second (> 0). Open-loop means arrivals do NOT wait for
+	// service: a saturated server faces an ever-growing backlog, which is
+	// exactly the overload regime the serving benchmarks measure.
+	RatePerSec float64
+	// Trace configures the tenant's query population (Length is ignored:
+	// the horizon bounds the stream).
+	Trace TraceConfig
+}
+
+// Arrival is one open-loop arrival: a query from a tenant's trace arriving
+// at a simulated timestamp.
+type Arrival struct {
+	// Tenant names the submitting tenant; TenantIdx is its index in the
+	// load set (stable tie-break key).
+	Tenant    string
+	TenantIdx int
+	// At is the simulated arrival time.
+	At sim.Time
+	// Query is the trace entry that arrives (ID is the tenant-local
+	// sequence number).
+	Query Query
+}
+
+// OpenLoop merges per-tenant Poisson arrival streams over a simulated
+// horizon into one time-ordered schedule. Everything is a pure function of
+// the configuration: tenant t's inter-arrival stream is seeded by
+// (seed, t)'s index and its query stream by its own trace seed, and ties in
+// arrival time break by tenant index then sequence — so the same inputs
+// produce a byte-identical schedule on every run.
+func OpenLoop(loads []TenantLoad, horizon sim.Duration, seed int64) ([]Arrival, error) {
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("%w: no tenants", ErrLoadTenant)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("%w: got %v", ErrLoadHorizon, horizon)
+	}
+	seen := make(map[string]bool, len(loads))
+	for i, ld := range loads {
+		if ld.Tenant == "" {
+			return nil, fmt.Errorf("%w: tenant %d has no name", ErrLoadTenant, i)
+		}
+		if seen[ld.Tenant] {
+			return nil, fmt.Errorf("%w: duplicate tenant %q", ErrLoadTenant, ld.Tenant)
+		}
+		seen[ld.Tenant] = true
+		if !(ld.RatePerSec > 0) {
+			return nil, fmt.Errorf("%w: tenant %q rate %v", ErrLoadRate, ld.Tenant, ld.RatePerSec)
+		}
+		cfg := ld.Trace
+		cfg.Length = 0 // the horizon, not the trace length, bounds the stream
+		if err := cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("tenant %q: %w", ld.Tenant, err)
+		}
+	}
+
+	var all []Arrival
+	for i, ld := range loads {
+		// One rng per tenant, forked off the schedule seed by index, so a
+		// tenant's arrival process is independent of every other tenant's
+		// configuration.
+		rng := rand.New(rand.NewSource(seed ^ (int64(i+1) * 0x5E3779B97F4A7C15)))
+		// Arrival times first: their count sets the tenant's trace length.
+		var times []sim.Time
+		var at sim.Time
+		for {
+			gap := sim.Duration(rng.ExpFloat64() / ld.RatePerSec * float64(sim.Second))
+			if gap < 1 {
+				gap = 1 // simulated time is discrete; keep arrivals strictly ordered
+			}
+			at += sim.Time(gap)
+			if at > sim.Time(horizon) {
+				break
+			}
+			times = append(times, at)
+		}
+		cfg := ld.Trace
+		cfg.Length = len(times)
+		trace := GenerateTrace(cfg)
+		for j, t := range times {
+			all = append(all, Arrival{
+				Tenant:    ld.Tenant,
+				TenantIdx: i,
+				At:        t,
+				Query:     trace.Queries[j],
+			})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].At != all[b].At {
+			return all[a].At < all[b].At
+		}
+		if all[a].TenantIdx != all[b].TenantIdx {
+			return all[a].TenantIdx < all[b].TenantIdx
+		}
+		return all[a].Query.ID < all[b].Query.ID
+	})
+	return all, nil
+}

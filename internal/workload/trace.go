@@ -1,10 +1,25 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+)
+
+// Typed validation errors for degenerate trace configurations, so callers
+// building configs from external input can classify what was wrong with
+// errors.Is instead of parsing panic strings.
+var (
+	// ErrTraceUniverse marks Universe <= 0.
+	ErrTraceUniverse = errors.New("workload: trace universe must be positive")
+	// ErrTraceLength marks Length < 0.
+	ErrTraceLength = errors.New("workload: trace length must be non-negative")
+	// ErrTraceAlpha marks a negative Zipfian skew.
+	ErrTraceAlpha = errors.New("workload: zipf alpha must be non-negative")
+	// ErrTraceJitter marks MaxJitter outside [0, 1].
+	ErrTraceJitter = errors.New("workload: max jitter must lie in [0, 1]")
 )
 
 // Distribution selects how a query trace samples the query universe (§6.5).
@@ -103,17 +118,47 @@ func (z *zipfSampler) sample() int64 {
 	return r
 }
 
-// GenerateTrace builds a deterministic query trace.
-func GenerateTrace(cfg TraceConfig) *Trace {
+// Validate reports whether the configuration can generate a trace; each
+// defect wraps its typed sentinel (ErrTraceUniverse, ErrTraceLength,
+// ErrTraceAlpha, ErrTraceJitter).
+func (cfg TraceConfig) Validate() error {
 	if cfg.Universe <= 0 {
-		panic("workload: trace universe must be positive")
+		return fmt.Errorf("%w: got %d", ErrTraceUniverse, cfg.Universe)
 	}
 	if cfg.Length < 0 {
-		panic("workload: negative trace length")
+		return fmt.Errorf("%w: got %d", ErrTraceLength, cfg.Length)
+	}
+	if cfg.Dist == Zipfian && cfg.Alpha < 0 {
+		return fmt.Errorf("%w: got %v", ErrTraceAlpha, cfg.Alpha)
 	}
 	if cfg.MaxJitter < 0 || cfg.MaxJitter > 1 {
-		panic(fmt.Sprintf("workload: max jitter %v outside [0,1]", cfg.MaxJitter))
+		return fmt.Errorf("%w: got %v", ErrTraceJitter, cfg.MaxJitter)
 	}
+	return nil
+}
+
+// NewTrace builds a deterministic query trace, rejecting degenerate
+// configurations with the typed Validate errors.
+func NewTrace(cfg TraceConfig) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return generateTrace(cfg), nil
+}
+
+// GenerateTrace builds a deterministic query trace, panicking on a
+// degenerate configuration — the convenience entry point for literal,
+// known-good configs (benchmarks, tests). Code handling external input
+// should use NewTrace and classify the typed error instead.
+func GenerateTrace(cfg TraceConfig) *Trace {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return generateTrace(cfg)
+}
+
+// generateTrace assumes cfg has been validated.
+func generateTrace(cfg TraceConfig) *Trace {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	tr := &Trace{Config: cfg, Queries: make([]Query, cfg.Length)}
 	var zipf *zipfSampler
