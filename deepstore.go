@@ -303,3 +303,41 @@ func OpenLoop(loads []TenantLoad, horizon SimDuration, seed int64) ([]Arrival, e
 func NewReplicatedClusterEngines(shards, replicas int, opts Options) (*ClusterEngines, error) {
 	return cluster.NewReplicatedEngines(shards, replicas, opts)
 }
+
+// RouteInfo is one entry of the cluster's immutable routing table: the
+// global feature range a shard serves and the database backing it. The
+// table is republished atomically (generation-tagged) on every topology
+// change, so a query sees exactly one authoritative owner per feature.
+type RouteInfo = cluster.RouteInfo
+
+// MoveSpec names a contiguous global feature range to migrate from one
+// shard to another. Dest AddShard grows the cluster by one shard.
+type MoveSpec = cluster.MoveSpec
+
+// MoveReport summarizes a completed (or aborted) migration: features moved,
+// chunks copied, and the device time charged to source reads and
+// destination writes.
+type MoveReport = cluster.MoveReport
+
+// Rebalancer migrates a feature range chunk-by-chunk while the cluster
+// keeps answering queries; each Step copies one chunk through the simulated
+// device path and flips routing atomically, so answers stay bit-identical
+// throughout.
+type Rebalancer = cluster.Rebalancer
+
+// AddShard as a MoveSpec destination grows the cluster with a fresh shard.
+const AddShard = cluster.AddShard
+
+// NewRebalancer validates a move and interlocks the source range; drive it
+// with Step or use ClusterEngines.Rebalance to run to completion.
+func NewRebalancer(e *ClusterEngines, spec MoveSpec) (*Rebalancer, error) {
+	return cluster.NewRebalancer(e, spec)
+}
+
+// Migration sentinel errors: ErrMigrating rejects mutating admin ops on a
+// database mid-migration; ErrRebalanceActive rejects cluster topology
+// changes while a Rebalancer holds the cluster.
+var (
+	ErrMigrating       = core.ErrMigrating
+	ErrRebalanceActive = cluster.ErrRebalanceActive
+)

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -23,40 +25,65 @@ var (
 	// ErrShardSkipped marks a straggler whose answer was not awaited
 	// because the quorum had already been reached.
 	ErrShardSkipped = errors.New("cluster: shard skipped after quorum")
+	// ErrRebalanceActive rejects admin operations (WriteDB, LoadModel,
+	// AppendDB, ReorgShard) while an online rebalance is mid-move; queries
+	// are unaffected.
+	ErrRebalanceActive = errors.New("cluster: rebalance in progress")
 )
 
 // Engines is the functional counterpart of ShardedScan: a Fig. 10b
 // scale-out deployment of full DeepStore engines, one per simulated SSD,
-// each holding a contiguous shard of one materialized feature database.
-// A query fans out to every shard's engine (which in turn shards its scan
-// across channels — the two-level map of a multi-SSD map-reduce), and the
-// per-shard top-K queues reduce into a global answer. Batches drive each
-// engine's concurrent query path via core.DeepStore.Queries.
+// each holding replica groups over slices of one materialized feature
+// database. A query fans out along the current routing-table generation
+// (see routing.go) — every route contributes one range-limited sub-query —
+// and the per-route top-K queues reduce into a global answer. Batches drive
+// each engine's concurrent query path via core.DeepStore.Queries.
 type Engines struct {
-	// shards[s] is shard s's primary engine — always replicas[s][0].
-	shards []*core.DeepStore
-	// replicas[s] lists shard s's read replicas (primary first). Every
+	// opts is the engine configuration every shard (including shards added
+	// by an online rebalance) is created with.
+	opts core.Options
+
+	// admin serializes admin operations and guards the construction state
+	// below. Queries never take it: they read the published state pointer.
+	admin sync.Mutex
+	// groups[s] lists shard s's read replicas (primary first). Every
 	// replica holds the same slice of the database and the same model, so a
 	// query can route to any of them; routing rotates across calls and
 	// fails over when the routed replica draws an injected fault.
-	replicas [][]*core.DeepStore
-	dbs      []ftl.DBID
-	models   []core.ModelID
-	// offsets[s] is the global index of shard s's first feature.
-	offsets []int64
+	groups [][]*core.DeepStore
+	// models[s] is shard s's registered model (0 until LoadModel).
+	models []core.ModelID
+	// net is the last loaded network, reloaded onto shards an online
+	// rebalance adds.
+	net *nn.Network
+	// routes is the admin-side routing table (models resolved at publish).
+	routes []route
+	total  int64
+	// rebalancing interlocks admin ops while a Rebalancer is mid-move.
+	rebalancing bool
+
+	// state is the published generation queries snapshot (routing.go).
+	state atomic.Pointer[clusterState]
 
 	tol   Tolerance
 	inj   *fault.Injector
-	calls uint64 // Queries invocations, for per-call fault streams
+	calls atomic.Uint64 // Queries invocations, for per-call fault streams
 
 	// reg and tracer are the cluster's own observability sinks (each shard
 	// engine additionally keeps its own). Shard fan-out spans are laid on a
 	// synthetic cluster timeline (obsClock): the shard engines' simulated
 	// clocks are independent, so batch b starts where batch b−1's slowest
 	// shard finished.
-	reg      *obs.Registry
-	tracer   *obs.Tracer
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	// obsMu guards the synthetic timeline and the heat profile, which
+	// concurrent query batches update.
+	obsMu    sync.Mutex
 	obsClock sim.Time
+	// heat[g] counts how often global feature g appeared in a merged top-K
+	// — the demand signal PlanRebalance folds into stripe rankings.
+	heat []int64
 }
 
 // Metrics returns the cluster-level metrics registry (fan-out, degraded
@@ -107,11 +134,13 @@ type Tolerance struct {
 
 // SetTolerance installs the degraded-operation policy.
 func (e *Engines) SetTolerance(t Tolerance) error {
+	e.admin.Lock()
+	defer e.admin.Unlock()
 	if t.FaultRate < 0 || t.FaultRate > 1 || t.DelayRate < 0 || t.DelayRate > 1 {
 		return fmt.Errorf("cluster: rate outside [0, 1] in %+v", t)
 	}
-	if t.Quorum < 0 || t.Quorum > len(e.shards) {
-		return fmt.Errorf("cluster: quorum %d invalid for %d shards", t.Quorum, len(e.shards))
+	if t.Quorum < 0 || t.Quorum > len(e.groups) {
+		return fmt.Errorf("cluster: quorum %d invalid for %d shards", t.Quorum, len(e.groups))
 	}
 	if t.ShardTimeout < 0 || t.Delay < 0 {
 		return fmt.Errorf("cluster: negative duration in %+v", t)
@@ -130,11 +159,16 @@ type Answer struct {
 	// TopK holds the merged results with FeatureID in global database
 	// coordinates.
 	TopK []topk.Entry
-	// Makespan is the slowest contributing shard's simulated latency — the
-	// map-reduce barrier before the final merge.
+	// Makespan is the slowest contributing sub-query's simulated latency —
+	// the map-reduce barrier before the final merge.
 	Makespan sim.Duration
 	// EnergyJ sums the contributing shards' modeled energy.
 	EnergyJ float64
+	// FeaturesScanned sums the contributing sub-queries' scanned features;
+	// with the pruning tier active, FeaturesScanned + Prune.FeaturesSkipped
+	// equals the routed feature total regardless of how the routing table
+	// splits the space (conservation across the split boundary).
+	FeaturesScanned int64
 	// Prune sums the contributing shards' exact-pruning skip accounting
 	// (all zeros when shards run with Options.Prune off).
 	Prune core.PruneStats
@@ -161,6 +195,12 @@ func NewEngines(n int, opts core.Options) (*Engines, error) {
 // over past replicas that draw injected faults). Replication multiplies
 // simulated devices, not data: a degraded shard stays answerable as long as
 // one of its replicas survives.
+//
+// Admin operations apply to every replica of a group or fail atomically:
+// an op that fails on every replica leaves the serving state untouched, and
+// a mixed outcome quarantines the replicas the op failed on (removing them
+// from routing and failover rotation), so a half-updated replica can never
+// serve a failover read.
 func NewReplicatedEngines(shards, replicas int, opts core.Options) (*Engines, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("cluster: %d shards invalid", shards)
@@ -168,7 +208,7 @@ func NewReplicatedEngines(shards, replicas int, opts core.Options) (*Engines, er
 	if replicas < 1 {
 		return nil, fmt.Errorf("cluster: %d replicas invalid", replicas)
 	}
-	e := &Engines{reg: obs.NewRegistry(), tracer: obs.NewTracer(0)}
+	e := &Engines{opts: opts, reg: obs.NewRegistry(), tracer: obs.NewTracer(0)}
 	for s := 0; s < shards; s++ {
 		group := make([]*core.DeepStore, replicas)
 		for r := range group {
@@ -178,33 +218,41 @@ func NewReplicatedEngines(shards, replicas int, opts core.Options) (*Engines, er
 			}
 			group[r] = ds
 		}
-		e.replicas = append(e.replicas, group)
-		e.shards = append(e.shards, group[0])
+		e.groups = append(e.groups, group)
 	}
+	e.models = make([]core.ModelID, shards)
+	e.publishLocked()
 	return e, nil
 }
 
-// Shards returns the number of shards.
-func (e *Engines) Shards() int { return len(e.shards) }
+// Shards returns the number of shards (a live rebalance can grow it).
+func (e *Engines) Shards() int { return len(e.state.Load().groups) }
 
-// Replicas returns shard s's replica count.
-func (e *Engines) Replicas(s int) int { return len(e.replicas[s]) }
+// Replicas returns shard s's replica count (quarantine can shrink it).
+func (e *Engines) Replicas(s int) int { return len(e.state.Load().groups[s]) }
 
 // Engine exposes shard s's primary engine (for inspection and stats).
-func (e *Engines) Engine(s int) *core.DeepStore { return e.shards[s] }
+func (e *Engines) Engine(s int) *core.DeepStore { return e.state.Load().groups[s][0] }
 
 // Replica exposes shard s's replica r (replica 0 is the primary).
-func (e *Engines) Replica(s, r int) *core.DeepStore { return e.replicas[s][r] }
+func (e *Engines) Replica(s, r int) *core.DeepStore { return e.state.Load().groups[s][r] }
 
 // WriteDB splits the features contiguously across the shards (balanced to
-// within one feature) and writes each slice to its engine.
+// within one feature) and writes each slice to every replica of its shard.
+// The new routing table is published only after every write succeeded, so
+// concurrent queries see either the previous generation or the new one in
+// full — never a mix.
 func (e *Engines) WriteDB(features [][]float32) error {
-	n := int64(len(e.shards))
+	e.admin.Lock()
+	defer e.admin.Unlock()
+	if e.rebalancing {
+		return ErrRebalanceActive
+	}
+	n := int64(len(e.groups))
 	if int64(len(features)) < n {
 		return fmt.Errorf("cluster: %d features cannot shard across %d engines", len(features), n)
 	}
-	e.dbs = e.dbs[:0]
-	e.offsets = e.offsets[:0]
+	newRoutes := make([]route, 0, n)
 	var off int64
 	for s := int64(0); s < n; s++ {
 		share := int64(len(features)) / n
@@ -214,42 +262,67 @@ func (e *Engines) WriteDB(features [][]float32) error {
 		// Every replica of the shard receives the identical slice; fresh
 		// identical engines assign identical IDs, so one DBID per shard
 		// covers the whole replica group (verified, not assumed).
-		for r, ds := range e.replicas[s] {
-			id, err := ds.WriteDB(features[off : off+share])
+		var id ftl.DBID
+		for r, ds := range e.groups[s] {
+			got, err := ds.WriteDB(features[off : off+share])
 			if err != nil {
 				return err
 			}
 			if r == 0 {
-				e.dbs = append(e.dbs, id)
-			} else if id != e.dbs[s] {
+				id = got
+			} else if got != id {
 				return fmt.Errorf("cluster: shard %d replica %d assigned DB %d, primary %d",
-					s, r, id, e.dbs[s])
+					s, r, got, id)
 			}
 		}
-		e.offsets = append(e.offsets, off)
+		newRoutes = append(newRoutes, route{shard: int(s), db: id, global: off, count: share})
 		off += share
 	}
+	e.routes = newRoutes
+	e.total = off
+	e.obsMu.Lock()
+	e.heat = make([]int64, off)
+	e.obsMu.Unlock()
+	e.publishLocked()
 	return nil
 }
 
-// LoadModel registers the SCN with every replica of every shard.
+// LoadModel registers the SCN with every replica of every shard; the model
+// goes live for queries in one generation once every replica has it.
 func (e *Engines) LoadModel(net *nn.Network) error {
-	e.models = e.models[:0]
-	for s, group := range e.replicas {
+	e.admin.Lock()
+	defer e.admin.Unlock()
+	if e.rebalancing {
+		return ErrRebalanceActive
+	}
+	models := make([]core.ModelID, len(e.groups))
+	for s, group := range e.groups {
 		for r, ds := range group {
 			id, err := ds.LoadModelNetwork(net)
 			if err != nil {
 				return err
 			}
 			if r == 0 {
-				e.models = append(e.models, id)
-			} else if id != e.models[s] {
+				models[s] = id
+			} else if id != models[s] {
 				return fmt.Errorf("cluster: shard %d replica %d assigned model %d, primary %d",
-					s, r, id, e.models[s])
+					s, r, id, models[s])
 			}
 		}
 	}
+	e.models = models
+	e.net = net
+	e.publishLocked()
 	return nil
+}
+
+// Heat returns the per-global-feature demand profile: how often each
+// feature appeared in a merged top-K since the last WriteDB. PlanRebalance
+// folds it into per-stripe rankings via internal/reorg.
+func (e *Engines) Heat() []int64 {
+	e.obsMu.Lock()
+	defer e.obsMu.Unlock()
+	return append([]int64(nil), e.heat...)
 }
 
 // Query runs one query across all shards and merges the answers.
@@ -265,7 +338,7 @@ func (e *Engines) Query(qfv []float32, k int) (Answer, error) {
 // the whole batch through its engine's Queries entry point (each engine
 // scores through its pooled batched-GEMM scan, so the fan-out keeps every
 // shard's BatchScorer pool busy), shards execute concurrently, and each
-// query's per-shard top-Ks are reduced with topk.Merge after remapping
+// query's per-route top-Ks are reduced with topk.Merge after remapping
 // feature IDs into global coordinates.
 //
 // Degraded operation (SetTolerance): shard errors no longer destroy the
@@ -279,11 +352,12 @@ func (e *Engines) Queries(qfvs [][]float32, k int) ([]Answer, error) {
 
 // QueriesShared is Queries with per-shard shared sweeps: each shard
 // executes the whole batch through core.DeepStore.QueryMulti, so every
-// shard pays ONE simulated flash/weight-streaming scan for the batch
-// instead of one per query. Answers are identical to Queries (QueryMulti's
-// equivalence guarantee holds shard by shard, and the merge is unchanged);
-// what changes is each shard's device timeline, which advances once per
-// batch. Degraded operation (SetTolerance) applies exactly as in Queries.
+// shard pays ONE simulated flash/weight-streaming scan per routed range for
+// the batch instead of one per query. Answers are identical to Queries
+// (QueryMulti's equivalence guarantee holds range by range, and the merge
+// is unchanged); what changes is each shard's device timeline, which
+// advances once per batch. Degraded operation (SetTolerance) applies
+// exactly as in Queries.
 func (e *Engines) QueriesShared(qfvs [][]float32, k int) ([]Answer, error) {
 	return e.run(qfvs, k, true)
 }
@@ -317,23 +391,44 @@ func (e *Engines) QueryAs(tenant string, qfv []float32, k int) (Answer, error) {
 }
 
 // run is the shared fan-out/collect/merge engine behind Queries and
-// QueriesShared; shared selects each shard's execution path.
+// QueriesShared; shared selects each shard's execution path. It snapshots
+// exactly one routing-table generation for the whole call: the fan-out, the
+// feature-ID remap, and the merge all use that snapshot, so a concurrent
+// WriteDB/LoadModel/rebalance flip is either entirely before or entirely
+// after this batch.
 func (e *Engines) run(qfvs [][]float32, k int, shared bool) ([]Answer, error) {
-	if len(e.dbs) != len(e.shards) || len(e.models) != len(e.shards) {
+	st := e.state.Load()
+	if len(st.routes) == 0 {
 		return nil, fmt.Errorf("cluster: engines need WriteDB and LoadModel before queries")
 	}
 	if len(qfvs) == 0 {
 		return nil, fmt.Errorf("cluster: empty batch")
 	}
-	e.calls++
-	call := e.calls - 1
+	call := e.calls.Add(1) - 1
+	nshards := len(st.groups)
 	// Build every shard's spec list up front: the fan-out goroutines only
 	// read their slice, keeping spec construction off the scoring path.
-	shardSpecs := make([][]core.QuerySpec, len(e.shards))
-	for s := range e.shards {
-		specs := make([]core.QuerySpec, len(qfvs))
-		for i, q := range qfvs {
-			specs[i] = core.QuerySpec{QFV: q, K: k, Model: e.models[s], DB: e.dbs[s]}
+	// A shard executes one range-limited sub-query per (owned route ×
+	// query); spec j*len(qfvs)+i is route j's copy of query i.
+	shardRoutes := make([][]route, nshards)
+	for _, rt := range st.routes {
+		shardRoutes[rt.shard] = append(shardRoutes[rt.shard], rt)
+	}
+	shardSpecs := make([][]core.QuerySpec, nshards)
+	participants := 0
+	for s, rts := range shardRoutes {
+		if len(rts) == 0 {
+			continue // a freshly added shard owns nothing yet
+		}
+		participants++
+		specs := make([]core.QuerySpec, 0, len(rts)*len(qfvs))
+		for _, rt := range rts {
+			for _, q := range qfvs {
+				specs = append(specs, core.QuerySpec{
+					QFV: q, K: k, Model: rt.model, DB: rt.db,
+					DBStart: rt.local, DBEnd: rt.local + rt.count,
+				})
+			}
 		}
 		shardSpecs[s] = specs
 	}
@@ -344,7 +439,7 @@ func (e *Engines) run(qfvs [][]float32, k int, shared bool) ([]Answer, error) {
 	}
 	// Buffered so stragglers skipped by quorum or timeout can still finish
 	// and send without leaking a goroutine.
-	ch := make(chan shardOut, len(e.shards))
+	ch := make(chan shardOut, participants)
 	// attempt is one routed replica try: which replica, and the fault/delay
 	// it drew.
 	type attempt struct {
@@ -352,7 +447,10 @@ func (e *Engines) run(qfvs [][]float32, k int, shared bool) ([]Answer, error) {
 		injected error
 		delay    time.Duration
 	}
-	for s := range e.shards {
+	for s := 0; s < nshards; s++ {
+		if shardSpecs[s] == nil {
+			continue
+		}
 		// Fault draws happen on the caller, in shard order then attempt
 		// order, so the routing and failure schedule is deterministic
 		// regardless of goroutine interleaving. Routing rotates the first
@@ -360,7 +458,7 @@ func (e *Engines) run(qfvs [][]float32, k int, shared bool) ([]Answer, error) {
 		// the next replica in rotation order. Replica 0 keeps the legacy
 		// "call<c>-shard<s>" stream so single-replica clusters are
 		// bit-identical to the pre-replication schedule.
-		nrep := len(e.replicas[s])
+		nrep := len(st.groups[s])
 		rot := 0
 		if nrep > 1 {
 			rot = int(call % uint64(nrep))
@@ -408,7 +506,7 @@ func (e *Engines) run(qfvs [][]float32, k int, shared bool) ([]Answer, error) {
 					}
 					continue
 				}
-				eng := e.replicas[s][at.rep]
+				eng := st.groups[s][at.rep]
 				var ids []core.QueryID
 				var err error
 				if shared {
@@ -440,8 +538,8 @@ func (e *Engines) run(qfvs [][]float32, k int, shared bool) ([]Answer, error) {
 
 	// Collect until every shard reports, the quorum of healthy answers is
 	// reached, or the shard timeout expires.
-	outs := make([]*shardOut, len(e.shards))
-	quorum := len(e.shards)
+	outs := make([]*shardOut, nshards)
+	quorum := participants
 	if e.tol.Quorum > 0 && e.tol.Quorum < quorum {
 		quorum = e.tol.Quorum
 	}
@@ -458,7 +556,7 @@ func (e *Engines) run(qfvs [][]float32, k int, shared bool) ([]Answer, error) {
 	reported, healthy := 0, 0
 	timedOut := false
 collect:
-	for reported < len(e.shards) && healthy < quorum {
+	for reported < participants && healthy < quorum {
 		// Answers already delivered win over a concurrently (or pre-) fired
 		// timeout: a shard that has answered is never classified as timed
 		// out, which keeps timeout tests with injected timers deterministic.
@@ -487,7 +585,7 @@ collect:
 	// Scoop shards that finished concurrently with the quorum/timeout
 	// decision; their answers are free.
 drain:
-	for reported < len(e.shards) {
+	for reported < participants {
 		select {
 		case o := <-ch:
 			outs[o.s] = &o
@@ -502,7 +600,10 @@ drain:
 
 	var failed []int
 	var shardErrs []error
-	for s := range e.shards {
+	for s := 0; s < nshards; s++ {
+		if shardSpecs[s] == nil {
+			continue
+		}
 		switch {
 		case outs[s] == nil && timedOut:
 			failed = append(failed, s)
@@ -527,9 +628,6 @@ drain:
 			healthy, e.tol.Quorum, joined)
 	}
 
-	// Per-shard fan-out spans: each healthy shard's simulated busy time for
-	// this batch, starting at the synthetic cluster clock; the clock then
-	// advances by the batch makespan (the slowest shard's total).
 	e.reg.Counter("cluster_batches").Inc()
 	e.reg.Counter("cluster_queries").Add(int64(len(qfvs)))
 	if shared {
@@ -541,9 +639,55 @@ drain:
 	if len(failed) > 0 {
 		e.reg.Counter("cluster_degraded_answers").Add(int64(len(qfvs)))
 	}
+
+	answers := make([]Answer, len(qfvs))
+	for i := range qfvs {
+		var queues []*topk.Queue
+		for s := 0; s < nshards; s++ {
+			o := outs[s]
+			if o == nil || o.err != nil {
+				continue
+			}
+			for j, rt := range shardRoutes[s] {
+				res := o.results[j*len(qfvs)+i]
+				q := topk.New(k)
+				for _, entry := range res.TopK {
+					entry.FeatureID += rt.global - rt.local
+					q.Offer(entry)
+				}
+				queues = append(queues, q)
+				if res.Latency > answers[i].Makespan {
+					answers[i].Makespan = res.Latency
+				}
+				answers[i].EnergyJ += res.Energy.Total()
+				answers[i].FeaturesScanned += res.FeaturesScanned
+				answers[i].Prune.Add(res.Prune)
+				if obs.SumStages(res.Stages) != res.Latency {
+					// The per-query invariant (stage durations sum exactly
+					// to the latency) must survive range splits; a breach
+					// here is a core bug, surfaced as a counter the
+					// migration-race tests pin to zero.
+					e.reg.Counter("cluster_stage_sum_mismatch").Inc()
+				}
+			}
+		}
+		answers[i].TopK = topk.Merge(k, queues...).Results()
+		e.reg.Histogram("cluster_query_makespan_ms", obs.LatencyBucketsMs()).Observe(answers[i].Makespan.Seconds() * 1e3)
+		if len(failed) > 0 {
+			answers[i].Degraded = true
+			answers[i].FailedShards = failed
+			answers[i].ShardErrs = joined
+		}
+	}
+
+	// Per-shard fan-out spans on the synthetic cluster timeline: each
+	// healthy shard's simulated busy time for this batch starts at the
+	// cluster clock, which then advances by the batch makespan (the slowest
+	// shard's total). The merged top-Ks also feed the heat profile here.
+	e.obsMu.Lock()
 	batchStart := e.obsClock
 	var batchMakespan sim.Duration
-	for s := range e.shards {
+	for s := 0; s < nshards; s++ {
 		o := outs[s]
 		if o == nil || o.err != nil {
 			continue
@@ -563,34 +707,14 @@ drain:
 		e.reg.Histogram("cluster_shard_batch_ms", obs.LatencyBucketsMs()).Observe(total.Seconds() * 1e3)
 	}
 	e.obsClock += sim.Time(batchMakespan)
-
-	answers := make([]Answer, len(qfvs))
-	for i := range qfvs {
-		var queues []*topk.Queue
-		for s := range e.shards {
-			o := outs[s]
-			if o == nil || o.err != nil {
-				continue
+	for i := range answers {
+		for _, entry := range answers[i].TopK {
+			if entry.FeatureID >= 0 && entry.FeatureID < int64(len(e.heat)) {
+				e.heat[entry.FeatureID]++
 			}
-			q := topk.New(k)
-			for _, entry := range o.results[i].TopK {
-				entry.FeatureID += e.offsets[s]
-				q.Offer(entry)
-			}
-			queues = append(queues, q)
-			if lat := o.results[i].Latency; lat > answers[i].Makespan {
-				answers[i].Makespan = lat
-			}
-			answers[i].EnergyJ += o.results[i].Energy.Total()
-			answers[i].Prune.Add(o.results[i].Prune)
-		}
-		answers[i].TopK = topk.Merge(k, queues...).Results()
-		e.reg.Histogram("cluster_query_makespan_ms", obs.LatencyBucketsMs()).Observe(answers[i].Makespan.Seconds() * 1e3)
-		if len(failed) > 0 {
-			answers[i].Degraded = true
-			answers[i].FailedShards = failed
-			answers[i].ShardErrs = joined
 		}
 	}
+	e.obsMu.Unlock()
+
 	return answers, nil
 }

@@ -18,8 +18,12 @@ import (
 func (ds *DeepStore) DeleteDB(id ftl.DBID) error {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
-	if _, err := ds.db(id); err != nil {
+	st, err := ds.db(id)
+	if err != nil {
 		return err
+	}
+	if st.migrating {
+		return fmt.Errorf("%w: deleteDB of database %d", ErrMigrating, id)
 	}
 	if err := ds.dev.FTL.DeleteDB(id); err != nil {
 		return err
@@ -60,6 +64,9 @@ func (ds *DeepStore) ReorgDB(id ftl.DBID, order []int) error {
 	}
 	if st.vectors == nil {
 		return fmt.Errorf("core: reorg of a declared (spec-only) database")
+	}
+	if st.migrating {
+		return fmt.Errorf("%w: reorg of database %d", ErrMigrating, id)
 	}
 	moved, err := reorg.ApplyOrder(st.vectors, order)
 	if err != nil {

@@ -106,6 +106,9 @@ func (ds *DeepStore) AppendDB(id ftl.DBID, features [][]float32) error {
 	if st.vectors == nil {
 		return fmt.Errorf("core: appendDB to a declared (spec-only) database")
 	}
+	if st.migrating {
+		return fmt.Errorf("%w: appendDB to database %d", ErrMigrating, id)
+	}
 	dims := int(st.meta.Layout.FeatureBytes / 4)
 	for i, f := range features {
 		if len(f) != dims {

@@ -158,6 +158,13 @@ type dbState struct {
 	// (nil when Options.Quantized is off, the database is spec-only, or the
 	// table build failed — all of which fall back to the fp32 scan).
 	quant *quantState
+	// migrating interlocks the database while an online rebalance copies a
+	// range out of it: mutating admin ops (AppendDB, ReorgDB, DeleteDB)
+	// fail with ErrMigrating between BeginMigration and EndMigration so the
+	// copied range cannot be invalidated mid-move. Queries are unaffected —
+	// the move is routed around, not locked out. WriteDB always creates a
+	// fresh database, so it needs no interlock.
+	migrating bool
 }
 
 type queryState struct {

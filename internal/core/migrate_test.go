@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ftl"
+)
+
+// migrateFixture builds an engine with a small written database.
+func migrateFixture(t *testing.T, features int) (*DeepStore, [][]float32, ftl.DBID) {
+	t.Helper()
+	ds, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := make([][]float32, features)
+	for i := range vecs {
+		vecs[i] = []float32{float32(i), float32(i) * 2, float32(i) * 3}
+	}
+	id, err := ds.WriteDB(vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, vecs, id
+}
+
+// TestMigrationInterlock: Begin/End lifecycle, double-begin rejection, and
+// the mutating admin ops that must fail mid-migration while queries and
+// reads keep working.
+func TestMigrationInterlock(t *testing.T) {
+	ds, vecs, id := migrateFixture(t, 40)
+	if ds.Migrating(id) {
+		t.Fatal("fresh database reports migrating")
+	}
+	if err := ds.EndMigration(id); err == nil {
+		t.Fatal("EndMigration without Begin accepted")
+	}
+	if err := ds.BeginMigration(id); err != nil {
+		t.Fatal(err)
+	}
+	if !ds.Migrating(id) {
+		t.Fatal("Migrating false after Begin")
+	}
+	if err := ds.BeginMigration(id); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("double Begin: %v, want ErrMigrating", err)
+	}
+	if err := ds.AppendDB(id, vecs[:1]); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("AppendDB mid-migration: %v, want ErrMigrating", err)
+	}
+	if err := ds.DeleteDB(id); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("DeleteDB mid-migration: %v, want ErrMigrating", err)
+	}
+	order := make([]int, len(vecs))
+	for i := range order {
+		order[i] = len(order) - 1 - i
+	}
+	if err := ds.ReorgDB(id, order); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("ReorgDB mid-migration: %v, want ErrMigrating", err)
+	}
+	// Reads are unaffected: migration is routed around, never locked out.
+	if _, err := ds.ReadDB(id, 0, 4); err != nil {
+		t.Fatalf("ReadDB mid-migration: %v", err)
+	}
+	if err := ds.EndMigration(id); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Migrating(id) {
+		t.Fatal("Migrating true after End")
+	}
+	if err := ds.AppendDB(id, vecs[:1]); err != nil {
+		t.Fatalf("AppendDB after End: %v", err)
+	}
+}
+
+// TestReadRangeForMigration: returns deep copies of the exact range,
+// advances the simulated clock (device-charged), and counts the traffic.
+func TestReadRangeForMigration(t *testing.T) {
+	ds, vecs, id := migrateFixture(t, 40)
+	before := ds.Now()
+	out, err := ds.ReadRangeForMigration(id, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Now() <= before {
+		t.Fatal("migration read charged no device time")
+	}
+	if len(out) != 8 {
+		t.Fatalf("%d vectors, want 8", len(out))
+	}
+	for i, v := range out {
+		for j, x := range v {
+			if x != vecs[10+i][j] {
+				t.Fatalf("vector %d dim %d = %v, want %v", i, j, x, vecs[10+i][j])
+			}
+		}
+	}
+	// Deep copies: mutating the returned buffer leaves the database intact.
+	out[0][0] = -999
+	again, err := ds.ReadRangeForMigration(id, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0][0] == -999 {
+		t.Fatal("migration read returned a shared buffer")
+	}
+	snap := ds.MetricsSnapshot().Counters
+	if snap["core_migrate_reads"] != 2 {
+		t.Fatalf("%d migration reads counted, want 2", snap["core_migrate_reads"])
+	}
+	if snap["core_migrate_features_out"] != 9 {
+		t.Fatalf("%d features counted, want 9", snap["core_migrate_features_out"])
+	}
+	if snap["core_migrate_pages_out"] < 1 {
+		t.Fatal("no migration pages counted")
+	}
+	if snap["ssd_migrate_pages"] < 1 || snap["ssd_migrate_bytes"] < 1 {
+		t.Fatalf("device migration counters pages=%d bytes=%d, want both > 0",
+			snap["ssd_migrate_pages"], snap["ssd_migrate_bytes"])
+	}
+}
+
+// TestReadRangeForMigrationValidation: bad ranges and spec-only databases
+// are rejected.
+func TestReadRangeForMigrationValidation(t *testing.T) {
+	ds, _, id := migrateFixture(t, 40)
+	for _, c := range []struct{ start, num int64 }{
+		{-1, 5}, {0, 0}, {0, -2}, {38, 5}, {40, 1},
+	} {
+		if _, err := ds.ReadRangeForMigration(id, c.start, c.num); err == nil {
+			t.Errorf("range [%d, +%d) accepted", c.start, c.num)
+		}
+	}
+	declared, err := ds.DeclareDB(12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.ReadRangeForMigration(declared, 0, 10); err == nil {
+		t.Error("migration read of a spec-only database accepted")
+	}
+	if _, err := ds.DBFeatures(declared); err != nil {
+		t.Errorf("DBFeatures of a spec-only database: %v", err)
+	}
+	if n, err := ds.DBFeatures(id); err != nil || n != 40 {
+		t.Errorf("DBFeatures = %d, %v, want 40", n, err)
+	}
+}

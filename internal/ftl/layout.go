@@ -147,6 +147,45 @@ func (l DBLayout) ChannelPageAddr(ch int, j int64) flash.PageAddr {
 	return addr
 }
 
+// ChannelRangePages returns the within-channel page span [first, last)
+// holding the channel's share of features [start, end) — the pages a
+// migration read-out of that feature range must sense on this channel.
+// Channels owning no feature of the range return an empty span.
+func (l DBLayout) ChannelRangePages(ch int, start, end int64) (int64, int64) {
+	if ch < 0 || ch >= l.Geom.Channels {
+		panic(fmt.Sprintf("ftl: channel %d outside geometry", ch))
+	}
+	if start < 0 || end > l.Features || start > end {
+		panic(fmt.Sprintf("ftl: feature range [%d, %d) outside database of %d features",
+			start, end, l.Features))
+	}
+	c := int64(l.Geom.Channels)
+	// First and last features of [start, end) owned by this channel
+	// (feature i lives on channel i mod Channels).
+	first := start + ((int64(ch)-start)%c+c)%c
+	if first >= end {
+		return 0, 0
+	}
+	last := end - 1 - ((end-1-int64(ch))%c+c)%c
+	firstSlot, lastSlot := first/c, last/c
+	if fp := l.FeaturesPerPage(); fp > 0 {
+		return firstSlot / int64(fp), lastSlot/int64(fp) + 1
+	}
+	ppf := int64(l.PagesPerFeature())
+	return firstSlot * ppf, (lastSlot + 1) * ppf
+}
+
+// RangePages returns the total physical pages holding features [start, end)
+// across all channels — the flash read footprint of migrating that range.
+func (l DBLayout) RangePages(start, end int64) int64 {
+	var total int64
+	for ch := 0; ch < l.Geom.Channels; ch++ {
+		p0, p1 := l.ChannelRangePages(ch, start, end)
+		total += p1 - p0
+	}
+	return total
+}
+
 // FeatureChannel returns the channel owning feature i.
 func (l DBLayout) FeatureChannel(i int64) int {
 	if i < 0 || i >= l.Features {

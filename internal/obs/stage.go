@@ -37,6 +37,15 @@ const (
 	SpanStream = "stream_to_host"
 	// SpanShard is one shard's slice of a cluster fan-out.
 	SpanShard = "shard"
+	// SpanMigrateOut is one migration read-out of a contiguous feature range
+	// on the source device (flash reads → DRAM → external link), charged on
+	// that device's simulated clock like any other flash activity. Queries
+	// racing the move keep their own stage taxonomy untouched, so the
+	// stage-sum == latency invariant is unaffected by migration traffic.
+	SpanMigrateOut = "migrate_out"
+	// SpanMigrate is one rebalance chunk on the cluster timeline: the source
+	// read-out plus the destination programs that precede a routing flip.
+	SpanMigrate = "migrate"
 	// SpanRetry is one re-submission of a command by the proto client.
 	SpanRetry = "retry"
 )

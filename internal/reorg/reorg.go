@@ -8,10 +8,23 @@
 package reorg
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+)
+
+// Typed validation errors, so callers can distinguish degenerate inputs from
+// internal failures (errors.Is works through the wrapped detail).
+var (
+	// ErrNoVectors rejects clustering or ranking over an empty input.
+	ErrNoVectors = errors.New("reorg: no vectors")
+	// ErrBadK rejects cluster counts outside [1, len(vectors)].
+	ErrBadK = errors.New("reorg: cluster count out of range")
+	// ErrBadStripe rejects non-positive stripe granularities and window
+	// widths in the heat-ranking helpers.
+	ErrBadStripe = errors.New("reorg: stripe parameter out of range")
 )
 
 // Clustering is the offline product: centroids and the cluster-contiguous
@@ -35,10 +48,10 @@ type Clustering struct {
 func KMeans(vectors [][]float32, k int, iters int, seed int64) (*Clustering, error) {
 	n := len(vectors)
 	if n == 0 {
-		return nil, fmt.Errorf("reorg: no vectors")
+		return nil, ErrNoVectors
 	}
 	if k < 1 || k > n {
-		return nil, fmt.Errorf("reorg: k = %d invalid for %d vectors", k, n)
+		return nil, fmt.Errorf("%w: k = %d for %d vectors", ErrBadK, k, n)
 	}
 	dims := len(vectors[0])
 	for i, v := range vectors {
@@ -106,12 +119,43 @@ func KMeans(vectors [][]float32, k int, iters int, seed int64) (*Clustering, err
 				sums[c][j] += float64(x)
 			}
 		}
+		// Re-seed empty clusters deterministically before recomputing means:
+		// an empty cluster steals the vector farthest from its assigned
+		// centroid (ties break to the lowest index), drawn only from clusters
+		// with more than one member so the donor never empties in turn. With
+		// k ≤ n the pigeonhole principle guarantees such a donor exists
+		// whenever any cluster is empty, so every cluster leaves the
+		// iteration non-empty — no out-of-range assignment, no NaN centroid
+		// from a 0/0 mean, and the same clustering on every run.
 		for c := range centroids {
-			if counts[c] == 0 {
-				// Re-seed an empty cluster from a random vector.
-				copy(centroids[c], vectors[rng.Intn(n)])
+			if counts[c] != 0 {
 				continue
 			}
+			far, farD := -1, -1.0
+			for i, v := range vectors {
+				if counts[assign[i]] <= 1 {
+					continue
+				}
+				if d := sqDist(v, centroids[assign[i]]); d > farD {
+					far, farD = i, d
+				}
+			}
+			if far < 0 {
+				// Unreachable for k ≤ n; guarded so a future invariant break
+				// degrades to the old behavior instead of a 0/0 mean.
+				far = c % n
+			}
+			donor := assign[far]
+			for j, x := range vectors[far] {
+				sums[donor][j] -= float64(x)
+				sums[c][j] += float64(x)
+			}
+			counts[donor]--
+			counts[c]++
+			assign[far] = c
+			changed = true
+		}
+		for c := range centroids {
 			for j := range centroids[c] {
 				centroids[c][j] = float32(sums[c][j] / float64(counts[c]))
 			}
@@ -199,6 +243,63 @@ func (cl *Clustering) RankClusters(score func(centroid []float32) float32) []int
 		out[i] = r.c
 	}
 	return out
+}
+
+// StripeHeat folds per-feature heat (e.g. top-K appearance counts) into
+// per-stripe totals at the given stripe granularity — the aggregation the
+// rebalancer feeds into RankStripes/HottestWindow to pick which stripe range
+// migrates off a hot shard.
+func StripeHeat(perFeature []int64, stripeFeatures int) ([]float64, error) {
+	if stripeFeatures < 1 {
+		return nil, fmt.Errorf("%w: stripe of %d features", ErrBadStripe, stripeFeatures)
+	}
+	if len(perFeature) == 0 {
+		return nil, ErrNoVectors
+	}
+	stripes := (len(perFeature) + stripeFeatures - 1) / stripeFeatures
+	out := make([]float64, stripes)
+	for i, h := range perFeature {
+		out[i/stripeFeatures] += float64(h)
+	}
+	return out, nil
+}
+
+// RankStripes orders stripe indices hottest-first — the RankClusters
+// discipline (descending score, ascending index on ties) applied to
+// per-stripe heat, so the migration candidate order is deterministic.
+func RankStripes(heat []float64) []int {
+	out := make([]int, len(heat))
+	for i := range out {
+		out[i] = i
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if heat[out[i]] != heat[out[j]] {
+			return heat[out[i]] > heat[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// HottestWindow returns the start index of the contiguous w-stripe window
+// with the greatest total heat (ties break to the lowest start) — the
+// stripe range an online split migrates as one contiguous move.
+func HottestWindow(heat []float64, w int) (int, error) {
+	if w < 1 || w > len(heat) {
+		return 0, fmt.Errorf("%w: window of %d over %d stripes", ErrBadStripe, w, len(heat))
+	}
+	var sum float64
+	for _, h := range heat[:w] {
+		sum += h
+	}
+	best, bestSum := 0, sum
+	for s := 1; s+w <= len(heat); s++ {
+		sum += heat[s+w-1] - heat[s-1]
+		if sum > bestSum {
+			best, bestSum = s, sum
+		}
+	}
+	return best, nil
 }
 
 // Candidates returns the original feature indices of the top-m ranked

@@ -1,6 +1,8 @@
 package reorg
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -139,5 +141,144 @@ func TestKMeansDeterministic(t *testing.T) {
 		if a.Assign[i] != b.Assign[i] {
 			t.Fatal("kmeans not deterministic")
 		}
+	}
+}
+
+// TestKMeansDegenerateInputs: empty inputs and out-of-range k return the
+// typed errors instead of panicking or looping.
+func TestKMeansDegenerateInputs(t *testing.T) {
+	if _, err := KMeans(nil, 1, 5, 1); !errors.Is(err, ErrNoVectors) {
+		t.Errorf("empty input: %v, want ErrNoVectors", err)
+	}
+	vectors, _ := clusteredData(10, 2, 4, 1)
+	for _, k := range []int{0, -3, 11, 100} {
+		if _, err := KMeans(vectors, k, 5, 1); !errors.Is(err, ErrBadK) {
+			t.Errorf("k=%d over 10 vectors: %v, want ErrBadK", k, err)
+		}
+	}
+	// k == n is the boundary: legal, every vector its own cluster.
+	cl, err := KMeans(vectors, 10, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, c := range cl.Assign {
+		if seen[c] {
+			t.Fatal("k == n left two vectors in one cluster")
+		}
+		seen[c] = true
+	}
+}
+
+// TestKMeansEmptyClusterReseeding: duplicate-heavy data forces empty
+// clusters mid-iteration (k exceeds the distinct values); the deterministic
+// re-seed must keep every cluster populated, every centroid finite, and two
+// runs identical.
+func TestKMeansEmptyClusterReseeding(t *testing.T) {
+	// 30 vectors but only 3 distinct values: any k > 3 empties clusters.
+	var vectors [][]float32
+	for i := 0; i < 30; i++ {
+		v := float32(i % 3)
+		vectors = append(vectors, []float32{v, v * 2})
+	}
+	for _, k := range []int{4, 7, 30} {
+		a, err := KMeans(vectors, k, 15, 9)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		counts := make([]int, k)
+		for i, c := range a.Assign {
+			if c < 0 || c >= k {
+				t.Fatalf("k=%d: vector %d assigned to cluster %d", k, i, c)
+			}
+			counts[c]++
+		}
+		for c, cent := range a.Centroids {
+			for j, x := range cent {
+				if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+					t.Fatalf("k=%d: centroid %d dim %d is %v", k, c, j, x)
+				}
+			}
+		}
+		b, err := KMeans(vectors, k, 15, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Assign {
+			if a.Assign[i] != b.Assign[i] {
+				t.Fatalf("k=%d: runs diverged at vector %d", k, i)
+			}
+		}
+		// The order must still be a permutation (ApplyOrder validates).
+		if _, err := ApplyOrder(vectors, a.Order); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+// TestStripeHeat: folding, tail stripe, and validation.
+func TestStripeHeat(t *testing.T) {
+	heat, err := StripeHeat([]int64{1, 2, 3, 4, 5, 6, 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{6, 15, 7}
+	if len(heat) != len(want) {
+		t.Fatalf("%d stripes, want %d", len(heat), len(want))
+	}
+	for i := range want {
+		if heat[i] != want[i] {
+			t.Fatalf("stripe %d heat %v, want %v", i, heat[i], want[i])
+		}
+	}
+	if _, err := StripeHeat(nil, 3); !errors.Is(err, ErrNoVectors) {
+		t.Errorf("empty: %v, want ErrNoVectors", err)
+	}
+	if _, err := StripeHeat([]int64{1}, 0); !errors.Is(err, ErrBadStripe) {
+		t.Errorf("zero stripe: %v, want ErrBadStripe", err)
+	}
+}
+
+// TestRankStripes: descending heat, ascending index on ties.
+func TestRankStripes(t *testing.T) {
+	got := RankStripes([]float64{3, 9, 3, 0, 9})
+	want := []int{1, 4, 0, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank %v, want %v", got, want)
+		}
+	}
+}
+
+// TestHottestWindow: max-sum window, low-start ties, validation.
+func TestHottestWindow(t *testing.T) {
+	heat := []float64{1, 5, 5, 1, 5, 5, 1}
+	start, err := HottestWindow(heat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 1 {
+		t.Fatalf("window start %d, want 1 (tie breaks low)", start)
+	}
+	// Every 3-window of this profile sums to 11: the tie breaks to start 0.
+	start, err = HottestWindow(heat, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 0 {
+		t.Fatalf("3-window start %d, want 0 (all windows tie)", start)
+	}
+	start, err = HottestWindow([]float64{0, 1, 9, 9, 1, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if start != 2 {
+		t.Fatalf("2-window start %d, want 2", start)
+	}
+	if _, err := HottestWindow(heat, 0); !errors.Is(err, ErrBadStripe) {
+		t.Errorf("zero window: %v, want ErrBadStripe", err)
+	}
+	if _, err := HottestWindow(heat, 8); !errors.Is(err, ErrBadStripe) {
+		t.Errorf("oversized window: %v, want ErrBadStripe", err)
 	}
 }

@@ -275,6 +275,80 @@ func (d *Device) StreamToHost(meta *ftl.DBMeta, maxPagesPerChannel int64, done f
 	}
 }
 
+// StreamRange reads the physical pages holding features [start, end) of the
+// database and DMAs them to the host — the migration read-out path of an
+// online shard rebalance. Traffic follows the same plane read → channel bus
+// → DRAM → external link pipeline as StreamToHost, with the same per-channel
+// prefetch window, so migration time is charged to the simulated clock
+// exactly like any other flash activity (holistic device timing, after
+// SimpleSSD). done receives the stream statistics; the sweep is also
+// recorded as a migrate_out span with ssd_migrate_* counters.
+func (d *Device) StreamRange(meta *ftl.DBMeta, start, end int64, done func(StreamStats)) {
+	layout := meta.Layout
+	stats := &StreamStats{Started: d.Engine.Now()}
+	remainingChannels := 0
+
+	inner := done
+	done = func(s StreamStats) {
+		d.reg.Counter("ssd_migrate_pages").Add(s.Pages)
+		d.reg.Counter("ssd_migrate_bytes").Add(s.Bytes)
+		d.tracer.Add(obs.Span{
+			Name: obs.SpanMigrateOut, Cat: "ssd",
+			Start: s.Started, Dur: s.Duration(),
+			Args: map[string]string{"pages": strconv.FormatInt(s.Pages, 10)},
+		})
+		if inner != nil {
+			inner(s)
+		}
+	}
+
+	for ch := 0; ch < layout.Geom.Channels; ch++ {
+		p0, p1 := layout.ChannelRangePages(ch, start, end)
+		pages := p1 - p0
+		if pages == 0 {
+			continue
+		}
+		remainingChannels++
+		stats.Pages += pages
+		stats.Bytes += pages * layout.Geom.PageBytes
+
+		ch, p0 := ch, p0
+		var issued, completed int64
+		var issue func()
+		const window = 8
+		var inflight int64
+		issue = func() {
+			for inflight < window && issued < pages {
+				addr := layout.ChannelPageAddr(ch, p0+issued)
+				issued++
+				inflight++
+				d.Flash.ReadPage(addr, func() {
+					d.DRAM.Transfer(layout.Geom.PageBytes, func() {
+						d.External.Transfer(layout.Geom.PageBytes, func() {
+							inflight--
+							completed++
+							if completed == pages {
+								remainingChannels--
+								if remainingChannels == 0 {
+									stats.Finished = d.Engine.Now()
+									done(*stats)
+								}
+								return
+							}
+							issue()
+						})
+					})
+				})
+			}
+		}
+		issue()
+	}
+	if remainingChannels == 0 {
+		stats.Finished = d.Engine.Now()
+		done(*stats)
+	}
+}
+
 // ProgramBoundTable charges the flash programming of a database's stripe-
 // bound table (ftl.SetBoundTable must have allocated it first). The table is
 // computed inside the controller, so each page crosses controller DRAM and
