@@ -49,6 +49,9 @@ var lastServeRows []exp.ServeRow
 // lastRebalanceRows captures the online-rebalance study for -rebalancejson.
 var lastRebalanceRows []exp.RebalanceRow
 
+// lastQHistRows captures the query-history admission study for -qhistjson.
+var lastQHistRows []exp.QHistRow
+
 // experiment couples an id with the code that produces its tables, and an
 // optional terminal-chart rendering for the sweep/comparison figures.
 type experiment struct {
@@ -328,6 +331,16 @@ func experiments() []experiment {
 			return []report.Table{{Name: "rebalance", Header: h, Rows: c}},
 				exp.FormatRebalance(rows), nil
 		}},
+		{name: "qhist", run: func(int64) ([]report.Table, string, error) {
+			rows, err := exp.QHistSweep(exp.DefaultQHist())
+			if err != nil {
+				return nil, "", err
+			}
+			lastQHistRows = rows
+			h, c := exp.CellsQHist(rows)
+			return []report.Table{{Name: "qhist", Header: h, Rows: c}},
+				exp.FormatQHist(rows), nil
+		}},
 		{name: "faults", run: func(int64) ([]report.Table, string, error) {
 			rows, err := exp.FaultSweep(exp.DefaultFaults())
 			if err != nil {
@@ -384,7 +397,7 @@ func experiments() []experiment {
 }
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,scan,mq,prune,quant,serve,rebalance,faults,breakdown,recall,ablations")
+	expFlag := flag.String("exp", "all", "experiments to run (comma separated): table1,fig2,fig6,table3,fig8,fig9,fig10,fig11,fig12,fig13,fig14,interference,reorg,throughput,batch,scan,mq,prune,quant,serve,rebalance,qhist,faults,breakdown,recall,ablations")
 	window := flag.Int64("window", exp.DefaultWindow, "features per accelerator simulated before extrapolation (0 = exact)")
 	formatFlag := flag.String("format", "text", "output format: text, csv, markdown, chart")
 	scanJSON := flag.String("scanjson", "", "write the scan experiment's rows as JSON to this file (e.g. BENCH_scan.json); implies running scan")
@@ -394,6 +407,7 @@ func main() {
 	quantJSON := flag.String("quantjson", "", "write the quantized-scoring study's rows as JSON to this file (e.g. BENCH_quant.json); implies running quant")
 	serveJSON := flag.String("servejson", "", "write the multi-tenant serving study's rows as JSON to this file (e.g. BENCH_serve.json); implies running serve")
 	rebalanceJSON := flag.String("rebalancejson", "", "write the online-rebalance study's rows as JSON to this file (e.g. BENCH_rebalance.json); implies running rebalance")
+	qhistJSON := flag.String("qhistjson", "", "write the query-history admission study's rows as JSON to this file (e.g. BENCH_qhist.json); implies running qhist")
 	metricsJSON := flag.String("metricsjson", "", "write the breakdown replay's metrics snapshot as JSON to this file; implies running breakdown")
 	traceJSON := flag.String("tracejson", "", "write the breakdown replay's span trace in Chrome trace-event format to this file (load in chrome://tracing or Perfetto); implies running breakdown")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
@@ -471,6 +485,9 @@ func main() {
 	}
 	if *rebalanceJSON != "" {
 		want["rebalance"] = true
+	}
+	if *qhistJSON != "" {
+		want["qhist"] = true
 	}
 	if *metricsJSON != "" || *traceJSON != "" {
 		want["breakdown"] = true
@@ -550,6 +567,9 @@ func main() {
 	}
 	if *rebalanceJSON != "" && lastRebalanceRows != nil {
 		writeJSON(*rebalanceJSON, lastRebalanceRows)
+	}
+	if *qhistJSON != "" && lastQHistRows != nil {
+		writeJSON(*qhistJSON, lastQHistRows)
 	}
 	if *metricsJSON != "" && lastBreakdown != nil {
 		writeJSON(*metricsJSON, lastBreakdown.Snapshot)

@@ -341,3 +341,27 @@ var (
 	ErrMigrating       = core.ErrMigrating
 	ErrRebalanceActive = cluster.ErrRebalanceActive
 )
+
+// CacheAdmission selects the query cache's admission/eviction policy
+// (Options.CacheAdmission — see DESIGN.md §15).
+type CacheAdmission = core.CacheAdmission
+
+// Admission policies: plain LRU (default) or history-learned admission
+// (requires Options.History).
+const (
+	AdmissionLRU     = core.AdmissionLRU
+	AdmissionLearned = core.AdmissionLearned
+)
+
+// HistoryStats summarizes the persistent query-history store: record and
+// byte counts, mined group count, mining passes, and prefetched entries.
+type HistoryStats = core.HistoryStats
+
+// DefaultMineInterval is the records-between-minings default used when
+// Options.HistoryMineInterval is zero.
+const DefaultMineInterval = core.DefaultMineInterval
+
+// ErrHistoryCorrupt reports a corrupted or truncated on-flash query-history
+// image; RestoreHistory wraps it and degrades to a cold-start (empty
+// history) rather than failing the engine.
+var ErrHistoryCorrupt = core.ErrHistoryCorrupt

@@ -316,6 +316,22 @@ func (e *Engines) LoadModel(net *nn.Network) error {
 	return nil
 }
 
+// HistorySummary aggregates the query-history stores across every replica
+// of every shard (engines with Options.History off contribute zeros) — the
+// cluster-wide view of how much history has accumulated, how many query
+// groups it mines into, and how much re-warming prefetch has done.
+func (e *Engines) HistorySummary() core.HistoryStats {
+	st := e.state.Load()
+	var out core.HistoryStats
+	for _, group := range st.groups {
+		for _, ds := range group {
+			hs := ds.HistoryStats()
+			out.Add(hs)
+		}
+	}
+	return out
+}
+
 // Heat returns the per-global-feature demand profile: how often each
 // feature appeared in a merged top-K since the last WriteDB. PlanRebalance
 // folds it into per-stripe rankings via internal/reorg.

@@ -102,10 +102,18 @@ func (ds *DeepStore) ReorgDB(id ftl.DBID, order []int) error {
 }
 
 // Checkpoint persists the FTL metadata to the reserved flash block (§4.4)
-// and returns the image a power-cycled device would restore from.
+// and returns the image a power-cycled device would restore from. With
+// history enabled, the query-history store is first flushed into its own
+// flash region (programs charged on the simulated clock), so the image also
+// carries the history RestoreHistory rebuilds from.
 func (ds *DeepStore) Checkpoint() ([]byte, error) {
 	ds.mu.Lock()
 	defer ds.mu.Unlock()
+	if ds.hist != nil {
+		if err := ds.dev.ProgramHistory(ds.hist.Snapshot()); err != nil {
+			return nil, fmt.Errorf("core: checkpoint history: %w", err)
+		}
+	}
 	img, err := ds.dev.PersistMetadata()
 	if err != nil {
 		return nil, fmt.Errorf("core: checkpoint: %w", err)

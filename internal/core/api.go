@@ -266,6 +266,12 @@ func (ds *DeepStore) SetQC(qcn *nn.Network, qcnAccuracy float64, entries int, th
 	}, batch)
 	ds.qcn = qcn
 	ds.qcThreshold = threshold
+	if ds.opts.CacheAdmission == AdmissionLearned {
+		// Learned admission: the policy reads the mined history under ds.mu
+		// (Insert only ever runs with the engine lock held). Until the first
+		// mining pass it defers to LRU bit-identically.
+		ds.qc.SetPolicy(&learnedPolicy{ds: ds})
+	}
 	// QCN executions are offloaded to the channel-level accelerators
 	// (§4.6); pre-compute their per-comparison cost.
 	spec := specFor(ds, ds.opts.DefaultLevel)

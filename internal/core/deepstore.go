@@ -22,6 +22,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/obs"
 	"repro/internal/qcache"
+	"repro/internal/qhist"
 	"repro/internal/sim"
 	"repro/internal/ssd"
 	"repro/internal/topk"
@@ -124,6 +125,48 @@ type Options struct {
 	// DESIGN.md §12), at a fraction of the fp32 scan's flash traffic. The
 	// rerank is charged as the rerank_exact stage. Ignored unless Quantized.
 	RerankMargin int
+	// History enables the persistent query-history store (DESIGN.md §15):
+	// every query appends a hot fixed-width record plus a cold payload,
+	// charged as the hist_append stage, persisted through Checkpoint, and
+	// mined for learned admission, prefetch, and placement.
+	History bool
+	// CacheAdmission selects the query cache's admission/eviction policy.
+	// The zero value is plain LRU; AdmissionLearned mines the query history
+	// for frequency + recency + observed per-group hit accuracy. With no
+	// mined history — including History disabled entirely, where nothing is
+	// ever mined — learned admission behaves bit-identically to LRU (the
+	// equivalence the core test suite locks down).
+	CacheAdmission CacheAdmission
+	// HistoryMineInterval is how many appended records pass between mining
+	// refreshes of the learned admission model (0 = DefaultMineInterval).
+	HistoryMineInterval int
+}
+
+// CacheAdmission selects how the query cache admits and evicts under
+// pressure (Options.CacheAdmission).
+type CacheAdmission int
+
+const (
+	// AdmissionLRU is the classic policy: always admit, evict the least
+	// recently used entry.
+	AdmissionLRU CacheAdmission = iota
+	// AdmissionLearned gates admission on statistics mined from the query
+	// history: a candidate must out-score the weakest resident entry
+	// (frequency × recency decay × observed per-group hit accuracy), and
+	// eviction picks that weakest entry instead of the LRU tail.
+	AdmissionLearned
+)
+
+// String names the admission policy.
+func (a CacheAdmission) String() string {
+	switch a {
+	case AdmissionLRU:
+		return "lru"
+	case AdmissionLearned:
+		return "learned"
+	default:
+		return fmt.Sprintf("CacheAdmission(%d)", int(a))
+	}
 }
 
 // ErrQuantPruneApprox rejects the unsound Options combination of the
@@ -259,6 +302,17 @@ type DeepStore struct {
 	qcThreshold float64
 	qcnCycles   int64
 
+	// Query-history store (DESIGN.md §15); nil unless Options.History.
+	// histMined is the learned admission model (per-group statistics from
+	// the last mining pass), histSinceMine counts appends since then, and
+	// histPrefetched counts cache entries re-warmed by PrefetchHistory.
+	// All guarded by mu, like the cache whose policy reads them.
+	hist           *qhist.Store
+	histMined      map[uint64]qhist.GroupStat
+	histSinceMine  int
+	histMines      uint64
+	histPrefetched uint64
+
 	// pools hands out per-worker batched-scoring contexts; keyed by
 	// network, safe for concurrent use without holding mu.
 	pools batchPools
@@ -284,6 +338,14 @@ func New(opts Options) (*DeepStore, error) {
 	if opts.Quantized && opts.Prune && opts.RerankMargin == 0 {
 		return nil, ErrQuantPruneApprox
 	}
+	switch opts.CacheAdmission {
+	case AdmissionLRU, AdmissionLearned:
+	default:
+		return nil, fmt.Errorf("core: unknown CacheAdmission %d", int(opts.CacheAdmission))
+	}
+	if opts.HistoryMineInterval < 0 {
+		return nil, fmt.Errorf("core: negative HistoryMineInterval %d", opts.HistoryMineInterval)
+	}
 	e := sim.NewEngine()
 	dev, err := ssd.New(e, opts.Device)
 	if err != nil {
@@ -305,6 +367,9 @@ func New(opts Options) (*DeepStore, error) {
 	dev.AttachObs(ds.obs, ds.tracer)
 	ds.pools.batch = ds.scoreBatch()
 	ds.pools.quantized = opts.Quantized
+	if opts.History {
+		ds.hist = qhist.NewStore()
+	}
 	return ds, nil
 }
 
@@ -367,6 +432,11 @@ func (ds *DeepStore) MetricsSnapshot() obs.Snapshot {
 	snap.Counters["flash_bus_bytes"] = int64(fs.BusBytes)
 	snap.Counters["flash_read_retries"] = int64(fs.ReadRetries)
 	snap.Counters["flash_read_failures"] = int64(fs.ReadFailures)
+	// Lock-discipline audit (covered by TestMetricsSnapshotRace): the qcache
+	// counters below are plain fields mutated on the Lookup/Insert hit path,
+	// so reading them is only safe because every engine code path touches
+	// ds.qc under ds.mu — which this method holds. Never read ds.qc (or the
+	// history fields) outside the engine lock.
 	if ds.qc != nil {
 		qs := ds.qc.Stats()
 		snap.Counters["qcache_lookups"] = int64(qs.Lookups)
@@ -375,6 +445,13 @@ func (ds *DeepStore) MetricsSnapshot() obs.Snapshot {
 		snap.Counters["qcache_insertions"] = int64(qs.Insertions)
 		snap.Counters["qcache_evictions"] = int64(qs.Evictions)
 		snap.Counters["qcache_comparisons"] = int64(qs.Comparisons)
+		snap.Counters["qcache_admission_rejects"] = int64(qs.AdmissionRejects)
+	}
+	if ds.hist != nil {
+		snap.Counters["hist_records"] = int64(ds.hist.Len())
+		snap.Counters["hist_hot_bytes"] = ds.hist.HotBytes()
+		snap.Counters["hist_cold_bytes"] = ds.hist.ColdBytes()
+		snap.Counters["hist_mines"] = int64(ds.histMines)
 	}
 	snap.Gauges["sim_time_ms"] = ds.stats.SimTime.Seconds() * 1e3
 	snap.Gauges["energy_j"] = ds.stats.TotalJ

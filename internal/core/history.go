@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ftl"
+	"repro/internal/obs"
+	"repro/internal/qcache"
+	"repro/internal/qhist"
+	"repro/internal/reorg"
+	"repro/internal/sim"
+	"repro/internal/topk"
+)
+
+// Query history and learned admission (DESIGN.md §15). With Options.History
+// on, every finished query appends one fixed-width hot record plus a cold
+// payload (full query vector + top-K) to the in-DRAM history store, charged
+// on the simulated clock as the hist_append stage. Checkpoint flushes the
+// store into its own flash block columns (persist v4), so history survives
+// restarts through RestoreHistory. With Options.CacheAdmission ==
+// AdmissionLearned, the store is periodically mined (hist_mine stage) into
+// per-group statistics that gate cache admission and pick eviction victims.
+
+// DefaultMineInterval is the records-between-minings used when
+// Options.HistoryMineInterval is zero.
+const DefaultMineInterval = 64
+
+// ErrHistoryCorrupt is returned (wrapped) by RestoreHistory when a persisted
+// history image fails validation; the engine has already degraded to an
+// empty cold-start history and plain-LRU-equivalent admission.
+var ErrHistoryCorrupt = qhist.ErrCorrupt
+
+// histMineCyclesPerRecord is the embedded-core cost of folding one hot
+// record into the mined group statistics (hash + accumulate).
+const histMineCyclesPerRecord = 8
+
+func (ds *DeepStore) mineInterval() int {
+	if ds.opts.HistoryMineInterval > 0 {
+		return ds.opts.HistoryMineInterval
+	}
+	return DefaultMineInterval
+}
+
+// appendHistory records one finished query, charging the hot-record and
+// cold-payload DRAM write on the simulated clock and folding the cost into
+// the result as the hist_append stage (so the stage-sum == latency invariant
+// holds). Every mineInterval appends in learned mode, the admission model is
+// re-mined and charged as hist_mine. Callers hold ds.mu and must call this
+// BEFORE finishQuery, on hit and miss paths alike.
+func (ds *DeepStore) appendHistory(spec QuerySpec, r *QueryResult) {
+	if ds.hist == nil {
+		return
+	}
+	payload := qhist.EncodePayload(spec.QFV, r.TopK)
+	top := int64(-1)
+	if len(r.TopK) > 0 {
+		top = r.TopK[0].FeatureID
+	}
+	var flags uint32
+	if r.CacheHit {
+		flags = qhist.FlagHit
+	}
+	before := ds.engine.Now()
+	ds.dev.DRAM.Transfer(qhist.RecordBytes+int64(len(payload)), nil)
+	ds.engine.Run()
+	dur := sim.Duration(ds.engine.Now() - before)
+	ds.hist.Append(qhist.Record{
+		Time:       int64(ds.engine.Now()),
+		DB:         uint64(spec.DB),
+		Model:      uint64(spec.Model),
+		Group:      qhist.GroupOf(spec.QFV),
+		K:          uint32(spec.K),
+		Flags:      flags,
+		Latency:    int64(r.Latency),
+		TopFeature: top,
+		Digest:     qhist.Digest(r.TopK),
+	}, payload)
+	r.Latency += dur
+	r.Stages = append(r.Stages, obs.Stage{Name: obs.StageHistAppend, Dur: dur})
+	ds.obs.Counter("core_hist_appends").Inc()
+	ds.histSinceMine++
+	if ds.opts.CacheAdmission == AdmissionLearned && ds.histSinceMine >= ds.mineInterval() {
+		mineDur := ds.refreshAdmissionLocked()
+		r.Latency += mineDur
+		r.Stages = append(r.Stages, obs.Stage{Name: obs.StageHistMine, Dur: mineDur})
+	}
+}
+
+// refreshAdmissionLocked re-mines the history into the learned admission
+// model and returns the modeled mining cost: the hot records stream through
+// controller DRAM once, plus a few embedded-core cycles per record. Callers
+// hold ds.mu.
+func (ds *DeepStore) refreshAdmissionLocked() sim.Duration {
+	ds.histMined = qhist.MineGroups(ds.hist.Records())
+	ds.histMines++
+	ds.histSinceMine = 0
+	ds.obs.Counter("core_hist_mines").Inc()
+	n := ds.hist.Len()
+	secs := float64(int64(n)*qhist.RecordBytes)/ds.dev.Config.DRAMBandwidth +
+		float64(int64(n)*histMineCyclesPerRecord)/ds.dev.Config.CoreFreqHz
+	return sim.FromSeconds(secs)
+}
+
+// RefreshAdmission re-mines the history into the learned admission model
+// immediately (an admin operation: not charged to any query). A no-op when
+// history is disabled.
+func (ds *DeepStore) RefreshAdmission() {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.hist == nil {
+		return
+	}
+	ds.refreshAdmissionLocked()
+}
+
+// learnedPolicy adapts the mined history to qcache.Policy. Its hooks run
+// inside qc.Insert, which the engine only ever calls under ds.mu, so reading
+// ds.histMined here is lock-safe. With no mined statistics yet (cold start,
+// or history still inside the first mine interval) it defers entirely to
+// LRU — the bit-equivalence the equivalence suite pins down.
+type learnedPolicy struct{ ds *DeepStore }
+
+func (p *learnedPolicy) groupScore(g uint64) float64 {
+	st, ok := p.ds.histMined[g]
+	if !ok {
+		return 0
+	}
+	return st.AdmissionScore(p.ds.hist.NextSeq())
+}
+
+// weakest returns the index and score of the lowest-scoring resident entry,
+// breaking ties toward the higher index (the more LRU of the two).
+func (p *learnedPolicy) weakest(entries []qcache.Entry[[]float32]) (int, float64) {
+	idx, score := -1, 0.0
+	for i, e := range entries {
+		s := p.groupScore(qhist.GroupOf(e.Query))
+		if idx < 0 || s <= score {
+			idx, score = i, s
+		}
+	}
+	return idx, score
+}
+
+func (p *learnedPolicy) Admit(q []float32, entries []qcache.Entry[[]float32]) bool {
+	if len(p.ds.histMined) == 0 {
+		return true
+	}
+	_, weakest := p.weakest(entries)
+	return p.groupScore(qhist.GroupOf(q)) >= weakest
+}
+
+func (p *learnedPolicy) Evict(entries []qcache.Entry[[]float32]) int {
+	if len(p.ds.histMined) == 0 {
+		return -1
+	}
+	idx, _ := p.weakest(entries)
+	return idx
+}
+
+// HistoryStats summarizes the history store's state.
+type HistoryStats struct {
+	Records    uint64 // appended query records
+	HotBytes   int64  // fixed-width record region
+	ColdBytes  int64  // payload region
+	Groups     int    // distinct mined query groups (last mining pass)
+	Mines      uint64 // mining passes run
+	Prefetched uint64 // cache entries re-warmed by PrefetchHistory
+}
+
+// Add accumulates other into s (cluster aggregation).
+func (s *HistoryStats) Add(other HistoryStats) {
+	s.Records += other.Records
+	s.HotBytes += other.HotBytes
+	s.ColdBytes += other.ColdBytes
+	s.Groups += other.Groups
+	s.Mines += other.Mines
+	s.Prefetched += other.Prefetched
+}
+
+// HistoryStats snapshots the history store (zero value when disabled).
+func (ds *DeepStore) HistoryStats() HistoryStats {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.hist == nil {
+		return HistoryStats{}
+	}
+	return HistoryStats{
+		Records:    uint64(ds.hist.Len()),
+		HotBytes:   ds.hist.HotBytes(),
+		ColdBytes:  ds.hist.ColdBytes(),
+		Groups:     len(ds.histMined),
+		Mines:      ds.histMines,
+		Prefetched: ds.histPrefetched,
+	}
+}
+
+// HistorySnapshot serializes the current history store (the same bytes
+// Checkpoint embeds in the device image). Byte-deterministic for a given
+// query sequence; errors when history is disabled.
+func (ds *DeepStore) HistorySnapshot() ([]byte, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.hist == nil {
+		return nil, fmt.Errorf("core: history disabled (Options.History)")
+	}
+	return ds.hist.Snapshot(), nil
+}
+
+// HistoryRecords returns a copy of the hot history records (tests and
+// offline analysis).
+func (ds *DeepStore) HistoryRecords() []qhist.Record {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.hist == nil {
+		return nil
+	}
+	return append([]qhist.Record(nil), ds.hist.Records()...)
+}
+
+// RestoreHistory replaces the engine's history store with the one persisted
+// in a Checkpoint image, charging the image's trip through controller DRAM,
+// and — in learned mode — re-mines the admission model so post-restart
+// decisions match the pre-restart engine. An image with no history section
+// simply cold-starts. A corrupted or truncated image degrades to an empty
+// cold-start history (plain-LRU-equivalent admission) and returns an error
+// wrapping ErrHistoryCorrupt; it never panics and never leaves stale mined
+// state behind.
+func (ds *DeepStore) RestoreHistory(img []byte) error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.hist == nil {
+		return fmt.Errorf("core: history disabled (Options.History)")
+	}
+	degrade := func() {
+		ds.hist = qhist.NewStore()
+		ds.histMined = nil
+		ds.histSinceMine = 0
+	}
+	f, err := ftl.Restore(img)
+	if err != nil {
+		degrade()
+		return fmt.Errorf("%w: unreadable device image: %v", ErrHistoryCorrupt, err)
+	}
+	data, ok := f.History()
+	if !ok {
+		degrade()
+		return nil
+	}
+	st, err := qhist.Restore(data)
+	if err != nil {
+		degrade()
+		return fmt.Errorf("core: restore history: %w", err)
+	}
+	// Charge staging the persisted image back through controller DRAM.
+	ds.dev.DRAM.Transfer(int64(len(data)), nil)
+	ds.engine.Run()
+	ds.hist = st
+	ds.histSinceMine = 0
+	ds.histMined = nil
+	if ds.opts.CacheAdmission == AdmissionLearned {
+		ds.refreshAdmissionLocked()
+	}
+	ds.obs.Counter("core_hist_restores").Inc()
+	return nil
+}
+
+// PrefetchHistory re-warms the query cache from history: the top max query
+// groups by admission score have their most recent payload decoded (charged
+// as a DRAM read of the cold bytes) and re-inserted. Returns how many
+// entries were inserted. Requires history and a configured cache.
+func (ds *DeepStore) PrefetchHistory(max int) (int, error) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.hist == nil {
+		return 0, fmt.Errorf("core: history disabled (Options.History)")
+	}
+	if ds.qc == nil {
+		return 0, fmt.Errorf("core: no query cache configured (SetQC)")
+	}
+	if max <= 0 {
+		return 0, fmt.Errorf("core: prefetch of %d groups", max)
+	}
+	mined := qhist.MineGroups(ds.hist.Records())
+	ranked := qhist.RankGroups(mined, ds.hist.NextSeq())
+	if len(ranked) > max {
+		ranked = ranked[:max]
+	}
+	records := ds.hist.Records()
+	inserted := 0
+	for _, g := range ranked {
+		rec := records[mined[g].LastRec]
+		payload, err := ds.hist.Payload(rec)
+		if err != nil {
+			return inserted, err
+		}
+		qfv, tk, err := qhist.DecodePayload(payload)
+		if err != nil {
+			return inserted, fmt.Errorf("core: prefetch group %#x: %w", g, err)
+		}
+		ds.dev.DRAM.Transfer(int64(len(payload)), nil)
+		ds.engine.Run()
+		ds.qc.Insert(qfv, append([]topk.Entry(nil), tk...))
+		inserted++
+	}
+	ds.histPrefetched += uint64(inserted)
+	ds.obs.Counter("core_hist_prefetches").Add(int64(inserted))
+	return inserted, nil
+}
+
+// ReorgByHistory mines the history's per-feature demand for one database and
+// physically reorders it hottest-stripes-first (reorg.StripeHeat ranking,
+// stripes of one feature per channel), so recurring queries' winning
+// features land in the earliest — lowest-latency — pages of every channel
+// stripe. The move runs through ReorgDB, which honors the ErrMigrating
+// interlock and rebuilds the prune/quantized tables. Returns the applied
+// permutation. Note that past TopFeature records keep their pre-reorg
+// positions: heat mined across a reorg mixes coordinate systems, so callers
+// wanting iterative placement should re-accumulate history between moves.
+func (ds *DeepStore) ReorgByHistory(id ftl.DBID) ([]int, error) {
+	ds.mu.Lock()
+	if ds.hist == nil {
+		ds.mu.Unlock()
+		return nil, fmt.Errorf("core: history disabled (Options.History)")
+	}
+	st, err := ds.db(id)
+	if err != nil {
+		ds.mu.Unlock()
+		return nil, err
+	}
+	if st.vectors == nil {
+		ds.mu.Unlock()
+		return nil, fmt.Errorf("core: database %d is spec-only; nothing to reorganize", id)
+	}
+	n := len(st.vectors)
+	stripe := ds.dev.Config.Geometry.Channels
+	heat := qhist.FeatureHeat(ds.hist.Records(), uint64(id), int64(n))
+	ds.mu.Unlock()
+
+	rows, err := reorg.StripeHeat(heat, stripe)
+	if err != nil {
+		return nil, err
+	}
+	order, err := reorg.OrderByHeat(rows, stripe, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := ds.ReorgDB(id, order); err != nil {
+		return nil, err
+	}
+	return order, nil
+}

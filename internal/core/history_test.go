@@ -1,0 +1,700 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/obs"
+	"repro/internal/qhist"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// The DESIGN.md §15 test suites: the learned-admission ≡ LRU equivalence
+// matrix, history persistence round trips (including corruption degradation),
+// the concurrent stress/race suite, and the MetricsSnapshot lock-discipline
+// regression.
+
+// scaledQCN is a Hadamard QCN whose FC weight is scaled so that exact query
+// repeats (self-dot ~ fe/3 for uniform [-1,1] vectors) land near sigmoid 0.93
+// while unrelated pairs stay far below the 0.8 hit bar — deterministic
+// hit-on-repeat behavior for trace-driven cache tests.
+func scaledQCN(fe int) *nn.Network {
+	qcn := nn.MustNetwork("scaled-qcn", tensor.Shape{fe}, nn.CombineHadamard,
+		nn.NewFC("sum", fe, 1, nn.ActSigmoid))
+	fc := qcn.Layers[0].(*nn.FC)
+	for i := range fc.W {
+		fc.W[i] = 8 / float32(fe)
+	}
+	return qcn
+}
+
+// histTestEnv is one engine prepared for a trace replay.
+type histTestEnv struct {
+	ds    *DeepStore
+	model ModelID
+	db    uint64
+}
+
+// newHistEngine builds an engine over a shared TIR database, optionally with
+// a scaledQCN cache of `entries` slots.
+func newHistEngine(t *testing.T, opts Options, vectors [][]float32, entries int) histTestEnv {
+	t.Helper()
+	ds, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := workload.ByName("TIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(1)
+	dbID, err := ds.WriteDB(vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := ds.LoadModelNetwork(app.SCN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries > 0 {
+		if err := ds.SetQC(scaledQCN(app.SCN.FeatureElems()), 1.0, entries, 0.2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return histTestEnv{ds: ds, model: model, db: uint64(dbID)}
+}
+
+// histTrace builds a Zipfian intent stream of n query vectors.
+func histTrace(t *testing.T, n int, seed int64) [][]float32 {
+	t.Helper()
+	app, err := workload.ByName("TIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := app.SCN.FeatureElems()
+	tr := workload.GenerateTrace(workload.TraceConfig{
+		Universe: 12, Length: n, Dist: workload.Zipfian, Alpha: 1.2, Seed: seed,
+	})
+	out := make([][]float32, n)
+	for i, q := range tr.Queries {
+		out[i] = workload.QueryVector(q, dims, seed+1)
+	}
+	return out
+}
+
+func (e histTestEnv) query(t *testing.T, qfv []float32, k int) *QueryResult {
+	t.Helper()
+	qid, err := e.ds.Query(QuerySpec{QFV: qfv, K: k, Model: e.model, DB: ftlID(e.db)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ds.GetResults(qid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func (e histTestEnv) queryMulti(t *testing.T, qfvs [][]float32, k int) []*QueryResult {
+	t.Helper()
+	specs := make([]QuerySpec, len(qfvs))
+	for i, q := range qfvs {
+		specs[i] = QuerySpec{QFV: q, K: k, Model: e.model, DB: ftlID(e.db)}
+	}
+	ids, err := e.ds.QueryMulti(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*QueryResult, len(ids))
+	for i, id := range ids {
+		r, err := e.ds.GetResults(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// requireSameResult asserts bit-identity of everything a caller can observe:
+// top-K, cache-hit flag, latency, energy, and the per-stage breakdown.
+func requireSameResult(t *testing.T, tag string, i int, got, want *QueryResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got.TopK, want.TopK) {
+		t.Fatalf("%s query %d: topK diverged:\n got %v\nwant %v", tag, i, got.TopK, want.TopK)
+	}
+	if got.CacheHit != want.CacheHit {
+		t.Fatalf("%s query %d: cacheHit %v vs %v", tag, i, got.CacheHit, want.CacheHit)
+	}
+	if got.Latency != want.Latency {
+		t.Fatalf("%s query %d: latency %v vs %v", tag, i, got.Latency, want.Latency)
+	}
+	if !reflect.DeepEqual(got.Energy, want.Energy) {
+		t.Fatalf("%s query %d: energy diverged", tag, i)
+	}
+	if !reflect.DeepEqual(got.Stages, want.Stages) {
+		t.Fatalf("%s query %d: stages diverged:\n got %v\nwant %v", tag, i, got.Stages, want.Stages)
+	}
+}
+
+// TestLearnedAdmissionEquivalence is the equivalence matrix: with history
+// disabled nothing is ever mined, so AdmissionLearned must be bit-identical
+// to plain LRU — top-K, latency, energy, cache hits, stages — across every
+// scan mode, the pruning tier, two-pass exact quantized mode, and stream
+// lengths 1, 7, and 64. Every learned-engine miss must also match the
+// cache-off oracle bit-for-bit on top-K.
+func TestLearnedAdmissionEquivalence(t *testing.T) {
+	app, err := workload.ByName("TIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(1)
+	vectors := workload.NewFeatureDB(app, 48, 2).Vectors
+
+	variants := []struct {
+		name  string
+		prune bool
+		quant bool
+	}{
+		{name: "base"},
+		{name: "prune", prune: true},
+		{name: "quant-rerank", quant: true},
+		{name: "prune-quant-rerank", prune: true, quant: true},
+	}
+	const k, entries = 4, 3
+	sawEviction := false
+	for _, mode := range []ScanMode{ScanBatched, ScanPerFeature, ScanSerial} {
+		for _, v := range variants {
+			for _, q := range []int{1, 7, 64} {
+				t.Run(fmt.Sprintf("%v/%s/q%d", mode, v.name, q), func(t *testing.T) {
+					if raceEnabled && q > 7 {
+						// A deterministic single-stream replay: the race
+						// detector only multiplies its runtime ~15x. The full
+						// matrix runs in the non-race tier-1 step; the
+						// concurrency suites keep their dedicated -race step.
+						t.Skip("q64 equivalence cells run without the race detector")
+					}
+					opts := DefaultOptions()
+					opts.Scan = mode
+					opts.Prune = v.prune
+					opts.Quantized = v.quant
+					if v.quant {
+						opts.RerankMargin = 4
+					}
+					lruOpts, learnedOpts := opts, opts
+					lruOpts.CacheAdmission = AdmissionLRU
+					learnedOpts.CacheAdmission = AdmissionLearned // History stays false
+
+					qfvs := histTrace(t, q, int64(100+q))
+					lru := newHistEngine(t, lruOpts, vectors, entries)
+					learned := newHistEngine(t, learnedOpts, vectors, entries)
+					oracle := newHistEngine(t, opts, vectors, 0)
+					for i, qfv := range qfvs {
+						lr := lru.query(t, qfv, k)
+						le := learned.query(t, qfv, k)
+						requireSameResult(t, "learned-vs-lru", i, le, lr)
+						if sum := obs.SumStages(le.Stages); sum != le.Latency {
+							t.Fatalf("query %d: stage sum %v != latency %v", i, sum, le.Latency)
+						}
+						or := oracle.query(t, qfv, k)
+						if !le.CacheHit && !reflect.DeepEqual(le.TopK, or.TopK) {
+							t.Fatalf("query %d: miss-path topK diverged from oracle:\n got %v\nwant %v",
+								i, le.TopK, or.TopK)
+						}
+					}
+					snap := learned.ds.MetricsSnapshot()
+					if rejects := snap.Counters["qcache_admission_rejects"]; rejects != 0 {
+						t.Fatalf("learned admission with no history rejected %d inserts", rejects)
+					}
+					if snap.Counters["qcache_evictions"] > 0 {
+						sawEviction = true
+					}
+
+					// The shared-sweep path must satisfy the same equivalence.
+					if q > 1 {
+						lruM := newHistEngine(t, lruOpts, vectors, entries)
+						learnedM := newHistEngine(t, learnedOpts, vectors, entries)
+						lres := lruM.queryMulti(t, qfvs, k)
+						mres := learnedM.queryMulti(t, qfvs, k)
+						for i := range mres {
+							requireSameResult(t, "multi", i, mres[i], lres[i])
+						}
+					}
+				})
+			}
+		}
+	}
+	if !raceEnabled && !sawEviction {
+		t.Error("equivalence matrix never filled the cache: admission policy was never consulted")
+	}
+}
+
+// TestHistoryPersistenceRoundTrip drives random Zipfian streams through a
+// learned-admission engine, checkpoints, and restores into a fresh engine:
+// the history snapshot must survive byte-identically, the re-mined admission
+// model must be identical, and subsequent admission decisions must agree.
+func TestHistoryPersistenceRoundTrip(t *testing.T) {
+	app, err := workload.ByName("TIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(1)
+	vectors := workload.NewFeatureDB(app, 32, 2).Vectors
+	opts := DefaultOptions()
+	opts.History = true
+	opts.CacheAdmission = AdmissionLearned
+	opts.HistoryMineInterval = 4
+
+	for _, seed := range []int64{11, 22, 33} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			a := newHistEngine(t, opts, vectors, 3)
+			qfvs := histTrace(t, 24, seed)
+			for _, qfv := range qfvs {
+				a.query(t, qfv, 4)
+			}
+			snapA, err := a.ds.HistorySnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			img, err := a.ds.Checkpoint()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			b := newHistEngine(t, opts, vectors, 3)
+			if err := b.ds.RestoreHistory(img); err != nil {
+				t.Fatal(err)
+			}
+			snapB, err := b.ds.HistorySnapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(snapA, snapB) {
+				t.Fatal("restored history snapshot differs from the checkpointed one")
+			}
+			a.ds.RefreshAdmission() // sync A past any partial mine interval
+			if !reflect.DeepEqual(a.ds.histMined, b.ds.histMined) {
+				t.Fatal("restored engine mined a different admission model")
+			}
+
+			// Fresh caches on both sides, then identical follow-up traffic
+			// must produce identical admission decisions and hit patterns.
+			fe := app.SCN.FeatureElems()
+			if err := a.ds.SetQC(scaledQCN(fe), 1.0, 3, 0.2); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.ds.SetQC(scaledQCN(fe), 1.0, 3, 0.2); err != nil {
+				t.Fatal(err)
+			}
+			probe := histTrace(t, 16, seed+7)
+			for i, qfv := range probe {
+				ra := a.query(t, qfv, 4)
+				rb := b.query(t, qfv, 4)
+				if ra.CacheHit != rb.CacheHit {
+					t.Fatalf("probe %d: hit %v on original, %v on restored", i, ra.CacheHit, rb.CacheHit)
+				}
+				if !reflect.DeepEqual(ra.TopK, rb.TopK) {
+					t.Fatalf("probe %d: topK diverged after restore", i)
+				}
+			}
+			sa := a.ds.MetricsSnapshot().Counters["qcache_admission_rejects"]
+			sb := b.ds.MetricsSnapshot().Counters["qcache_admission_rejects"]
+			if sa != sb {
+				t.Fatalf("admission rejects diverged: %d on original, %d on restored", sa, sb)
+			}
+		})
+	}
+}
+
+// TestRestoreHistoryCorruption feeds damaged checkpoint images through
+// RestoreHistory: every failure must surface the typed ErrHistoryCorrupt,
+// never panic, and leave the engine on an empty cold-start history that can
+// keep serving queries.
+func TestRestoreHistoryCorruption(t *testing.T) {
+	app, err := workload.ByName("TIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(1)
+	vectors := workload.NewFeatureDB(app, 32, 2).Vectors
+	opts := DefaultOptions()
+	opts.History = true
+	opts.CacheAdmission = AdmissionLearned
+	opts.HistoryMineInterval = 4
+
+	a := newHistEngine(t, opts, vectors, 3)
+	for _, qfv := range histTrace(t, 12, 5) {
+		a.query(t, qfv, 4)
+	}
+	img, err := a.ds.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	damaged := map[string][]byte{
+		"empty":     {},
+		"garbage":   []byte("not a checkpoint image at all"),
+		"truncated": img[:len(img)/2],
+	}
+	// Flip bytes through the tail of the image (where the history section
+	// and its checksum live).
+	for i := 1; i <= 3; i++ {
+		bad := append([]byte(nil), img...)
+		bad[len(bad)-i*7] ^= 0x40
+		damaged[fmt.Sprintf("bitflip%d", i)] = bad
+	}
+
+	for name, bad := range damaged {
+		t.Run(name, func(t *testing.T) {
+			e := newHistEngine(t, opts, vectors, 3)
+			for _, qfv := range histTrace(t, 6, 9) {
+				e.query(t, qfv, 4)
+			}
+			err := e.ds.RestoreHistory(bad)
+			if err == nil {
+				t.Fatal("corrupted image restored without error")
+			}
+			if !errors.Is(err, ErrHistoryCorrupt) {
+				t.Fatalf("error %v does not wrap ErrHistoryCorrupt", err)
+			}
+			hs := e.ds.HistoryStats()
+			if hs.Records != 0 || hs.Groups != 0 {
+				t.Fatalf("degraded engine kept stale history: %+v", hs)
+			}
+			// Cold-start engine keeps answering; admission defers to LRU.
+			r := e.query(t, histTrace(t, 1, 13)[0], 4)
+			if len(r.TopK) != 4 {
+				t.Fatalf("post-degrade query returned %d results", len(r.TopK))
+			}
+		})
+	}
+
+	// A valid image from an engine that never enabled history cold-starts
+	// without error.
+	plain, err := New(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noHistImg, err := plain.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newHistEngine(t, opts, vectors, 3)
+	if err := e.ds.RestoreHistory(noHistImg); err != nil {
+		t.Fatalf("history-free image should cold-start, got %v", err)
+	}
+	if hs := e.ds.HistoryStats(); hs.Records != 0 {
+		t.Fatalf("cold start kept %d records", hs.Records)
+	}
+}
+
+// TestHistoryPrefetchAndReorg covers the two history consumers: prefetch
+// re-warms the cache so a recurring intent hits without a scan, and
+// ReorgByHistory applies a valid hottest-first permutation while honoring
+// the migration interlock.
+func TestHistoryPrefetchAndReorg(t *testing.T) {
+	app, err := workload.ByName("TIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(1)
+	vectors := workload.NewFeatureDB(app, 64, 2).Vectors
+	opts := DefaultOptions()
+	opts.History = true
+	opts.CacheAdmission = AdmissionLearned
+	opts.HistoryMineInterval = 4
+
+	e := newHistEngine(t, opts, vectors, 4)
+	qfvs := histTrace(t, 20, 3)
+	for _, qfv := range qfvs {
+		e.query(t, qfv, 4)
+	}
+
+	// Drop the cache, then prefetch: the hottest intents come back warm.
+	fe := app.SCN.FeatureElems()
+	if err := e.ds.SetQC(scaledQCN(fe), 1.0, 4, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.ds.PrefetchHistory(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Fatalf("prefetched %d entries, want at least 1", n)
+	}
+	if hs := e.ds.HistoryStats(); hs.Prefetched != uint64(n) {
+		t.Fatalf("Prefetched stat %d, want %d", hs.Prefetched, n)
+	}
+	// The most frequent intent in a Zipfian trace is the hottest group, so
+	// re-asking it must now hit without a scan.
+	counts := map[uint64]int{}
+	byGroup := map[uint64][]float32{}
+	for _, qfv := range qfvs {
+		g := qhist.GroupOf(qfv)
+		counts[g]++
+		byGroup[g] = qfv
+	}
+	var hottest uint64
+	best := -1
+	for g, c := range counts {
+		if c > best || (c == best && g < hottest) {
+			hottest, best = g, c
+		}
+	}
+	if r := e.query(t, byGroup[hottest], 4); !r.CacheHit {
+		t.Error("hottest intent missed after prefetch")
+	}
+
+	// History-driven reorganization returns a bijection and keeps the score
+	// multiset intact.
+	before := e.query(t, qfvs[0], 4)
+	order, err := e.ds.ReorgByHistory(ftlID(e.db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(vectors) {
+		t.Fatalf("permutation of %d entries for %d vectors", len(order), len(vectors))
+	}
+	seen := make([]bool, len(order))
+	for _, src := range order {
+		if src < 0 || src >= len(order) || seen[src] {
+			t.Fatalf("order is not a permutation: %v", order)
+		}
+		seen[src] = true
+	}
+	if err := e.ds.SetQC(scaledQCN(fe), 1.0, 4, 0.2); err != nil { // drop stale cache entries
+		t.Fatal(err)
+	}
+	after := e.query(t, qfvs[0], 4)
+	var sb, sa []float32
+	for i := range before.TopK {
+		sb = append(sb, before.TopK[i].Score)
+		sa = append(sa, after.TopK[i].Score)
+	}
+	sort.Slice(sb, func(i, j int) bool { return sb[i] < sb[j] })
+	sort.Slice(sa, func(i, j int) bool { return sa[i] < sa[j] })
+	if !reflect.DeepEqual(sb, sa) {
+		t.Fatalf("top-K scores changed across reorg: %v vs %v", sb, sa)
+	}
+
+	// The ErrMigrating interlock covers the history-driven path too.
+	if err := e.ds.BeginMigration(ftlID(e.db)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ds.ReorgByHistory(ftlID(e.db)); !errors.Is(err, ErrMigrating) {
+		t.Fatalf("reorg during migration returned %v, want ErrMigrating", err)
+	}
+	if err := e.ds.EndMigration(ftlID(e.db)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistoryConcurrentStress races every history producer and consumer:
+// sequential queries, shared sweeps, scheduler submissions, admission
+// refreshes, history-driven reorg, and metric readers. Afterwards the store
+// must hold exactly one record per finished query with dense unique
+// sequence numbers, and every result must keep the stage-sum invariant.
+// Run with -race in CI.
+func TestHistoryConcurrentStress(t *testing.T) {
+	app, err := workload.ByName("TIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(1)
+	vectors := workload.NewFeatureDB(app, 32, 2).Vectors
+	opts := DefaultOptions()
+	opts.History = true
+	opts.CacheAdmission = AdmissionLearned
+	opts.HistoryMineInterval = 4
+
+	e := newHistEngine(t, opts, vectors, 4)
+	const (
+		workers    = 4
+		perWorker  = 6
+		batches    = 3
+		batchSize  = 4
+		scheduled  = 8
+		totalCount = workers*perWorker + batches*batchSize + scheduled
+	)
+
+	var mu sync.Mutex
+	var results []*QueryResult
+	collect := func(r *QueryResult) {
+		mu.Lock()
+		results = append(results, r)
+		mu.Unlock()
+	}
+
+	var traffic, bg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		traffic.Add(1)
+		go func(w int) {
+			defer traffic.Done()
+			qfvs := histTrace(t, perWorker, int64(40+w))
+			for _, qfv := range qfvs {
+				qid, err := e.ds.Query(QuerySpec{QFV: qfv, K: 4, Model: e.model, DB: ftlID(e.db)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				r, err := e.ds.GetResults(qid)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				collect(r)
+			}
+		}(w)
+	}
+	traffic.Add(1)
+	go func() {
+		defer traffic.Done()
+		for b := 0; b < batches; b++ {
+			qfvs := histTrace(t, batchSize, int64(60+b))
+			for _, r := range e.queryMulti(t, qfvs, 4) {
+				collect(r)
+			}
+		}
+	}()
+	sched := NewScheduler(e.ds, SchedulerConfig{BatchSize: 4})
+	traffic.Add(1)
+	go func() {
+		defer traffic.Done()
+		var chans []<-chan *QueryResult
+		for _, qfv := range histTrace(t, scheduled, 77) {
+			ch, err := sched.Submit(QuerySpec{QFV: qfv, K: 4, Model: e.model, DB: ftlID(e.db)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			chans = append(chans, ch)
+		}
+		sched.Flush()
+		for _, ch := range chans {
+			r := <-ch
+			if r.Err != nil {
+				t.Error(r.Err)
+				return
+			}
+			collect(r)
+		}
+	}()
+	stop := make(chan struct{})
+	bg.Add(1)
+	go func() { // admission refreshes and reorg racing the traffic
+		defer bg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.ds.RefreshAdmission()
+			if i%3 == 0 {
+				if _, err := e.ds.ReorgByHistory(ftlID(e.db)); err != nil &&
+					!errors.Is(err, ErrMigrating) {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	bg.Add(1)
+	go func() { // metric readers
+		defer bg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.ds.MetricsSnapshot()
+			e.ds.HistoryStats()
+			e.ds.CacheStats()
+		}
+	}()
+
+	traffic.Wait()
+	close(stop)
+	bg.Wait()
+	sched.Close()
+
+	if len(results) != totalCount {
+		t.Fatalf("collected %d results, want %d", len(results), totalCount)
+	}
+	for i, r := range results {
+		if sum := obs.SumStages(r.Stages); sum != r.Latency {
+			t.Errorf("result %d: stage sum %v != latency %v (stages %v)", i, sum, r.Latency, r.Stages)
+		}
+	}
+	recs := e.ds.HistoryRecords()
+	if len(recs) != totalCount {
+		t.Fatalf("history holds %d records for %d queries", len(recs), totalCount)
+	}
+	seqs := map[uint64]bool{}
+	for _, r := range recs {
+		if r.Seq >= uint64(len(recs)) {
+			t.Fatalf("sequence %d out of range for %d records", r.Seq, len(recs))
+		}
+		if seqs[r.Seq] {
+			t.Fatalf("duplicate history sequence %d", r.Seq)
+		}
+		seqs[r.Seq] = true
+	}
+}
+
+// TestMetricsSnapshotRace is the lock-discipline regression for the cache
+// hit-path statistics: MetricsSnapshot, CacheStats, and HistoryStats must
+// read the qcache and history state only under the engine lock, so racing
+// them against live query traffic is clean under -race.
+func TestMetricsSnapshotRace(t *testing.T) {
+	app, err := workload.ByName("TIR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.SCN.InitRandom(1)
+	vectors := workload.NewFeatureDB(app, 32, 2).Vectors
+	opts := DefaultOptions()
+	opts.History = true
+	opts.CacheAdmission = AdmissionLearned
+	opts.HistoryMineInterval = 2
+
+	e := newHistEngine(t, opts, vectors, 3)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := e.ds.MetricsSnapshot()
+				hits, _ := e.ds.CacheStats()
+				// CacheStats runs after the snapshot, so its hit count can
+				// only have grown; shrinking would mean one of the reads
+				// tore the qcache state outside the engine lock.
+				if hits < uint64(snap.Counters["qcache_hits"]) {
+					t.Error("cache hit counter ran backwards")
+					return
+				}
+				e.ds.HistoryStats()
+			}
+		}()
+	}
+	qfvs := histTrace(t, 48, 21)
+	for _, qfv := range qfvs {
+		e.query(t, qfv, 4)
+	}
+	close(stop)
+	wg.Wait()
+}

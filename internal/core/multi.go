@@ -243,6 +243,13 @@ func (ds *DeepStore) QueryMulti(specs []QuerySpec) ([]QueryID, error) {
 			r.Energy = it.lookupEnergy
 			r.Energy.Add(ds.comparisonEnergy(it.net, it.level, int64(len(it.cached.Results))))
 		}
+		// History appends land in submission order, after the batch's cache
+		// decisions (pass 1). A mining refresh triggered mid-batch therefore
+		// applies from the NEXT batch on, whereas sequential Query calls
+		// would apply it to the very next query — top-K answers are
+		// unaffected, but admission decisions can differ across a mine
+		// boundary inside a batch.
+		ds.appendHistory(it.spec, r)
 		ds.finishQuery(r)
 		ids[i] = ds.record(r)
 		ds.emitQuerySpans(ids[i], t0, r)

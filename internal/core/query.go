@@ -127,6 +127,7 @@ func (ds *DeepStore) queryLocked(spec QuerySpec) (QueryID, error) {
 			}
 			result.Energy = lookupEnergy
 			result.Energy.Add(ds.comparisonEnergy(net, level, int64(len(cached.Results))))
+			ds.appendHistory(spec, result)
 			ds.finishQuery(result)
 			id := ds.record(result)
 			ds.emitQuerySpans(id, t0, result)
@@ -192,6 +193,7 @@ func (ds *DeepStore) queryLocked(spec QuerySpec) (QueryID, error) {
 	if ds.qc != nil {
 		ds.qc.Insert(cloneVec(spec.QFV), result.TopK)
 	}
+	ds.appendHistory(spec, result)
 	ds.finishQuery(result)
 	id := ds.record(result)
 	ds.emitQuerySpans(id, t0, result)

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; the heaviest deterministic sweeps skip under it (they are
+// single-stream replays the detector can only slow down, and they run in
+// full in the non-race tier-1 step).
+const raceEnabled = true

@@ -39,6 +39,11 @@ type FTL struct {
 	// reservedBlocks at the start of every plane hold FTL metadata (§4.4
 	// persists database metadata in a reserved flash block).
 	reservedBlocks int
+
+	// hist places the persisted query-history image (nil = none); histData
+	// is the raw image cached in controller DRAM. See hist.go.
+	hist     *HistLayout
+	histData []byte
 }
 
 // NewFTL creates an FTL managing geomBlocks block columns (a block column is

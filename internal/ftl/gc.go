@@ -103,6 +103,12 @@ func (f *FTL) Compact() int {
 				meta.Quant.StartBlock += delta
 			}
 		}
+		// The query-history region is owned by a sentinel, not a database
+		// id, so its placement record needs its own retarget.
+		if r.id == HistOwner && f.hist != nil &&
+			f.hist.StartBlock >= r.start && f.hist.StartBlock < r.start+r.size {
+			f.hist.StartBlock += next - r.start
+		}
 		moved += r.size
 		next += r.size
 	}

@@ -1,0 +1,116 @@
+package ftl
+
+import (
+	"fmt"
+
+	"repro/internal/flash"
+)
+
+// Query-history region. The engine's query-history store (internal/qhist)
+// persists alongside the database metadata: the serialized history image is
+// placed in its own block columns — owned by the HistOwner sentinel, so it
+// survives Compact relocation and never collides with a database id — and
+// the placement plus raw image ride in the FTL snapshot (persist version 4).
+
+// HistOwner marks block columns holding the persisted query history. Like
+// the ^DBID(0) metadata sentinel, it is never handed out as a database id.
+const HistOwner = ^DBID(0) - 1
+
+// HistLayout records where the persisted query-history image lives.
+type HistLayout struct {
+	// Bytes is the exact image length (the region is page-padded on flash).
+	Bytes int64
+	// StartBlock / Blocks delimit the history's block columns.
+	StartBlock int
+	Blocks     int
+}
+
+// HistTable returns the derived layout of the history region for the given
+// geometry (ok=false when no history is persisted): a table whose "features"
+// are whole pages, so the ssd layer can charge page programs and reads
+// through the ordinary striping math.
+func (f *FTL) HistTable(geom flash.Geometry) (DBLayout, bool) {
+	if f.hist == nil {
+		return DBLayout{}, false
+	}
+	pages := (f.hist.Bytes + geom.PageBytes - 1) / geom.PageBytes
+	if pages == 0 {
+		pages = 1
+	}
+	return DBLayout{
+		Geom:         geom,
+		FeatureBytes: geom.PageBytes,
+		Features:     pages,
+		StartBlock:   f.hist.StartBlock,
+	}, true
+}
+
+// History returns a copy of the persisted history image (ok=false when none
+// is recorded).
+func (f *FTL) History() ([]byte, bool) {
+	if f.hist == nil {
+		return nil, false
+	}
+	return append([]byte(nil), f.histData...), true
+}
+
+// HistLayoutInfo returns the current history placement (ok=false when none).
+func (f *FTL) HistLayoutInfo() (HistLayout, bool) {
+	if f.hist == nil {
+		return HistLayout{}, false
+	}
+	return *f.hist, true
+}
+
+// SetHistory replaces the persisted query-history image: the previous
+// region (if any) is freed and erased, and block columns sized for the new
+// image under geom are allocated. An empty image clears the region. On
+// allocation failure the FTL is left with no history — a missing history is
+// safe (cold start), a stale one is not.
+func (f *FTL) SetHistory(geom flash.Geometry, data []byte) (DBLayout, error) {
+	f.DropHistory()
+	if len(data) == 0 {
+		return DBLayout{}, nil
+	}
+	pages := (int64(len(data)) + geom.PageBytes - 1) / geom.PageBytes
+	table := DBLayout{
+		Geom:         geom,
+		FeatureBytes: geom.PageBytes,
+		Features:     pages,
+		StartBlock:   f.reservedBlocks, // placeholder for validation
+	}
+	if err := table.Validate(); err != nil {
+		return DBLayout{}, err
+	}
+	need := table.BlocksPerPlane()
+	if need == 0 {
+		need = 1
+	}
+	start, err := f.allocate(need)
+	if err != nil {
+		return DBLayout{}, fmt.Errorf("ftl: allocating history region: %w", err)
+	}
+	for i := start; i < start+need; i++ {
+		f.blockOwner[i] = HistOwner
+	}
+	f.hist = &HistLayout{Bytes: int64(len(data)), StartBlock: start, Blocks: need}
+	f.histData = append([]byte(nil), data...)
+	table.StartBlock = start
+	return table, nil
+}
+
+// DropHistory frees the history's block columns (erasing them, so wear is
+// accounted) and clears the record. Dropping with no history is a no-op.
+func (f *FTL) DropHistory() {
+	if f.hist == nil {
+		return
+	}
+	for i := f.hist.StartBlock; i < f.hist.StartBlock+f.hist.Blocks; i++ {
+		if f.blockOwner[i] == HistOwner {
+			f.blockOwner[i] = 0
+			f.wear[i]++
+		}
+	}
+	f.hist = nil
+	f.histData = nil
+}

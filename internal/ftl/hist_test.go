@@ -1,0 +1,195 @@
+package ftl
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/flash"
+)
+
+func TestSetHistoryAllocatesAndReadsBack(t *testing.T) {
+	f := newTestFTL()
+	geom := flash.DefaultGeometry()
+	img := bytes.Repeat([]byte{0xAB}, int(geom.PageBytes)+5)
+	table, err := f.SetHistory(geom, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.StartBlock < f.reservedBlocks || table.Features != 2 {
+		t.Fatalf("table %+v", table)
+	}
+	got, ok := f.History()
+	if !ok || !bytes.Equal(got, img) {
+		t.Fatal("history image did not round trip")
+	}
+	lay, ok := f.HistLayoutInfo()
+	if !ok || lay.Bytes != int64(len(img)) {
+		t.Fatalf("layout %+v %v", lay, ok)
+	}
+	owned := 0
+	for _, o := range f.blockOwner {
+		if o == HistOwner {
+			owned++
+		}
+	}
+	if owned != lay.Blocks {
+		t.Fatalf("owned %d columns, layout says %d", owned, lay.Blocks)
+	}
+	// Replacing frees the old region and erases it (wear accounting).
+	wearBefore := f.wear[lay.StartBlock]
+	if _, err := f.SetHistory(geom, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if f.wear[lay.StartBlock] != wearBefore+1 {
+		t.Error("replaced history region not erased")
+	}
+	// Clearing with an empty image drops everything.
+	if _, err := f.SetHistory(geom, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.History(); ok {
+		t.Fatal("cleared history still present")
+	}
+	if ht, ok := f.HistTable(geom); ok {
+		t.Fatalf("cleared history still has table %+v", ht)
+	}
+}
+
+func TestHistoryDoesNotCollideWithDBs(t *testing.T) {
+	f := newTestFTL()
+	geom := flash.DefaultGeometry()
+	if _, err := f.SetHistory(geom, bytes.Repeat([]byte{1}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := f.CreateDB("db", template(2048, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, _ := f.HistLayoutInfo()
+	dbEnd := meta.Layout.StartBlock + meta.Layout.BlocksPerPlane()
+	if meta.Layout.StartBlock < lay.StartBlock+lay.Blocks && lay.StartBlock < dbEnd {
+		t.Fatalf("db [%d,%d) overlaps history [%d,+%d)",
+			meta.Layout.StartBlock, dbEnd, lay.StartBlock, lay.Blocks)
+	}
+	// Deleting the database must not free history columns.
+	if err := f.DeleteDB(meta.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := f.History(); !ok || len(got) != 64 {
+		t.Fatal("history lost after DeleteDB")
+	}
+}
+
+func TestPersistV4HistoryRoundTrip(t *testing.T) {
+	f := newTestFTL()
+	geom := flash.DefaultGeometry()
+	if _, err := f.CreateDB("db", template(2048, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	hist := bytes.Repeat([]byte{0x5A}, 300)
+	if _, err := f.SetHistory(geom, hist); err != nil {
+		t.Fatal(err)
+	}
+	img, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := f.Snapshot()
+	if err != nil || !bytes.Equal(img, img2) {
+		t.Fatal("snapshot not deterministic")
+	}
+	g, err := Restore(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := g.History()
+	if !ok || !bytes.Equal(got, hist) {
+		t.Fatal("restored FTL lost history image")
+	}
+	wantLay, _ := f.HistLayoutInfo()
+	gotLay, _ := g.HistLayoutInfo()
+	if gotLay != wantLay {
+		t.Fatalf("layout %+v != %+v", gotLay, wantLay)
+	}
+	// A snapshot without history restores with none (and still matches v4).
+	f.DropHistory()
+	img3, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3, err := Restore(img3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g3.History(); ok {
+		t.Fatal("history resurrected from history-free snapshot")
+	}
+}
+
+func TestPersistV4RejectsBadHistoryRecord(t *testing.T) {
+	f := newTestFTL()
+	geom := flash.DefaultGeometry()
+	if _, err := f.SetHistory(geom, bytes.Repeat([]byte{7}, 50)); err != nil {
+		t.Fatal(err)
+	}
+	img, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncating inside the history image must fail cleanly.
+	if _, err := Restore(img[:len(img)-10]); err == nil {
+		t.Fatal("truncated history image accepted")
+	}
+}
+
+// Compact must retarget the history placement when its columns move, since
+// the sentinel owner never appears in the database table.
+func TestCompactRetargetsHistory(t *testing.T) {
+	f := newTestFTL()
+	geom := flash.DefaultGeometry()
+	// Leave a hole below the history region: create, then delete, a db.
+	a, err := f.CreateDB("hole", template(16<<10, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := bytes.Repeat([]byte{0xCD}, int(geom.PageBytes)*3)
+	if _, err := f.SetHistory(geom, hist); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := f.HistLayoutInfo()
+	if err := f.DeleteDB(a.ID); err != nil {
+		t.Fatal(err)
+	}
+	if moved := f.Compact(); moved == 0 {
+		t.Fatal("compact moved nothing; test setup left no hole")
+	}
+	after, ok := f.HistLayoutInfo()
+	if !ok {
+		t.Fatal("history lost in compaction")
+	}
+	if after.StartBlock >= before.StartBlock {
+		t.Fatalf("history did not pack down: %d -> %d", before.StartBlock, after.StartBlock)
+	}
+	// Placement record and ownership map must agree after the move.
+	for i := after.StartBlock; i < after.StartBlock+after.Blocks; i++ {
+		if f.blockOwner[i] != HistOwner {
+			t.Fatalf("column %d owner %d, want HistOwner", i, f.blockOwner[i])
+		}
+	}
+	if got, _ := f.History(); !bytes.Equal(got, hist) {
+		t.Fatal("image bytes changed across compaction")
+	}
+	// And the compacted state persists/restores intact.
+	img, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Restore(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLay, _ := g.HistLayoutInfo()
+	if gotLay != after {
+		t.Fatalf("restored layout %+v != %+v", gotLay, after)
+	}
+}

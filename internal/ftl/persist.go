@@ -20,9 +20,13 @@ const (
 	persistMagic = "DSFT"
 	// persistVersion 2 appends an optional per-database stripe-bound table
 	// record after the layout fields; version 3 appends an optional
-	// quantized-table record after that. Older images (no tables) still
-	// restore.
-	persistVersion = 3
+	// quantized-table record after that; version 4 appends an optional
+	// global query-history section (placement + raw image) after the
+	// database table. Older images (no tables, no history) still restore.
+	persistVersion = 4
+
+	// maxHistBytes bounds the history section a snapshot will accept.
+	maxHistBytes = 1 << 28
 )
 
 var persistOrder = binary.LittleEndian
@@ -76,6 +80,16 @@ func (f *FTL) Snapshot() ([]byte, error) {
 				writeU64(w, uint64(v))
 			}
 		}
+	}
+	if f.hist == nil {
+		writeU32(w, 0)
+	} else {
+		writeU32(w, 1)
+		writeU64(w, uint64(f.hist.Bytes))
+		writeU64(w, uint64(f.hist.StartBlock))
+		writeU64(w, uint64(f.hist.Blocks))
+		writeU32(w, uint32(len(f.histData)))
+		w.Write(f.histData)
 	}
 	if err := w.Flush(); err != nil {
 		return nil, err
@@ -222,6 +236,41 @@ func Restore(data []byte) (*FTL, error) {
 			}
 		}
 		f.dbs[meta.ID] = meta
+	}
+	if version >= 4 {
+		hasHist, err := readU32(r)
+		if err != nil {
+			return nil, err
+		}
+		if hasHist != 0 {
+			bytesLen, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			start, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			blocks, err := readU64(r)
+			if err != nil {
+				return nil, err
+			}
+			imgLen, err := readU32(r)
+			if err != nil {
+				return nil, err
+			}
+			if imgLen > maxHistBytes || uint64(imgLen) != bytesLen || blocks == 0 ||
+				start >= uint64(len(f.blockOwner)) || start+blocks > uint64(len(f.blockOwner)) {
+				return nil, fmt.Errorf("ftl: invalid history record (%d B, blocks [%d,+%d))",
+					bytesLen, start, blocks)
+			}
+			data := make([]byte, imgLen)
+			if _, err := io.ReadFull(r, data); err != nil {
+				return nil, fmt.Errorf("ftl: reading history image: %w", err)
+			}
+			f.hist = &HistLayout{Bytes: int64(bytesLen), StartBlock: int(start), Blocks: int(blocks)}
+			f.histData = data
+		}
 	}
 	// Cross-check: every db in the table owns at least one column.
 	for id := range f.dbs {

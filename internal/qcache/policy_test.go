@@ -1,0 +1,123 @@
+package qcache
+
+import (
+	"testing"
+
+	"repro/internal/topk"
+)
+
+// scriptedPolicy drives Insert decisions from canned answers.
+type scriptedPolicy struct {
+	admit  bool
+	victim int
+	calls  int
+}
+
+func (p *scriptedPolicy) Admit(q int, entries []Entry[int]) bool {
+	p.calls++
+	return p.admit
+}
+func (p *scriptedPolicy) Evict(entries []Entry[int]) int { return p.victim }
+
+func fill(c *Cache[int], vals ...int) {
+	for _, v := range vals {
+		c.Insert(v, []topk.Entry{{FeatureID: int64(v)}})
+	}
+}
+
+func order(c *Cache[int]) []int {
+	out := make([]int, len(c.entries))
+	for i, e := range c.entries {
+		out[i] = e.Query
+	}
+	return out
+}
+
+func eq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// While the cache is filling, the policy is never consulted — admission only
+// gates displacement.
+func TestPolicyNotConsultedBelowCapacity(t *testing.T) {
+	p := &scriptedPolicy{admit: false, victim: -1}
+	c := New[int](3, 1, intScorer)
+	c.SetPolicy(p)
+	fill(c, 1, 2, 3)
+	if p.calls != 0 {
+		t.Fatalf("policy consulted %d times during fill", p.calls)
+	}
+	if !eq(order(c), []int{3, 2, 1}) {
+		t.Fatalf("order %v", order(c))
+	}
+}
+
+func TestPolicyRejectLeavesCacheUntouched(t *testing.T) {
+	p := &scriptedPolicy{admit: false}
+	c := New[int](2, 1, intScorer)
+	c.SetPolicy(p)
+	fill(c, 1, 2, 3)
+	if !eq(order(c), []int{2, 1}) {
+		t.Fatalf("rejected insert mutated cache: %v", order(c))
+	}
+	st := c.Stats()
+	if st.AdmissionRejects != 1 || st.Evictions != 0 || st.Insertions != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPolicyVictimSelection(t *testing.T) {
+	p := &scriptedPolicy{admit: true, victim: 0}
+	c := New[int](3, 1, intScorer)
+	c.SetPolicy(p)
+	fill(c, 1, 2, 3, 4) // evicting index 0 (the MRU, 3) on the last insert
+	if !eq(order(c), []int{4, 2, 1}) {
+		t.Fatalf("order %v", order(c))
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// A policy answering (true, -1) — and out-of-range victims — must reproduce
+// plain LRU bit-identically, stats included.
+func TestDeferringPolicyIsLRU(t *testing.T) {
+	for _, victim := range []int{-1, 99} {
+		plain := New[int](3, 1, intScorer)
+		pol := New[int](3, 1, intScorer)
+		pol.SetPolicy(&scriptedPolicy{admit: true, victim: victim})
+		seq := []int{1, 2, 3, 4, 2, 5, 6, 2, 7}
+		for _, v := range seq {
+			if _, hit := plain.Lookup(v, 0.1); !hit {
+				plain.Insert(v, nil)
+			}
+			if _, hit := pol.Lookup(v, 0.1); !hit {
+				pol.Insert(v, nil)
+			}
+			if !eq(order(plain), order(pol)) {
+				t.Fatalf("victim %d: diverged at %d: %v vs %v", victim, v, order(plain), order(pol))
+			}
+		}
+		if plain.Stats() != pol.Stats() {
+			t.Fatalf("victim %d: stats %+v vs %+v", victim, plain.Stats(), pol.Stats())
+		}
+	}
+}
+
+func TestSetPolicyNilRestoresLRU(t *testing.T) {
+	c := New[int](2, 1, intScorer)
+	c.SetPolicy(&scriptedPolicy{admit: false})
+	c.SetPolicy(nil)
+	fill(c, 1, 2, 3)
+	if !eq(order(c), []int{3, 2}) {
+		t.Fatalf("order %v", order(c))
+	}
+}

@@ -45,6 +45,9 @@ type Stats struct {
 	// Comparisons counts QCN executions (one per valid entry per lookup),
 	// the quantity the channel-level accelerators execute (§4.6).
 	Comparisons uint64
+	// AdmissionRejects counts inserts a Policy declined while the cache was
+	// full (the candidate never displaced a resident entry).
+	AdmissionRejects uint64
 }
 
 // MissRate returns misses/lookups (0 when no lookups yet).
@@ -55,8 +58,21 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Lookups)
 }
 
+// Policy customizes admission and eviction when the cache is full. Both
+// hooks run synchronously inside Insert under the caller's lock; they must
+// not call back into the cache. A nil policy is plain LRU.
+type Policy[Q any] interface {
+	// Admit reports whether the candidate query deserves to displace one of
+	// the resident entries. Returning false leaves the cache untouched.
+	Admit(q Q, entries []Entry[Q]) bool
+	// Evict returns the index of the entry to displace, or -1 to fall back
+	// to the LRU tail. Out-of-range indices also fall back to the tail.
+	Evict(entries []Entry[Q]) int
+}
+
 // Cache is the similarity-based query cache. Entries are kept in LRU order;
-// hits promote, inserts evict the least recently used entry.
+// hits promote, inserts evict the least recently used entry — unless a
+// Policy overrides full-cache admission and victim selection.
 type Cache[Q any] struct {
 	capacity int
 	// qcnAcc is the QCN's accuracy; Algorithm 1 weights every similarity
@@ -71,6 +87,7 @@ type Cache[Q any] struct {
 	// entries[0] is most recently used.
 	entries []Entry[Q]
 	stats   Stats
+	policy  Policy[Q]
 }
 
 // sweepScratch is one sweep shard's gather/score buffers, pooled so
@@ -261,16 +278,37 @@ func (c *Cache[Q]) promote(i int) {
 	c.entries[0] = e
 }
 
+// SetPolicy installs (or, with nil, removes) the admission/eviction policy.
+// The policy only participates when the cache is full, so an installed
+// policy whose hooks return (true, -1) is bit-identical to plain LRU.
+func (c *Cache[Q]) SetPolicy(p Policy[Q]) { c.policy = p }
+
 // Insert caches a query and its freshly computed results as the most
-// recently used entry, evicting the LRU entry when full (line 16).
+// recently used entry. When full, the policy (if any) first decides whether
+// the candidate is admitted at all and which resident entry it displaces;
+// without a policy — or when the policy defers with -1 — the LRU entry is
+// evicted (line 16).
 func (c *Cache[Q]) Insert(q Q, results []topk.Entry) {
 	e := Entry[Q]{Query: q, Results: results}
 	if len(c.entries) < c.capacity {
 		c.entries = append(c.entries, Entry[Q]{})
-	} else {
-		c.stats.Evictions++
+		copy(c.entries[1:], c.entries[:len(c.entries)-1])
+		c.entries[0] = e
+		c.stats.Insertions++
+		return
 	}
-	copy(c.entries[1:], c.entries[:len(c.entries)-1])
+	victim := len(c.entries) - 1
+	if c.policy != nil {
+		if !c.policy.Admit(q, c.entries) {
+			c.stats.AdmissionRejects++
+			return
+		}
+		if v := c.policy.Evict(c.entries); v >= 0 && v < len(c.entries) {
+			victim = v
+		}
+	}
+	c.stats.Evictions++
+	copy(c.entries[1:victim+1], c.entries[:victim])
 	c.entries[0] = e
 	c.stats.Insertions++
 }

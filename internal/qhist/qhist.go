@@ -1,0 +1,383 @@
+// Package qhist is the persistent query-history store. Every query the
+// engine answers is recorded in a hot/cold layout: a compact fixed-width
+// metadata record (hot, always resident, cheap to mine) plus a variable-
+// length payload holding the full query vector and top-K result (cold,
+// touched only on prefetch or audit). The store serializes to a single
+// checksummed image that rides inside the FTL metadata snapshot, so history
+// survives engine restarts; mining the records yields the statistics that
+// drive learned cache admission, prefetch, and heat-directed placement.
+package qhist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/topk"
+)
+
+// ErrCorrupt reports that a persisted history image (or payload) failed
+// validation. Callers must treat it as "history unavailable" and degrade to
+// cold-start behavior; it never indicates in-memory state damage.
+var ErrCorrupt = errors.New("qhist: corrupt history image")
+
+// RecordBytes is the fixed hot-record width: 12 little-endian 64-bit words.
+const RecordBytes = 96
+
+// FlagHit marks a query answered from the query cache.
+const FlagHit uint32 = 1 << 0
+
+// Record is one fixed-width hot history entry. All fields are plain values
+// so a []Record mines with zero pointer chasing; the payload lives in the
+// cold region addressed by PayloadOff/PayloadLen.
+type Record struct {
+	Seq        uint64 // dense append sequence number, assigned by Append
+	Time       int64  // simulated completion timestamp, picoseconds
+	DB         uint64 // database the query scanned
+	Model      uint64 // SCN model used
+	Group      uint64 // coarse query-group fingerprint (GroupOf)
+	K          uint32 // requested top-K
+	Flags      uint32 // FlagHit et al.
+	Latency    int64  // total simulated latency, picoseconds
+	TopFeature int64  // best-scoring feature index, -1 when empty
+	Digest     uint64 // FNV-1a digest of the top-K list
+	PayloadOff int64  // cold-region byte offset, assigned by Append
+	PayloadLen int64  // cold payload length in bytes
+}
+
+// Hit reports whether the record was served from the query cache.
+func (r Record) Hit() bool { return r.Flags&FlagHit != 0 }
+
+func (r Record) marshal(b []byte) {
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], r.Seq)
+	le.PutUint64(b[8:], uint64(r.Time))
+	le.PutUint64(b[16:], r.DB)
+	le.PutUint64(b[24:], r.Model)
+	le.PutUint64(b[32:], r.Group)
+	le.PutUint32(b[40:], r.K)
+	le.PutUint32(b[44:], r.Flags)
+	le.PutUint64(b[48:], uint64(r.Latency))
+	le.PutUint64(b[56:], uint64(r.TopFeature))
+	le.PutUint64(b[64:], r.Digest)
+	le.PutUint64(b[72:], uint64(r.PayloadOff))
+	le.PutUint64(b[80:], uint64(r.PayloadLen))
+	le.PutUint64(b[88:], 0) // reserved
+}
+
+func unmarshalRecord(b []byte) Record {
+	le := binary.LittleEndian
+	return Record{
+		Seq:        le.Uint64(b[0:]),
+		Time:       int64(le.Uint64(b[8:])),
+		DB:         le.Uint64(b[16:]),
+		Model:      le.Uint64(b[24:]),
+		Group:      le.Uint64(b[32:]),
+		K:          le.Uint32(b[40:]),
+		Flags:      le.Uint32(b[44:]),
+		Latency:    int64(le.Uint64(b[48:])),
+		TopFeature: int64(le.Uint64(b[56:])),
+		Digest:     le.Uint64(b[64:]),
+		PayloadOff: int64(le.Uint64(b[72:])),
+		PayloadLen: int64(le.Uint64(b[80:])),
+	}
+}
+
+// Store holds the hot record array and the cold payload heap. It is not
+// internally synchronized: the owning engine serializes access under its
+// own lock.
+type Store struct {
+	records []Record
+	payload []byte
+}
+
+// NewStore returns an empty history store.
+func NewStore() *Store { return &Store{} }
+
+// Append assigns the record's Seq and payload placement, stores it, and
+// returns the completed record.
+func (s *Store) Append(r Record, payload []byte) Record {
+	r.Seq = uint64(len(s.records))
+	r.PayloadOff = int64(len(s.payload))
+	r.PayloadLen = int64(len(payload))
+	s.payload = append(s.payload, payload...)
+	s.records = append(s.records, r)
+	return r
+}
+
+// Len returns the number of records.
+func (s *Store) Len() int { return len(s.records) }
+
+// NextSeq returns the sequence number the next Append will receive; mining
+// uses it as the current logical "now" for recency decay.
+func (s *Store) NextSeq() uint64 { return uint64(len(s.records)) }
+
+// Records returns the live hot-record slice. Callers must not mutate it and
+// must not retain it across Appends.
+func (s *Store) Records() []Record { return s.records }
+
+// HotBytes and ColdBytes report the two regions' sizes.
+func (s *Store) HotBytes() int64  { return int64(len(s.records)) * RecordBytes }
+func (s *Store) ColdBytes() int64 { return int64(len(s.payload)) }
+
+// Payload returns the cold payload bytes for r (a view into the heap).
+func (s *Store) Payload(r Record) ([]byte, error) {
+	if r.PayloadOff < 0 || r.PayloadLen < 0 || r.PayloadOff+r.PayloadLen > int64(len(s.payload)) {
+		return nil, fmt.Errorf("%w: payload [%d,+%d) outside %d-byte heap",
+			ErrCorrupt, r.PayloadOff, r.PayloadLen, len(s.payload))
+	}
+	return s.payload[r.PayloadOff : r.PayloadOff+r.PayloadLen], nil
+}
+
+const (
+	snapshotMagic   = "DSQH"
+	snapshotVersion = 1
+)
+
+// Snapshot serializes the store: magic, version, the hot region, the cold
+// region, and a trailing FNV-1a checksum over everything before it. The
+// encoding is fully deterministic for a given sequence of Appends.
+func (s *Store) Snapshot() []byte {
+	le := binary.LittleEndian
+	size := 4 + 4 + 8 + len(s.records)*RecordBytes + 8 + len(s.payload) + 8
+	out := make([]byte, size)
+	copy(out, snapshotMagic)
+	le.PutUint32(out[4:], snapshotVersion)
+	le.PutUint64(out[8:], uint64(len(s.records)))
+	off := 16
+	for i := range s.records {
+		s.records[i].marshal(out[off:])
+		off += RecordBytes
+	}
+	le.PutUint64(out[off:], uint64(len(s.payload)))
+	off += 8
+	copy(out[off:], s.payload)
+	off += len(s.payload)
+	h := fnv.New64a()
+	h.Write(out[:off])
+	le.PutUint64(out[off:], h.Sum64())
+	return out
+}
+
+// Restore parses a Snapshot image. Any framing, bounds, or checksum failure
+// returns an error wrapping ErrCorrupt — never a panic — so callers can
+// degrade to an empty (cold-start) history.
+func Restore(data []byte) (*Store, error) {
+	le := binary.LittleEndian
+	if len(data) < 24 {
+		return nil, fmt.Errorf("%w: %d-byte image too short", ErrCorrupt, len(data))
+	}
+	if string(data[:4]) != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	if v := le.Uint32(data[4:]); v != snapshotVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	count := le.Uint64(data[8:])
+	if count > uint64(len(data))/RecordBytes {
+		return nil, fmt.Errorf("%w: %d records cannot fit %d bytes", ErrCorrupt, count, len(data))
+	}
+	off := uint64(16)
+	need := off + count*RecordBytes + 8
+	if uint64(len(data)) < need {
+		return nil, fmt.Errorf("%w: truncated hot region", ErrCorrupt)
+	}
+	st := &Store{records: make([]Record, count)}
+	for i := uint64(0); i < count; i++ {
+		st.records[i] = unmarshalRecord(data[off:])
+		off += RecordBytes
+	}
+	plen := le.Uint64(data[off:])
+	off += 8
+	if uint64(len(data)) < off+plen+8 {
+		return nil, fmt.Errorf("%w: truncated cold region", ErrCorrupt)
+	}
+	st.payload = append([]byte(nil), data[off:off+plen]...)
+	off += plen
+	h := fnv.New64a()
+	h.Write(data[:off])
+	if got, want := le.Uint64(data[off:]), h.Sum64(); got != want {
+		return nil, fmt.Errorf("%w: checksum %#x != %#x", ErrCorrupt, got, want)
+	}
+	for i, r := range st.records {
+		if r.Seq != uint64(i) {
+			return nil, fmt.Errorf("%w: record %d has seq %d", ErrCorrupt, i, r.Seq)
+		}
+		if r.PayloadOff < 0 || r.PayloadLen < 0 || r.PayloadOff+r.PayloadLen > int64(plen) {
+			return nil, fmt.Errorf("%w: record %d payload out of bounds", ErrCorrupt, i)
+		}
+	}
+	return st, nil
+}
+
+// EncodePayload serializes a query's cold payload: the full query feature
+// vector plus the top-K result list.
+func EncodePayload(qfv []float32, topK []topk.Entry) []byte {
+	le := binary.LittleEndian
+	out := make([]byte, 4+4*len(qfv)+4+20*len(topK))
+	le.PutUint32(out, uint32(len(qfv)))
+	off := 4
+	for _, v := range qfv {
+		le.PutUint32(out[off:], math.Float32bits(v))
+		off += 4
+	}
+	le.PutUint32(out[off:], uint32(len(topK)))
+	off += 4
+	for _, e := range topK {
+		le.PutUint64(out[off:], uint64(e.FeatureID))
+		le.PutUint32(out[off+8:], math.Float32bits(e.Score))
+		le.PutUint64(out[off+12:], e.ObjectID)
+		off += 20
+	}
+	return out
+}
+
+// DecodePayload reverses EncodePayload; malformed input wraps ErrCorrupt.
+func DecodePayload(p []byte) (qfv []float32, topK []topk.Entry, err error) {
+	le := binary.LittleEndian
+	if len(p) < 8 {
+		return nil, nil, fmt.Errorf("%w: %d-byte payload too short", ErrCorrupt, len(p))
+	}
+	dims := le.Uint32(p)
+	off := uint32(4)
+	if uint32(len(p)) < off+4*dims+4 {
+		return nil, nil, fmt.Errorf("%w: payload truncated before vector end", ErrCorrupt)
+	}
+	qfv = make([]float32, dims)
+	for i := range qfv {
+		qfv[i] = math.Float32frombits(le.Uint32(p[off:]))
+		off += 4
+	}
+	k := le.Uint32(p[off:])
+	off += 4
+	if uint32(len(p)) != off+20*k {
+		return nil, nil, fmt.Errorf("%w: payload length %d != expected %d", ErrCorrupt, len(p), off+20*k)
+	}
+	topK = make([]topk.Entry, k)
+	for i := range topK {
+		topK[i] = topk.Entry{
+			FeatureID: int64(le.Uint64(p[off:])),
+			Score:     math.Float32frombits(le.Uint32(p[off+8:])),
+			ObjectID:  le.Uint64(p[off+12:]),
+		}
+		off += 20
+	}
+	return qfv, topK, nil
+}
+
+// Digest fingerprints a top-K list (FNV-1a over the serialized entries), so
+// outcome equality can be checked from hot records alone.
+func Digest(topK []topk.Entry) uint64 {
+	h := fnv.New64a()
+	var b [20]byte
+	le := binary.LittleEndian
+	for _, e := range topK {
+		le.PutUint64(b[0:], uint64(e.FeatureID))
+		le.PutUint32(b[8:], math.Float32bits(e.Score))
+		le.PutUint64(b[12:], e.ObjectID)
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// groupBin quantizes one vector element into a coarse bin (width 0.25) so
+// that small jitter usually lands repeats of the same semantic query in the
+// same group.
+func groupBin(v float32) int32 {
+	return int32(math.Round(float64(v) * 4))
+}
+
+// GroupOf fingerprints a query vector into its history group: FNV-1a over
+// the coarsely quantized dimensions. Deterministic; identical vectors always
+// share a group.
+func GroupOf(qfv []float32) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, v := range qfv {
+		binary.LittleEndian.PutUint32(b[:], uint32(groupBin(v)))
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+// GroupStat aggregates one query group's history.
+type GroupStat struct {
+	Count   int64  // total queries observed in the group
+	Hits    int64  // of those, cache hits
+	LastSeq uint64 // most recent record's sequence number
+	LastRec int    // index of the most recent record (for payload lookup)
+}
+
+// DefaultHalfLifeRecords is the recency half-life used by AdmissionScore,
+// measured in appended records: a group unseen for this many records loses
+// half its weight. Sequence distance (not wall time) keeps the score
+// independent of device speed.
+const DefaultHalfLifeRecords = 256
+
+// AdmissionScore combines frequency (the group's observed count), recency
+// (exponential decay over sequence distance), and the group's observed
+// cache accuracy (Laplace-smoothed hit ratio, the per-cluster QCN accuracy
+// mined from history). Higher scores deserve cache residency more.
+func (g GroupStat) AdmissionScore(nowSeq uint64) float64 {
+	if g.Count <= 0 {
+		return 0
+	}
+	age := float64(0)
+	if nowSeq > g.LastSeq {
+		age = float64(nowSeq - g.LastSeq - 1)
+	}
+	decay := math.Exp2(-age / DefaultHalfLifeRecords)
+	accuracy := float64(g.Hits+1) / float64(g.Count+2)
+	return float64(g.Count) * decay * accuracy
+}
+
+// MineGroups folds the hot records into per-group statistics. Pure function
+// of the record slice, so identical histories always mine to identical
+// admission decisions.
+func MineGroups(records []Record) map[uint64]GroupStat {
+	out := make(map[uint64]GroupStat, 16)
+	for i, r := range records {
+		g := out[r.Group]
+		g.Count++
+		if r.Hit() {
+			g.Hits++
+		}
+		g.LastSeq = r.Seq
+		g.LastRec = i
+		out[r.Group] = g
+	}
+	return out
+}
+
+// RankGroups orders mined groups by descending admission score, breaking
+// ties by ascending group id for determinism.
+func RankGroups(mined map[uint64]GroupStat, nowSeq uint64) []uint64 {
+	ids := make([]uint64, 0, len(mined))
+	for id := range mined {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		si, sj := mined[ids[i]].AdmissionScore(nowSeq), mined[ids[j]].AdmissionScore(nowSeq)
+		if si != sj {
+			return si > sj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// FeatureHeat folds the hot records into a per-feature demand vector for
+// one database: each record votes for its top-scoring feature. The result
+// feeds reorg.StripeHeat for heat-directed placement.
+func FeatureHeat(records []Record, db uint64, features int64) []int64 {
+	heat := make([]int64, features)
+	for _, r := range records {
+		if r.DB == db && r.TopFeature >= 0 && r.TopFeature < features {
+			heat[r.TopFeature]++
+		}
+	}
+	return heat
+}

@@ -1,0 +1,56 @@
+package reorg
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// OrderByHeat packs stripes hottest-first while keeping each stripe's
+// internal feature order, including a partial trailing stripe.
+func TestOrderByHeat(t *testing.T) {
+	// 7 features in stripes of 3: stripe 0 = {0,1,2}, 1 = {3,4,5}, 2 = {6}.
+	order, err := OrderByHeat([]float64{1, 5, 3}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 4, 5, 6, 0, 1, 2}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	// The result must be a valid ApplyOrder permutation.
+	vectors := make([][]float32, 7)
+	for i := range vectors {
+		vectors[i] = []float32{float32(i)}
+	}
+	moved, err := ApplyOrder(vectors, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved[0][0] != 3 || moved[3][0] != 6 || moved[4][0] != 0 {
+		t.Fatalf("ApplyOrder placed %v", moved)
+	}
+}
+
+func TestOrderByHeatTiesAreStable(t *testing.T) {
+	// Equal heat keeps ascending stripe order — the identity permutation.
+	order, err := OrderByHeat([]float64{2, 2, 2}, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4, 5}) {
+		t.Fatalf("tied heat reordered: %v", order)
+	}
+}
+
+func TestOrderByHeatValidation(t *testing.T) {
+	if _, err := OrderByHeat([]float64{1}, 4, 0); !errors.Is(err, ErrNoVectors) {
+		t.Errorf("n=0 returned %v", err)
+	}
+	if _, err := OrderByHeat([]float64{1}, 0, 4); !errors.Is(err, ErrBadStripe) {
+		t.Errorf("stripe=0 returned %v", err)
+	}
+	if _, err := OrderByHeat([]float64{1, 2, 3}, 4, 4); !errors.Is(err, ErrBadStripe) {
+		t.Errorf("heat/stripe mismatch returned %v", err)
+	}
+}

@@ -281,6 +281,38 @@ func RankStripes(heat []float64) []int {
 	return out
 }
 
+// OrderByHeat turns per-stripe heat into a full feature permutation that
+// packs stripes hottest-first: stripe s (features [s·stripeFeatures,
+// (s+1)·stripeFeatures) of an n-feature database, the last stripe possibly
+// partial) keeps its internal order but stripes are concatenated in
+// RankStripes order. The result is a valid ApplyOrder permutation placing
+// the hottest stripes at the lowest feature indices — the earliest,
+// lowest-latency pages of every channel.
+func OrderByHeat(heat []float64, stripeFeatures, n int) ([]int, error) {
+	if n <= 0 {
+		return nil, ErrNoVectors
+	}
+	if stripeFeatures < 1 {
+		return nil, fmt.Errorf("%w: stripe of %d features", ErrBadStripe, stripeFeatures)
+	}
+	stripes := (n + stripeFeatures - 1) / stripeFeatures
+	if len(heat) != stripes {
+		return nil, fmt.Errorf("%w: %d heat entries for %d stripes", ErrBadStripe, len(heat), stripes)
+	}
+	order := make([]int, 0, n)
+	for _, s := range RankStripes(heat) {
+		lo := s * stripeFeatures
+		hi := lo + stripeFeatures
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			order = append(order, i)
+		}
+	}
+	return order, nil
+}
+
 // HottestWindow returns the start index of the contiguous w-stripe window
 // with the greatest total heat (ties break to the lowest start) — the
 // stripe range an online split migrates as one contiguous move.

@@ -372,6 +372,32 @@ func (d *Device) ProgramBoundTable(meta *ftl.DBMeta) error {
 	return nil
 }
 
+// ProgramHistory places (or replaces) the persisted query-history image in
+// its own block columns and charges programming it: each page of the image
+// crosses controller DRAM and is programmed in place, like the bound/quant
+// table paths. An empty image clears the region without touching flash.
+// Runs the engine to completion.
+func (d *Device) ProgramHistory(img []byte) error {
+	table, err := d.FTL.SetHistory(d.Config.Geometry, img)
+	if err != nil {
+		return err
+	}
+	if len(img) == 0 {
+		return nil
+	}
+	for ch := 0; ch < table.Geom.Channels; ch++ {
+		pages := table.ChannelPages(ch)
+		for p := int64(0); p < pages; p++ {
+			addr := table.ChannelPageAddr(ch, p)
+			d.DRAM.Transfer(table.Geom.PageBytes, func() {
+				d.Flash.ProgramPage(addr, nil)
+			})
+		}
+	}
+	d.Engine.Run()
+	return nil
+}
+
 // ProgramQuantTable charges the flash programming of a database's quantized
 // (int8) feature table (ftl.SetQuantTable must have allocated it first). The
 // conversion runs inside the controller, so each page crosses controller
@@ -408,9 +434,16 @@ func (d *Device) PersistMetadata() ([]byte, error) {
 		return nil, err
 	}
 	// Program the image into block column 0 of channel 0: erase, then
-	// program ⌈len/page⌉ pages.
+	// program ⌈len/page⌉ pages. Embedded query-history bytes do not count
+	// against the reserved block: they already live (and were charged) in
+	// the history's own block columns via ProgramHistory; the snapshot
+	// merely carries them as the restore channel.
 	geom := d.Config.Geometry
-	pages := int((int64(len(img)) + geom.PageBytes - 1) / geom.PageBytes)
+	metaBytes := int64(len(img))
+	if lay, ok := d.FTL.HistLayoutInfo(); ok {
+		metaBytes -= lay.Bytes
+	}
+	pages := int((metaBytes + geom.PageBytes - 1) / geom.PageBytes)
 	if pages > geom.PagesPerBlock {
 		return nil, fmt.Errorf("ssd: metadata image %d bytes exceeds the reserved block", len(img))
 	}
